@@ -1,0 +1,84 @@
+"""E8 — TASTIER type-ahead search (slides 71-73).
+
+Claims: the δ-step forward index prunes the candidate set sharply
+(slide 73: {11, 12, 78} -> {12}); per-keystroke latency falls as the
+prefix gets longer (smaller trie ranges).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.ambiguity.autocomplete import Tastier
+
+
+@pytest.fixture(scope="module")
+def tastier(biblio_graph, biblio_index):
+    return Tastier(biblio_graph, biblio_index, delta=2)
+
+
+def test_pruning_power(benchmark, biblio_graph, biblio_index):
+    """Aggregate pruning over a 40-query random-prefix workload: the
+    δ-forward index discards candidates that cannot reach the remaining
+    prefixes (slide 73's {11, 12, 78} -> {12})."""
+    import random
+
+    rng = random.Random(3)
+    vocab = [w for w in biblio_index.vocabulary if len(w) >= 4]
+    workload = [
+        [a[:3], b[:3]] for a, b in (rng.sample(vocab, 2) for _ in range(40))
+    ]
+    rows = []
+    totals = {}
+    for delta in (1, 2):
+        engine = Tastier(biblio_graph, biblio_index, delta=delta)
+        initial = pruned = answers = 0
+        for prefixes in workload:
+            result = engine.search(prefixes, k=5)
+            initial += result.candidates_initial
+            pruned += result.candidates_after_pruning
+            answers += len(result.answers)
+        totals[delta] = (initial, pruned)
+        rows.append((delta, initial, pruned, answers))
+    engine = Tastier(biblio_graph, biblio_index, delta=1)
+    benchmark(engine.search, workload[0], 5)
+    print_table(
+        "E8a: delta-forward pruning over 40 random 2-prefix queries",
+        ["delta", "initial_candidates", "after_pruning", "answers"],
+        rows,
+    )
+    for delta, (initial, pruned) in totals.items():
+        assert pruned <= initial
+    # Tighter delta prunes more aggressively.
+    assert totals[1][1] <= totals[2][1]
+    assert totals[1][1] < totals[1][0]
+
+
+def test_latency_vs_prefix_length(benchmark, tastier):
+    prefixes = ["d", "da", "dat", "data"]
+    rows = []
+    timings = []
+    for prefix in prefixes:
+        start = time.perf_counter()
+        for _ in range(10):
+            result = tastier.search(["john", prefix], k=5)
+        elapsed = (time.perf_counter() - start) / 10
+        timings.append(elapsed)
+        rows.append(
+            (prefix, f"{elapsed * 1e3:.2f}ms", result.candidates_initial)
+        )
+    benchmark(tastier.search, ["john", "data"], 5)
+    print_table("E8b: keystroke latency vs prefix length",
+                ["prefix", "latency", "candidates"], rows)
+    # Longer prefixes never cost (much) more than single-char prefixes.
+    assert timings[-1] <= timings[0] * 2.0
+
+
+def test_completions(benchmark, tastier):
+    completions = benchmark(tastier.complete_keyword, "dat", 8)
+    assert "database" in completions or any(
+        c.startswith("dat") for c in completions
+    )

@@ -1,0 +1,108 @@
+"""E16 — axiomatic evaluation matrix (slides 107-109).
+
+Claim: the axioms discriminate between result semantics — all-LCA
+preserves old results under data additions but violates query
+monotonicity; SLCA/ELCA can drop old results (preserve-mode data
+monotonicity violations) while keeping counts stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.eval.axioms import axiom_matrix, standard_engines
+
+AXIOMS = [
+    "data-monotonicity",
+    "data-monotonicity-count",
+    "data-consistency",
+    "query-monotonicity",
+    "query-consistency",
+]
+
+
+def test_axiom_matrix(benchmark, bib_xml):
+    keywords = ["xml", "john"]
+    extras = ["search", "paper"]
+    matrix = benchmark(
+        axiom_matrix, standard_engines(), bib_xml, keywords, extras
+    )
+    rows = []
+    for engine, reports in matrix.items():
+        rows.append(
+            tuple(
+                [engine]
+                + [
+                    "OK" if reports[a].satisfied else f"VIOLATED ({len(reports[a].violations)})"
+                    for a in AXIOMS
+                ]
+            )
+        )
+    print_table(
+        "E16: axiom satisfaction matrix (Q=xml john, +{search, paper})",
+        ["engine"] + AXIOMS,
+        rows,
+    )
+    # all-LCA never loses an old result when data is added.
+    assert matrix["all-lca"]["data-monotonicity"].satisfied
+    # every engine satisfies query consistency on this corpus (AND
+    # semantics results always contain the added keyword).
+    for engine in matrix:
+        assert matrix[engine]["query-consistency"].satisfied
+    # every report actually ran checks.
+    for reports in matrix.values():
+        for axiom in AXIOMS:
+            assert reports[axiom].checks > 0
+
+
+def test_crafted_discriminating_instances(benchmark):
+    """The axioms discriminate between semantics on adversarial inputs
+    (the random corpus above rarely triggers them): SLCA and ELCA drop
+    old results when a data addition creates a deeper contains-all
+    node; all-LCA never does but fails query monotonicity."""
+    from repro.eval.axioms import (
+        all_lca_engine,
+        check_data_monotonicity,
+        check_query_monotonicity,
+        elca_engine,
+        slca_engine,
+    )
+    from repro.xmltree.build import element as e
+    from repro.xmltree.build import text_element as t
+
+    slca_doc = e("root", e("a", e("b", t("x", "k1")), e("c", t("y", "k2"))))
+    elca_doc = e("root", e("x", t("m", "k1")), e("y", t("n", "k2")))
+    qmono_doc = e(
+        "root", e("p", t("x", "k1"), t("y", "k2")), e("q", t("z", "k2"))
+    )
+    parents_slca = [(0, 0, 0)]
+    parents_elca = [(0, 1)]
+    outcomes = {
+        ("slca", "data-monotonicity"): check_data_monotonicity(
+            slca_engine, slca_doc, ["k1", "k2"], parents_slca, mode="preserve"
+        ).satisfied,
+        ("elca", "data-monotonicity"): check_data_monotonicity(
+            elca_engine, elca_doc, ["k1", "k2"], parents_elca, mode="preserve"
+        ).satisfied,
+        ("all-lca", "data-monotonicity"): check_data_monotonicity(
+            all_lca_engine, slca_doc, ["k1", "k2"], parents_slca, mode="preserve"
+        ).satisfied,
+        ("all-lca", "query-monotonicity"): check_query_monotonicity(
+            all_lca_engine, qmono_doc, ["k1"], ["k2"]
+        ).satisfied,
+    }
+    benchmark(
+        check_data_monotonicity,
+        slca_engine, slca_doc, ["k1", "k2"], parents_slca, "preserve",
+    )
+    rows = [
+        (engine, axiom, "OK" if ok else "VIOLATED")
+        for (engine, axiom), ok in outcomes.items()
+    ]
+    print_table("E16b: crafted adversarial instances",
+                ["engine", "axiom", "verdict"], rows)
+    assert not outcomes[("slca", "data-monotonicity")]
+    assert not outcomes[("elca", "data-monotonicity")]
+    assert outcomes[("all-lca", "data-monotonicity")]
+    assert not outcomes[("all-lca", "query-monotonicity")]

@@ -1,0 +1,92 @@
+"""E7 — keyword query cleaning (slides 66-70).
+
+Claims: noisy-channel + segmentation cleaning recovers intended queries
+under typo noise; the XClean-style non-empty-result mode achieves a
+100% non-empty rate where the result-blind cleaner may emit dead
+queries (slide 70's comparison table).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.ambiguity.cleaning import QueryCleaner
+
+
+def _typo(rng, token):
+    """One random edit: substitution, deletion or transposition."""
+    if len(token) < 3:
+        return token
+    kind = rng.choice(["sub", "del", "swap"])
+    pos = rng.randrange(1, len(token) - 1)
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    if kind == "sub":
+        return token[:pos] + rng.choice(letters) + token[pos + 1 :]
+    if kind == "del":
+        return token[:pos] + token[pos + 1 :]
+    return token[:pos] + token[pos + 1] + token[pos] + token[pos + 2 :]
+
+
+def _workload(index, n_queries, noise, seed):
+    rng = random.Random(seed)
+    vocab = [t for t in index.vocabulary if len(t) >= 4]
+    workload = []
+    for _ in range(n_queries):
+        intended = rng.sample(vocab, 2)
+        observed = [
+            _typo(rng, t) if rng.random() < noise else t for t in intended
+        ]
+        workload.append((intended, observed))
+    return workload
+
+
+def _accuracy(cleaner, workload):
+    recovered = 0
+    nonempty = 0
+    for intended, observed in workload:
+        result = cleaner.clean(observed)
+        cleaned = result.cleaned_tokens()
+        if sorted(cleaned) == sorted(intended):
+            recovered += 1
+        if all(seg.support > 0 for seg in result.segments):
+            nonempty += 1
+    return recovered / len(workload), nonempty / len(workload)
+
+
+def test_cleaning_accuracy_vs_noise(benchmark, biblio_index):
+    cleaner = QueryCleaner(biblio_index)
+    rows = []
+    accuracies = {}
+    for noise in (0.0, 0.3, 0.6, 1.0):
+        workload = _workload(biblio_index, 40, noise, seed=int(noise * 10) + 1)
+        accuracy, _ = _accuracy(cleaner, workload)
+        accuracies[noise] = accuracy
+        rows.append((noise, f"{accuracy:.2f}"))
+    workload = _workload(biblio_index, 10, 0.5, seed=9)
+    benchmark(lambda: [cleaner.clean(obs) for _, obs in workload])
+    print_table("E7a: recovery accuracy vs typo noise",
+                ["noise", "accuracy"], rows)
+    assert accuracies[0.0] >= 0.95  # clean queries stay clean
+    assert accuracies[1.0] >= 0.5  # most single-typo tokens recovered
+
+
+def test_xclean_nonempty_guarantee(benchmark, biblio_index):
+    blind = QueryCleaner(biblio_index, require_nonempty=False)
+    aware = QueryCleaner(biblio_index, require_nonempty=True)
+    workload = _workload(biblio_index, 50, 0.8, seed=3)
+    blind_acc, blind_nonempty = _accuracy(blind, workload)
+    aware_acc, aware_nonempty = _accuracy(aware, workload)
+    benchmark(lambda: [aware.clean(obs) for _, obs in workload[:10]])
+    print_table(
+        "E7b: result-blind (PY08-style) vs result-aware (XClean-style)",
+        ["cleaner", "accuracy", "nonempty_rate"],
+        [
+            ("result-blind", f"{blind_acc:.2f}", f"{blind_nonempty:.2f}"),
+            ("result-aware", f"{aware_acc:.2f}", f"{aware_nonempty:.2f}"),
+        ],
+    )
+    assert aware_nonempty >= blind_nonempty
+    assert aware_nonempty >= 0.95

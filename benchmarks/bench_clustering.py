@@ -1,0 +1,56 @@
+"""E14 — result clustering (slides 156-162).
+
+Claims: XBridge root-path clustering recovers the planted result types
+(conf vs journal papers) exactly; describable clustering splits an
+ambiguous person query by keyword role (seller/buyer/auctioneer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.clustering import rank_clusters, xbridge_clusters
+from repro.xml_search.describable import describable_clusters
+from repro.xml_search.slca import slca_indexed_lookup_eager
+from repro.xmltree.index import XmlKeywordIndex
+
+
+def test_xbridge_recovers_types(benchmark, bib_xml, bib_xml_index):
+    results = [n.dewey for n in bib_xml.find_by_tag("paper")]
+    clusters = benchmark(xbridge_clusters, bib_xml, results)
+    ranked = rank_clusters(bib_xml_index, clusters, ["paper"])
+    rows = [
+        (path, len(clusters[path]), f"{score:.2f}") for path, score in ranked
+    ]
+    print_table("E14a: XBridge clusters for paper results",
+                ["root path", "size", "score"], rows)
+    assert set(clusters) == {"/bib/conf/paper", "/bib/journal/paper"}
+    for path, members in clusters.items():
+        for member in members:
+            assert bib_xml.node_at(member).label_path() == path
+
+
+def test_describable_roles(benchmark, auctions_xml):
+    index = XmlKeywordIndex(auctions_xml)
+    person = max(
+        (t for t in index.vocabulary if t.isalpha() and len(t) > 2),
+        key=index.list_size,
+    )
+    lists = index.match_lists([person])
+    roots = slca_indexed_lookup_eager(lists)
+    result_nodes = []
+    for dewey in roots:
+        node = auctions_xml.node_at(dewey)
+        # climb to the auction element for role context
+        while node.parent is not None and node.parent.parent is not None:
+            node = node.parent
+        result_nodes.append(node)
+    clusters = benchmark(describable_clusters, result_nodes, [person])
+    rows = [(desc, len(members)) for desc, members in sorted(clusters.items())]
+    print_table(f"E14b: describable clusters for Q={{{person}}}",
+                ["cluster semantics", "size"], rows)
+    # The person plays multiple roles in the generated corpus.
+    assert len(clusters) >= 2
+    total = sum(len(m) for m in clusters.values())
+    assert total == len(result_nodes)

@@ -1,0 +1,82 @@
+"""E9 — distance indexes for graph search (slides 121-124).
+
+Claims: BLINKS-style TA search over precomputed node-to-keyword lists
+touches far fewer entries than unindexed BANKS expansion touches nodes;
+the hub index answers exact distance queries with sub-quadratic space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.graph_search.banks import banks_backward
+from repro.graph_search.blinks import blinks_topk
+from repro.index.distance import KeywordDistanceIndex
+from repro.index.hub import HubIndex
+
+QUERY = ["database", "john"]
+K = 5
+
+
+@pytest.fixture(scope="module")
+def kdi(biblio_graph, biblio_index):
+    return KeywordDistanceIndex(biblio_graph, biblio_index, max_distance=8)
+
+
+def test_blinks(benchmark, kdi):
+    result = benchmark(blinks_topk, kdi, QUERY, K)
+    assert result.answers
+
+
+def test_banks_baseline(benchmark, biblio_graph, biblio_index):
+    groups = [biblio_index.matching_tuples(k) for k in QUERY]
+    result = benchmark(banks_backward, biblio_graph, groups, K)
+    assert result.trees
+
+
+def test_indexed_vs_unindexed(benchmark, kdi, biblio_graph, biblio_index):
+    groups = [biblio_index.matching_tuples(k) for k in QUERY]
+    banks = banks_backward(biblio_graph, groups, k=K)
+    blinks = blinks_topk(kdi, QUERY, k=K)
+    benchmark(blinks_topk, kdi, QUERY, K)
+    total_entries = sum(len(kdi.sorted_list(k)) for k in QUERY)
+    print_table(
+        f"E9a: top-{K} distinct-root search (Q={' '.join(QUERY)})",
+        ["method", "graph_expansions", "index_entries", "answers"],
+        [
+            ("BANKS (no index)", banks.nodes_expanded, 0, len(banks.trees)),
+            ("BLINKS (distance index)", 0,
+             f"{blinks.entries_touched}/{total_entries}", len(blinks.answers)),
+        ],
+    )
+    assert blinks.answers
+    # The index replaces online graph traversal entirely (precomputed
+    # distances), and TA stops before draining the lists.
+    assert blinks.entries_touched <= total_entries
+    # Both find the same optimal top-k costs.
+    banks_costs = []
+    for tree in banks.trees:
+        banks_costs.append(
+            sum(
+                min(kdi.distances(kw).get(n, float("inf")) for n in tree.nodes)
+                for kw in QUERY
+            )
+        )
+    assert [round(c, 6) for c, _ in blinks.answers] == sorted(
+        round(kdi.candidate_roots(QUERY)[n], 6) for _, n in blinks.answers
+    )
+
+
+def test_hub_index_space(benchmark, biblio_graph):
+    n = len(biblio_graph)
+    hub = benchmark(HubIndex, biblio_graph, 4 * int(n ** 0.5))
+    print_table(
+        "E9b: hub index space vs all-pairs",
+        ["structure", "entries"],
+        [
+            ("all-pairs table (n^2)", n * n),
+            (f"hub index ({len(hub.hubs)} hubs)", hub.index_entries()),
+        ],
+    )
+    assert hub.index_entries() < n * n

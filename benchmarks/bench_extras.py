@@ -1,0 +1,176 @@
+"""Extra-system benchmarks (slide 168's 'other kinds of KWS systems').
+
+* X1 — spatial mCK: grid pruning vs exhaustive enumeration, same
+  optimum, far fewer combinations;
+* X2 — database selection: relationship-aware summaries rank the
+  connectable database first where frequency-only summaries tie;
+* X3 — INEX campaign leaderboard over generated topics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.spatial.mck import MckStats, mck_exhaustive, mck_grid
+from repro.spatial.objects import generate_spatial_db
+
+
+def test_mck_grid_vs_exhaustive(benchmark):
+    db = generate_spatial_db(n_objects=60, seed=43)
+    keywords = ["cafe", "museum", "park"]
+    exact = mck_exhaustive(db, keywords)
+    stats = MckStats()
+    fast = mck_grid(db, keywords, stats=stats)
+    benchmark(mck_grid, db, keywords)
+    assert exact is not None and fast is not None
+    full = 1
+    for k in keywords:
+        full *= len(db.matching(k))
+    print_table(
+        "X1: mCK grid pruning vs exhaustive",
+        ["algorithm", "combinations", "diameter"],
+        [
+            ("exhaustive", full, f"{exact[1]:.3f}"),
+            ("grid-pruned", stats.combinations_checked, f"{fast[1]:.3f}"),
+        ],
+    )
+    assert fast[1] == pytest.approx(exact[1])
+    assert stats.combinations_checked < full
+
+
+def test_database_selection_relationship_awareness(benchmark):
+    from repro.datasets.bibliographic import bibliographic_schema
+    from repro.distributed.selection import DatabaseSummary, rank_databases
+    from repro.relational.database import Database
+
+    def mini(rows):
+        db = Database(bibliographic_schema(with_cite=False))
+        db.insert("conference", cid=0, name="venue", year=2000, location=None)
+        for i, (author, title) in enumerate(rows):
+            db.insert("author", aid=i, name=author)
+            db.insert("paper", pid=i, title=title, abstract=None, cid=0)
+            db.insert("write", wid=i, aid=i, pid=i)
+        return db
+
+    joined = mini([("widom", "xml search"), ("smith", "graphs")])
+    split = mini([("widom", "btrees"), ("smith", "xml search")])
+    summaries = [
+        DatabaseSummary.build("joined", joined),
+        DatabaseSummary.build("split", split),
+    ]
+    ranked = benchmark(rank_databases, summaries, ["widom", "xml"])
+    rows = [
+        (s.name, f"{s.coverage(['widom', 'xml']):.2f}",
+         f"{s.relationship_factor(['widom', 'xml']):.2f}", f"{score:.3f}")
+        for s, score in ranked
+    ]
+    print_table("X2: database selection for Q={widom, xml}",
+                ["database", "coverage", "relationship", "score"], rows)
+    assert ranked[0][0].name == "joined"
+    # Both databases have identical keyword coverage — only the
+    # relationship summary separates them.
+    assert summaries[0].coverage(["widom", "xml"]) == summaries[1].coverage(
+        ["widom", "xml"]
+    )
+
+
+def test_campaign_leaderboard(benchmark, bib_xml, bib_xml_index):
+    from repro.eval.campaign import Topic, leaderboard_rows, run_campaign
+    from repro.xml_search.slca import lca_candidates, slca_indexed_lookup_eager
+    from repro.xml_search.xrank import rank_results
+    from repro.xmltree.index import XmlKeywordIndex
+
+    def slca_engine(doc, keywords):
+        index = XmlKeywordIndex(doc)
+        lists = index.match_lists(keywords)
+        if any(not l for l in lists):
+            return []
+        results = slca_indexed_lookup_eager(lists)
+        return [r for r, _ in rank_results(index, results, keywords)]
+
+    def all_lca_engine(doc, keywords):
+        index = XmlKeywordIndex(doc)
+        lists = index.match_lists(keywords)
+        if any(not l for l in lists):
+            return []
+        return lca_candidates(lists)
+
+    topics = []
+    for i, keywords in enumerate((["xml", "search"], ["paper", "john"],
+                                  ["keyword", "query"])):
+        lists = bib_xml_index.match_lists(keywords)
+        if any(not l for l in lists):
+            continue
+        relevance = {}
+        for dewey in lca_candidates(lists):
+            node = bib_xml.node_at(dewey)
+            relevance[dewey] = (
+                1.0 if node is not None and node.tag == "paper" else 0.0
+            )
+        topics.append(Topic(f"T{i}", tuple(keywords), relevance))
+    assert topics
+    engines = {"slca+xrank": slca_engine, "all-lca-docorder": all_lca_engine}
+    reports = benchmark(run_campaign, engines, bib_xml, topics)
+    rows = leaderboard_rows(reports)
+    print_table("X3: campaign leaderboard (mean AgP, gP@1, gP@5)",
+                ["engine", "AgP", "gP@1", "gP@5"], rows)
+    assert reports[0].engine == "slca+xrank"
+
+def test_method_family_comparison(benchmark):
+    """X4 — the three search families side by side (slides 24-31): all
+    answer the same planted intents; they differ in answer-list size
+    (distinct-root inflation) and in result granularity."""
+    import random
+
+    from repro.core.engine import KeywordSearchEngine
+    from repro.datasets.bibliographic import generate_bibliographic_db
+    from repro.index.text import tokenize
+
+    db = generate_bibliographic_db(
+        n_authors=40, n_papers=80, n_conferences=6, seed=7
+    )
+    engine = KeywordSearchEngine(db)
+    rng = random.Random(31)
+    writes = list(db.rows("write"))
+    intents = []
+    while len(intents) < 10:
+        write = rng.choice(writes)
+        author = db.table("author").by_key(write["aid"])
+        paper = db.table("paper").by_key(write["pid"])
+        intents.append(
+            (
+                rng.choice(tokenize(author["name"])),
+                rng.choice(tokenize(paper["title"])),
+            )
+        )
+    methods = ["schema", "banks", "distinct_root", "ease"]
+    hits = {m: 0 for m in methods}
+    sizes = {m: 0 for m in methods}
+    for a_term, p_term in intents:
+        text = f"{a_term} {p_term}"
+        for method in methods:
+            results = engine.search(text, k=20, method=method)
+            sizes[method] += len(results)
+            for result in results[:3]:
+                texts = " ".join(
+                    row.text() for row in result.joined.distinct_rows()
+                )
+                tokens = set(tokenize(texts))
+                if a_term in tokens and p_term in tokens:
+                    hits[method] += 1
+                    break
+    benchmark(engine.search, f"{intents[0][0]} {intents[0][1]}", 5, "schema")
+    rows = [
+        (m, f"{hits[m] / len(intents):.2f}", sizes[m] / len(intents))
+        for m in methods
+    ]
+    print_table(
+        f"X4: search families over {len(intents)} intents",
+        ["method", "top-3 hit rate", "mean #answers (k=20)"],
+        rows,
+    )
+    assert hits["schema"] / len(intents) >= 0.9
+    assert hits["banks"] / len(intents) >= 0.9
+    # Distinct-root inflates the answer list relative to schema search.
+    assert sizes["distinct_root"] >= sizes["schema"]

@@ -1,0 +1,56 @@
+"""E11 — faceted navigation cost (slides 84-93).
+
+Claim: the cost-greedy navigation tree yields lower expected navigation
+cost than static attribute orders and much lower than reading the flat
+result list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.facets import (
+    NavigationModel,
+    build_navigation_tree,
+    navigation_cost,
+)
+from repro.datasets.logs import generate_query_log
+
+ATTRIBUTES = ["state", "month", "city"]
+
+
+@pytest.fixture(scope="module")
+def setup(events_db):
+    rows = list(events_db.rows("events"))
+    log = generate_query_log(
+        events_db, "events", n_queries=150, attributes=["state", "month"], seed=23
+    )
+    return rows, NavigationModel(log)
+
+
+def test_greedy_tree(benchmark, setup):
+    rows, model = setup
+    tree = benchmark(build_navigation_tree, rows, ATTRIBUTES, model)
+    assert tree.children
+
+
+def test_shape(benchmark, setup):
+    rows, model = setup
+    greedy = build_navigation_tree(rows, ATTRIBUTES, model)
+    costs = {
+        "flat list (no facets)": float(len(rows)),
+        "greedy (cost model)": navigation_cost(greedy, model),
+    }
+    for order in (["city", "month", "state"], ["month", "city", "state"]):
+        tree = build_navigation_tree(
+            rows, ATTRIBUTES, model, attribute_order=order
+        )
+        costs[f"static order {'>'.join(order)}"] = navigation_cost(tree, model)
+    benchmark(build_navigation_tree, rows, ATTRIBUTES, model)
+    rows_out = [(name, f"{cost:.1f}") for name, cost in costs.items()]
+    print_table("E11: expected navigation cost", ["strategy", "cost"], rows_out)
+    greedy_cost = costs["greedy (cost model)"]
+    for name, cost in costs.items():
+        if name != "greedy (cost model)":
+            assert greedy_cost <= cost + 1e-9, name

@@ -1,0 +1,108 @@
+"""E17 — query forms (slides 54-63).
+
+Claims: queriability-ranked form design covers a higher fraction of a
+synthetic query workload than random form selection at an equal form
+budget; keyword->form matching places the intended skeleton in the
+top-3.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.forms.generation import generate_forms, generate_skeletons
+from repro.forms.matching import FormIndex, rank_forms
+from repro.forms.queriability import design_forms
+from repro.index.text import tokenize
+
+
+def _workload(db, rng, n_queries=60):
+    """Synthetic intents: (keywords, tables the user means)."""
+    intents = []
+    author_rows = list(db.rows("author"))
+    paper_rows = list(db.rows("paper"))
+    conf_rows = list(db.rows("conference"))
+    for _ in range(n_queries):
+        kind = rng.random()
+        if kind < 0.5:
+            # author-paper intent (the dominant workload)
+            author = rng.choice(author_rows)
+            paper = rng.choice(paper_rows)
+            keywords = [
+                rng.choice(tokenize(author["name"])),
+                rng.choice(tokenize(paper["title"])),
+            ]
+            intents.append((keywords, {"author", "paper"}))
+        elif kind < 0.8:
+            paper = rng.choice(paper_rows)
+            conf = rng.choice(conf_rows)
+            keywords = [
+                rng.choice(tokenize(paper["title"])),
+                conf["name"],
+            ]
+            intents.append((keywords, {"paper", "conference"}))
+        else:
+            author = rng.choice(author_rows)
+            intents.append(([rng.choice(tokenize(author["name"]))], {"author"}))
+    return intents
+
+
+def _coverage(forms, intents):
+    covered = 0
+    for _, tables in intents:
+        if any(tables <= set(f.skeleton.tables) for f in forms):
+            covered += 1
+    return covered / len(intents)
+
+
+def test_queriability_coverage(benchmark, biblio_db, biblio_schema_graph):
+    rng = random.Random(19)
+    intents = _workload(biblio_db, rng)
+    budget = 5
+    designed = design_forms(
+        biblio_db, biblio_schema_graph, form_budget=budget
+    )
+    all_skeletons = generate_skeletons(biblio_schema_graph, max_size=3)
+    all_forms = generate_forms(biblio_db.schema, all_skeletons)
+    random_runs = []
+    for seed in range(5):
+        rng2 = random.Random(seed)
+        sample = rng2.sample(all_forms, min(budget, len(all_forms)))
+        random_runs.append(_coverage(sample, intents))
+    random_cov = sum(random_runs) / len(random_runs)
+    designed_cov = _coverage(designed, intents)
+    benchmark(design_forms, biblio_db, biblio_schema_graph, budget)
+    print_table(
+        f"E17a: workload coverage at form budget {budget}",
+        ["design", "coverage"],
+        [
+            ("queriability-ranked", f"{designed_cov:.2f}"),
+            ("random (mean of 5)", f"{random_cov:.2f}"),
+        ],
+    )
+    assert designed_cov >= random_cov
+
+
+def test_form_matching_top3(benchmark, biblio_db, biblio_index, biblio_schema_graph):
+    rng = random.Random(23)
+    intents = _workload(biblio_db, rng, n_queries=25)
+    skeletons = generate_skeletons(biblio_schema_graph, max_size=3)
+    forms = generate_forms(biblio_db.schema, skeletons)
+    form_index = FormIndex(forms, biblio_index)
+    hits = 0
+    total = 0
+    for keywords, tables in intents:
+        ranked = rank_forms(form_index, keywords, k=3)
+        total += 1
+        if any(tables <= set(f.skeleton.tables) for f, _ in ranked):
+            hits += 1
+    benchmark(rank_forms, form_index, intents[0][0], 3)
+    print_table(
+        "E17b: intended skeleton in top-3 ranked forms",
+        ["metric", "value"],
+        [("hit rate", f"{hits / total:.2f}"), ("queries", total)],
+    )
+    assert hits / total >= 0.5

@@ -1,0 +1,90 @@
+"""E5 — SLCA algorithms (slides 138-139).
+
+Claims: Indexed-Lookup-Eager runtime is driven by the *smallest* list
+(O(k·d·|Smin|·log|Smax|)); scan-eager walks every list so it degrades
+with |Smax|; multiway-SLCA matches ILE; all return identical output.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.xml_search.slca import (
+    slca_indexed_lookup_eager,
+    slca_multiway,
+    slca_scan_eager,
+)
+
+ALGOS = [
+    ("scan-eager", slca_scan_eager),
+    ("indexed-lookup-eager", slca_indexed_lookup_eager),
+    ("multiway", slca_multiway),
+]
+
+
+def _skewed_query(index):
+    """A (rare, frequent) keyword pair: |Smin| << |Smax|."""
+    sizes = [(index.list_size(t), t) for t in index.vocabulary]
+    sizes.sort()
+    rare = next(t for s, t in sizes if s >= 1)
+    frequent = sizes[-1][1]
+    return [rare, frequent]
+
+
+@pytest.mark.parametrize("name,algo", ALGOS)
+def test_algorithm(benchmark, bib_xml_index, name, algo):
+    keywords = _skewed_query(bib_xml_index)
+    lists = bib_xml_index.match_lists(keywords)
+    result = benchmark(algo, lists)
+    assert result == slca_indexed_lookup_eager(lists)
+
+
+def test_shape_skew(benchmark, bib_xml_index):
+    keywords = _skewed_query(bib_xml_index)
+    lists = bib_xml_index.match_lists(keywords)
+    rows = []
+    timings = {}
+    for name, algo in ALGOS:
+        start = time.perf_counter()
+        for _ in range(50):
+            out = algo(lists)
+        timings[name] = (time.perf_counter() - start) / 50
+        rows.append((name, f"{timings[name] * 1e6:.0f}us", len(out)))
+    benchmark(slca_indexed_lookup_eager, lists)
+    print_table(
+        f"E5: SLCA on skewed lists |Smin|={len(lists[0])}, |Smax|={len(lists[1])}",
+        ["algorithm", "mean_time", "#SLCAs"],
+        rows,
+    )
+    assert {len(l) for l in lists}  # both lists non-empty
+    # ILE anchored on the small list beats the full scan when lists are
+    # heavily skewed.
+    assert timings["indexed-lookup-eager"] <= timings["scan-eager"] * 2.0
+
+
+def test_scaling_with_smin(benchmark, bib_xml_index):
+    """ILE work grows with |Smin| at (roughly) fixed |Smax|."""
+    frequent = max(bib_xml_index.vocabulary, key=bib_xml_index.list_size)
+    by_size = sorted(
+        ((bib_xml_index.list_size(t), t) for t in bib_xml_index.vocabulary
+         if t != frequent)
+    )
+    picks = [by_size[0], by_size[len(by_size) // 2], by_size[-1]]
+    rows = []
+    prev = 0.0
+    for size, token in picks:
+        lists = bib_xml_index.match_lists([token, frequent])
+        start = time.perf_counter()
+        for _ in range(50):
+            slca_indexed_lookup_eager(lists)
+        elapsed = (time.perf_counter() - start) / 50
+        rows.append((token, size, f"{elapsed * 1e6:.0f}us"))
+    benchmark(
+        slca_indexed_lookup_eager,
+        bib_xml_index.match_lists([picks[-1][1], frequent]),
+    )
+    print_table("E5b: ILE cost vs |Smin|", ["anchor", "|Smin|", "mean_time"], rows)
+    assert len(rows) == 3

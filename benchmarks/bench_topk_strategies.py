@@ -1,0 +1,79 @@
+"""E2 — top-k strategies (DISCOVER2, slide 116).
+
+Claim: all four strategies return the same top-k; the pipelines touch
+less data — Global Pipeline <= Single Pipeline <= Sparse <= Naive in
+tuples read (and in executed batches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.schema_search.candidate_networks import generate_candidate_networks
+from repro.schema_search.topk import (
+    topk_global_pipeline,
+    topk_naive,
+    topk_single_pipeline,
+    topk_sparse,
+)
+from repro.schema_search.tuple_sets import TupleSets
+
+QUERY = ["database", "john"]
+K = 5
+
+STRATEGIES = [
+    ("naive", topk_naive),
+    ("sparse", topk_sparse),
+    ("single-pipeline", topk_single_pipeline),
+    ("global-pipeline", topk_global_pipeline),
+]
+
+
+@pytest.fixture(scope="module")
+def setup(biblio_db, biblio_index, biblio_schema_graph):
+    ts = TupleSets(biblio_db, biblio_index, QUERY)
+    cns = generate_candidate_networks(biblio_schema_graph, ts, max_size=5)
+    assert len(cns) > 1  # the strategies only differ with several CNs
+    return cns, ts, biblio_index
+
+
+@pytest.mark.parametrize("name,strategy", STRATEGIES)
+def test_strategy(benchmark, setup, name, strategy):
+    cns, ts, index = setup
+    result = benchmark(strategy, cns, ts, index, QUERY, K)
+    assert len(result.results) <= K
+
+
+def test_all_agree_and_pipelines_cheaper(benchmark, setup):
+    cns, ts, index = setup
+    outcomes = {
+        name: strategy(cns, ts, index, QUERY, k=K) for name, strategy in STRATEGIES
+    }
+    benchmark(topk_global_pipeline, cns, ts, index, QUERY, K)
+    rows = [
+        (
+            name,
+            outcome.stats.tuples_read,
+            outcome.stats.joins_executed,
+            outcome.cns_executed,
+            outcome.batches,
+        )
+        for name, outcome in outcomes.items()
+    ]
+    print_table(
+        f"E2: top-{K} strategies (Q={' '.join(QUERY)}, {len(cns)} CNs)",
+        ["strategy", "tuples_read", "join_probes", "CNs_executed", "batches"],
+        rows,
+    )
+    reference = outcomes["naive"].scores()
+    for name, outcome in outcomes.items():
+        assert outcome.scores() == reference, name
+    assert outcomes["sparse"].stats.tuples_read <= outcomes["naive"].stats.tuples_read
+    assert (
+        outcomes["single-pipeline"].batches <= outcomes["sparse"].batches
+    )
+    assert (
+        outcomes["global-pipeline"].batches
+        <= outcomes["single-pipeline"].batches
+    )

@@ -1,0 +1,87 @@
+"""Shared fixtures and row-printing helpers for the E1-E18 benchmarks.
+
+Every benchmark prints the table rows / series of its experiment (run
+pytest with ``-s`` to see them) and asserts the *shape* claim from
+DESIGN.md — who wins, in which direction — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.bibliographic import generate_bibliographic_db
+from repro.datasets.events import generate_events_db
+from repro.datasets.movies import generate_movie_db
+from repro.datasets.products import generate_product_db
+from repro.datasets.xml_corpora import generate_auctions_xml, generate_bib_xml
+from repro.graph.data_graph import build_data_graph
+from repro.index.inverted import InvertedIndex
+from repro.relational.schema_graph import SchemaGraph
+from repro.xmltree.index import XmlKeywordIndex
+
+
+def print_table(title, header, rows):
+    """Print one experiment table in the paper-style row format."""
+    print()
+    print(f"== {title} ==")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def biblio_db():
+    return generate_bibliographic_db(
+        n_authors=80, n_papers=220, n_conferences=10, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def biblio_index(biblio_db):
+    return InvertedIndex(biblio_db)
+
+
+@pytest.fixture(scope="session")
+def biblio_schema_graph(biblio_db):
+    return SchemaGraph(biblio_db.schema)
+
+
+@pytest.fixture(scope="session")
+def biblio_graph(biblio_db):
+    return build_data_graph(biblio_db)
+
+
+@pytest.fixture(scope="session")
+def product_db():
+    return generate_product_db(n_products=250, seed=13)
+
+
+@pytest.fixture(scope="session")
+def events_db():
+    return generate_events_db(n_events=200, seed=17)
+
+
+@pytest.fixture(scope="session")
+def movie_db():
+    return generate_movie_db(seed=11)
+
+
+@pytest.fixture(scope="session")
+def bib_xml():
+    return generate_bib_xml(n_confs=12, papers_per_conf=14, seed=31)
+
+
+@pytest.fixture(scope="session")
+def bib_xml_index(bib_xml):
+    return XmlKeywordIndex(bib_xml)
+
+
+@pytest.fixture(scope="session")
+def auctions_xml():
+    return generate_auctions_xml(n_auctions=80, seed=37)

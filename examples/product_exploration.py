@@ -1,0 +1,111 @@
+"""Exploratory search over a product catalog and an events table.
+
+Exercises the exploration side of the tutorial: Keyword++ predicate
+mapping for non-quantitative keywords (slides 95-100), faceted
+navigation with a cost model (slides 84-93), text-cube top cells
+(slides 166-167) and aggregate minimal group-bys (slides 16, 165).
+
+Run:  python examples/product_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.ambiguity.rewriting import KeywordPlusPlus
+from repro.analysis.aggregation import cell_members, minimal_group_bys
+from repro.analysis.facets import (
+    NavigationModel,
+    build_navigation_tree,
+    navigation_cost,
+)
+from repro.analysis.textcube import TextCube, top_cells
+from repro.datasets.events import tutorial_events_db
+from repro.datasets.logs import generate_query_log
+from repro.datasets.products import generate_product_db
+
+
+def keyword_plus_plus_demo() -> None:
+    db = generate_product_db(n_products=200, seed=13)
+    kpp = KeywordPlusPlus(
+        db,
+        "product",
+        categorical_attributes=["brand", "category"],
+        numerical_attributes=["screen_size", "weight", "price"],
+    )
+    log = [
+        ["ibm", "laptop"], ["laptop"], ["ibm", "business"], ["business"],
+        ["small", "laptop"], ["small", "tablet"], ["tablet"],
+    ]
+    kpp.learn(log)
+    print("--- Keyword++ learned mappings ---")
+    for mapping in kpp.mappings.values():
+        print(f"  {mapping.describe()}  (strength {mapping.strength:.2f})")
+    query = ["small", "ibm", "laptop"]
+    literal = kpp.literal_match(query)
+    structured = kpp.structured_match(query)
+    print(f"\nquery {query}: literal LIKE matches {len(literal)} products, "
+          f"structured query matches {len(structured)}")
+    print("first three structured answers (ordered by screen size):")
+    for row in structured[:3]:
+        print(f"  {row['name']}: brand={row['brand']}, "
+              f"screen={row['screen_size']}\", ${row['price']}")
+
+
+def faceted_navigation_demo() -> None:
+    db = tutorial_events_db()
+    rows = list(db.rows("events"))
+    log = generate_query_log(db, "events", n_queries=60,
+                             attributes=["state", "month"], seed=23)
+    model = NavigationModel(log)
+    tree = build_navigation_tree(rows, ["state", "month", "city"], model)
+    print("\n--- faceted navigation tree (greedy, cost-model driven) ---")
+    print(f"root facet: {tree.facet}  "
+          f"(expected cost {navigation_cost(tree, model):.1f} vs "
+          f"{len(rows)} for the flat list)")
+
+    def show(node, indent=1):
+        for child in node.children:
+            attr, value = child.condition
+            print("  " * indent + f"{attr}={value} ({child.size()} events)")
+            show(child, indent + 1)
+
+    show(tree)
+
+
+def aggregation_demo() -> None:
+    db = tutorial_events_db()
+    rows = list(db.rows("events"))
+    keywords = ["pool", "motorcycle", "american", "food"]
+    print(f"\n--- aggregate keyword query {keywords} over (month, state) ---")
+    for cell in minimal_group_bys(rows, ["month", "state"], keywords):
+        members = cell_members(rows, cell)
+        print(f"  group [{cell.label()}]: {len(members)} events")
+        for row in members:
+            print(f"      {row['city']}: {row['event']}")
+
+
+def textcube_demo() -> None:
+    db = generate_product_db(n_products=200, seed=13)
+    rows = [
+        (
+            {"brand": r["brand"], "category": r["category"]},
+            r["description"],
+        )
+        for r in db.rows("product")
+    ]
+    cube = TextCube(["brand", "category"], rows)
+    print("\n--- text cube: top cells for 'light portable' ---")
+    for cell, relevance, support in top_cells(
+        cube, ["light", "portable"], k=5, min_support=3
+    ):
+        print(f"  {cell.label()}  relevance={relevance:.2f} support={support}")
+
+
+def main() -> None:
+    keyword_plus_plus_demo()
+    faceted_navigation_demo()
+    aggregation_demo()
+    textcube_demo()
+
+
+if __name__ == "__main__":
+    main()

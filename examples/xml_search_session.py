@@ -1,0 +1,93 @@
+"""XML keyword search session.
+
+Replays the tutorial's XML threads: ?LCA semantics on the slide-33
+conference tree, return-node inference (XSeek, slide 51; XReal, slides
+37-38), snippets (slide 148), XBridge type clustering (slide 156),
+describable role clustering on the slide-161 auctions, and the
+axiomatic evaluation matrix (slides 107-109).
+
+Run:  python examples/xml_search_session.py
+"""
+
+from __future__ import annotations
+
+from repro import XmlSearchEngine
+from repro.analysis.snippets import snippet_text
+from repro.datasets.xml_corpora import (
+    generate_bib_xml,
+    slide_auction_tree,
+    slide_conf_tree,
+)
+from repro.eval.axioms import axiom_matrix, standard_engines
+
+
+def lca_semantics_demo() -> None:
+    engine = XmlSearchEngine(slide_conf_tree())
+    print("--- slide 33 tree, Q = {keyword, mark} ---")
+    for semantics in ("slca", "elca"):
+        results = engine.search("keyword mark", semantics=semantics)
+        print(f"{semantics.upper()}:")
+        for result in results:
+            print(f"  [{result.score:.2f}] {result.describe()}")
+            items = engine.snippet(result, "keyword mark")
+            print(f"      snippet: {snippet_text(items)}")
+            returns = engine.return_nodes(result, "keyword mark")
+            print(f"      return nodes: {[n.tag for n in returns]}")
+
+    print("\nXReal search-for node type for 'mark keyword':")
+    for path, score in engine.infer_return_type("mark keyword"):
+        print(f"  {path}  (score {score:.2f})")
+
+
+def clustering_demo() -> None:
+    tree = generate_bib_xml(n_confs=6, papers_per_conf=8, seed=5)
+    engine = XmlSearchEngine(tree)
+    results = engine.search("paper xml")
+    print(f"\n--- XBridge type clusters for 'paper xml' "
+          f"({len(results)} results) ---")
+    for path, score, members in engine.cluster_by_type(results, "paper xml"):
+        print(f"  {path}: {len(members)} results (score {score:.2f})")
+
+
+def role_clustering_demo() -> None:
+    engine = XmlSearchEngine(slide_auction_tree())
+    results = engine.search("tom")
+    print("\n--- slide 161 auctions, Q = {tom}: describable clusters ---")
+    for description, members in engine.cluster_by_role(results, "tom").items():
+        print(f"  [{description}] -> {len(members)} auction(s)")
+        for result in members:
+            print(f"      {result.describe(60)}")
+
+
+def axioms_demo() -> None:
+    tree = generate_bib_xml(n_confs=3, papers_per_conf=5, seed=9)
+    matrix = axiom_matrix(
+        standard_engines(), tree, ["xml", "john"], ["search", "paper"]
+    )
+    print("\n--- axiom satisfaction matrix (Q = xml john) ---")
+    axioms = [
+        "data-monotonicity",
+        "data-consistency",
+        "query-monotonicity",
+        "query-consistency",
+    ]
+    header = f"{'engine':<10}" + "".join(f"{a:<22}" for a in axioms)
+    print(header)
+    for engine_name, reports in matrix.items():
+        row = f"{engine_name:<10}"
+        for axiom in axioms:
+            report = reports[axiom]
+            cell = "ok" if report.satisfied else f"{len(report.violations)} violations"
+            row += f"{cell:<22}"
+        print(row)
+
+
+def main() -> None:
+    lca_semantics_demo()
+    clustering_demo()
+    role_clustering_demo()
+    axioms_demo()
+
+
+if __name__ == "__main__":
+    main()

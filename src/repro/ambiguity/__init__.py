@@ -1,0 +1,35 @@
+"""Keyword-ambiguity handling (tutorial slides 65-102).
+
+* spelling correction with a noisy-channel model (slide 66),
+* keyword query cleaning with segmentation DP (Pu & Yu, VLDB 08) and
+  the XClean non-empty-result guarantee (Lu+ ICDE 11),
+* TASTIER type-ahead search (Li+ SIGMOD 09),
+* Keyword++ differential-query-pair rewriting (Xin+ VLDB 10),
+* synonym discovery from click logs (Cheng+ ICDE 10) and from data only
+  (Nambiar & Kambhampati, ICDE 06).
+"""
+
+from repro.ambiguity.spelling import NoisyChannelCorrector
+from repro.ambiguity.cleaning import QueryCleaner, CleaningResult, Segment
+from repro.ambiguity.autocomplete import Tastier, TastierResult
+from repro.ambiguity.rewriting import KeywordPlusPlus, PredicateMapping
+from repro.ambiguity.iqp import IqpModel, Interpretation
+from repro.ambiguity.synonyms import (
+    click_log_synonyms,
+    data_only_similarity,
+)
+
+__all__ = [
+    "NoisyChannelCorrector",
+    "QueryCleaner",
+    "CleaningResult",
+    "Segment",
+    "Tastier",
+    "TastierResult",
+    "KeywordPlusPlus",
+    "PredicateMapping",
+    "IqpModel",
+    "Interpretation",
+    "click_log_synonyms",
+    "data_only_similarity",
+]

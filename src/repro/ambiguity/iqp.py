@@ -1,0 +1,160 @@
+"""IQP: probabilistic incremental query construction (Demidova et al.,
+TKDE 11; slide 46).
+
+A structural query is a *query template* (join skeleton) plus *keyword
+bindings* (which attribute each keyword constrains).  IQP scores an
+interpretation by
+
+    Pr[A, T | Q]  ∝  Pr[A | T] · Pr[T]  =  ( prod_i Pr[A_i | T] ) · Pr[T]
+
+with both factors estimated from a query log: ``Pr[T]`` is the
+template's share of logged queries and ``Pr[A_i | T]`` the smoothed
+frequency with which keyword-like values bound attribute ``A_i`` under
+that template.  Slide 46 asks "what if no query log?" — without a log
+the estimator falls back to uniform template priors and data-driven
+binding probabilities (how often the keyword actually occurs in the
+attribute's column), which is exactly what ``IqpModel(log=None)`` does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.logs import QueryLogEntry
+from repro.index.inverted import InvertedIndex
+from repro.index.text import tokenize
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """One scored structural interpretation of a keyword query."""
+
+    template: str
+    bindings: Tuple[Tuple[str, str], ...]  # (keyword, attribute label)
+    probability: float
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{kw} -> {attr}" for kw, attr in self.bindings)
+        return f"{self.template} [{parts}]"
+
+
+class IqpModel:
+    """Keyword-binding model over templates.
+
+    ``templates`` maps a template name to the attribute labels
+    (``table.column``) it exposes for binding.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        index: InvertedIndex,
+        templates: Dict[str, Sequence[str]],
+        log: Optional[Sequence[QueryLogEntry]] = None,
+        smoothing: float = 0.5,
+    ):
+        self.db = db
+        self.index = index
+        self.templates = {name: list(attrs) for name, attrs in templates.items()}
+        self.smoothing = smoothing
+        self._template_counts: Dict[str, int] = {}
+        self._binding_counts: Dict[Tuple[str, str, str], int] = {}
+        self._log_total = 0
+        if log:
+            self._ingest(log)
+
+    def _ingest(self, log: Sequence[QueryLogEntry]) -> None:
+        for entry in log:
+            if entry.template is None or entry.template not in self.templates:
+                continue
+            self._log_total += 1
+            self._template_counts[entry.template] = (
+                self._template_counts.get(entry.template, 0) + 1
+            )
+            for attr, value in entry.conditions:
+                if isinstance(value, tuple):
+                    continue
+                for token in tokenize(str(value)):
+                    key = (entry.template, attr, token)
+                    self._binding_counts[key] = self._binding_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+    def template_prior(self, template: str) -> float:
+        n = len(self.templates)
+        if self._log_total == 0:
+            return 1.0 / n
+        count = self._template_counts.get(template, 0)
+        return (count + self.smoothing) / (self._log_total + self.smoothing * n)
+
+    def _data_binding_probability(self, attribute: str, keyword: str) -> float:
+        """Fallback when the log is silent: P(keyword occurs in column)."""
+        table, __, column = attribute.partition(".")
+        try:
+            tbl = self.db.table(table)
+        except Exception:
+            return 0.0
+        total = len(tbl) or 1
+        hits = 0
+        for row in tbl.rows():
+            value = row.get(column)
+            if value is not None and keyword in tokenize(str(value)):
+                hits += 1
+        return (hits + self.smoothing) / (total + self.smoothing * 2)
+
+    def binding_probability(
+        self, template: str, attribute: str, keyword: str
+    ) -> float:
+        """Pr[A_i | T] for binding *keyword* to *attribute*."""
+        keyword = keyword.lower()
+        template_total = self._template_counts.get(template, 0)
+        if template_total:
+            count = self._binding_counts.get((template, attribute, keyword), 0)
+            n_attrs = len(self.templates[template])
+            log_part = (count + self.smoothing) / (
+                template_total + self.smoothing * n_attrs
+            )
+        else:
+            log_part = None
+        data_part = self._data_binding_probability(attribute, keyword)
+        if log_part is None:
+            return data_part
+        # Blend log evidence with data evidence (log dominates when present).
+        return 0.7 * log_part + 0.3 * data_part
+
+    # ------------------------------------------------------------------
+    # Interpretation ranking
+    # ------------------------------------------------------------------
+    def interpret(
+        self, keywords: Sequence[str], k: int = 5
+    ) -> List[Interpretation]:
+        """Top-k interpretations across all templates."""
+        keywords = [kw.lower() for kw in keywords]
+        out: List[Interpretation] = []
+        for template, attributes in self.templates.items():
+            prior = self.template_prior(template)
+            if len(attributes) < 1:
+                continue
+            # Assign each keyword to one attribute (keywords independent).
+            per_keyword: List[List[Tuple[str, float]]] = []
+            for keyword in keywords:
+                scored = [
+                    (attr, self.binding_probability(template, attr, keyword))
+                    for attr in attributes
+                ]
+                scored.sort(key=lambda pair: (-pair[1], pair[0]))
+                per_keyword.append(scored[:3])  # beam per keyword
+            for combo in itertools.product(*per_keyword):
+                probability = prior
+                for __, p in combo:
+                    probability *= p
+                bindings = tuple(
+                    (kw, attr) for kw, (attr, __) in zip(keywords, combo)
+                )
+                out.append(Interpretation(template, bindings, probability))
+        out.sort(key=lambda i: (-i.probability, i.template))
+        return out[:k]

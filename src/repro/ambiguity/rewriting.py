@@ -1,0 +1,270 @@
+"""Keyword++: keyword-to-predicate mapping (Xin et al., VLDB 10).
+
+Slides 95-100.  Non-quantitative keywords ("small", "IBM") hurt both
+precision and recall when matched literally.  Keyword++ learns what a
+keyword *means* from differential query pairs (DQPs): for every pair of
+logged queries (Q_f, Q_b) with Q_f = Q_b ∪ {k}, compare the attribute
+value distributions of their result sets —
+
+* categorical attributes: KL divergence of the value distributions,
+  mapping k to the equality predicate on the most-shifted value;
+* numerical attributes: earth mover's distance between the result
+  distributions; if significant, map k to an ORDER BY in the direction
+  the distribution moved.
+
+``translate`` then segments an incoming query (1/2-gram dynamic
+programming, slide 100) and emits a structured interpretation: equality
+predicates, order-by hints, and residual LIKE terms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.relational.database import Database
+from repro.relational.table import Row
+
+
+@dataclass(frozen=True)
+class PredicateMapping:
+    """Learned meaning of one keyword."""
+
+    keyword: str
+    kind: str  # "equality" | "order_by"
+    attribute: str
+    value: Optional[str] = None  # equality target
+    direction: Optional[str] = None  # "asc" | "desc" for order_by
+    strength: float = 0.0
+
+    def describe(self) -> str:
+        if self.kind == "equality":
+            return f"{self.keyword!r} -> {self.attribute} = {self.value!r}"
+        return f"{self.keyword!r} -> ORDER BY {self.attribute} {self.direction}"
+
+
+def kl_divergence(p: Dict[str, float], q: Dict[str, float]) -> float:
+    """KL(p || q) with add-epsilon smoothing over the union support."""
+    support = set(p) | set(q)
+    eps = 1e-6
+    total = 0.0
+    for value in support:
+        pv = p.get(value, 0.0) + eps
+        qv = q.get(value, 0.0) + eps
+        total += pv * math.log(pv / qv)
+    return total
+
+
+def earth_movers_distance_1d(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """1-D EMD = area between the empirical CDFs (signless)."""
+    if not xs or not ys:
+        return 0.0
+    xs = sorted(xs)
+    ys = sorted(ys)
+    grid = sorted(set(xs) | set(ys))
+    total = 0.0
+    prev = grid[0]
+    import bisect
+
+    for point in grid[1:]:
+        fx = bisect.bisect_right(xs, prev) / len(xs)
+        fy = bisect.bisect_right(ys, prev) / len(ys)
+        total += abs(fx - fy) * (point - prev)
+        prev = point
+    return total
+
+
+class KeywordPlusPlus:
+    """Learn keyword -> predicate mappings over one entity table."""
+
+    def __init__(
+        self,
+        db: Database,
+        table: str,
+        categorical_attributes: Sequence[str],
+        numerical_attributes: Sequence[str],
+        text_attributes: Optional[Sequence[str]] = None,
+        kl_threshold: float = 0.2,
+        emd_threshold: float = 0.3,
+    ):
+        self.db = db
+        self.table = table
+        self.categorical = list(categorical_attributes)
+        self.numerical = list(numerical_attributes)
+        schema = db.table(table).schema
+        self.text_attributes = (
+            list(text_attributes)
+            if text_attributes is not None
+            else list(schema.text_columns)
+        )
+        self.kl_threshold = kl_threshold
+        self.emd_threshold = emd_threshold
+        self.mappings: Dict[str, PredicateMapping] = {}
+
+    # ------------------------------------------------------------------
+    # Literal evaluation (also the baseline the benchmark compares to)
+    # ------------------------------------------------------------------
+    def literal_match(self, keywords: Sequence[str]) -> List[Row]:
+        """AND-of-LIKE over text attributes (the slide-95 baseline)."""
+        out = []
+        lowered = [k.lower() for k in keywords]
+        for row in self.db.rows(self.table):
+            text = " ".join(
+                str(row[a]) for a in self.text_attributes if row[a] is not None
+            ).lower()
+            tokens = set(tokenize(text))
+            if all(k in tokens for k in lowered):
+                out.append(row)
+        return out
+
+    # ------------------------------------------------------------------
+    # DQP learning
+    # ------------------------------------------------------------------
+    def _distribution(self, rows: Sequence[Row], attribute: str) -> Dict[str, float]:
+        counts: Dict[str, float] = {}
+        for row in rows:
+            value = row[attribute]
+            if value is None:
+                continue
+            counts[str(value)] = counts.get(str(value), 0.0) + 1.0
+        total = sum(counts.values())
+        if total:
+            counts = {v: c / total for v, c in counts.items()}
+        return counts
+
+    def _numeric_values(self, rows: Sequence[Row], attribute: str) -> List[float]:
+        return [float(row[attribute]) for row in rows if row[attribute] is not None]
+
+    def learn_keyword(
+        self, keyword: str, query_log: Sequence[Sequence[str]]
+    ) -> Optional[PredicateMapping]:
+        """Aggregate DQP evidence for *keyword* across the log (slide 98)."""
+        keyword = keyword.lower()
+        pair_count = 0
+        cat_scores: Dict[Tuple[str, str], float] = {}
+        num_scores: Dict[str, List[Tuple[float, float, float]]] = {}
+        seen_backgrounds: Set[Tuple[str, ...]] = set()
+        for query in query_log:
+            lowered = tuple(k.lower() for k in query)
+            if keyword not in lowered:
+                continue
+            background = tuple(k for k in lowered if k != keyword)
+            if background in seen_backgrounds:
+                continue
+            seen_backgrounds.add(background)
+            fg_rows = self.literal_match(lowered)
+            bg_rows = self.literal_match(background) if background else list(
+                self.db.rows(self.table)
+            )
+            if not fg_rows or not bg_rows:
+                continue
+            pair_count += 1
+            for attribute in self.categorical:
+                p = self._distribution(fg_rows, attribute)
+                q = self._distribution(bg_rows, attribute)
+                if not p or not q:
+                    continue
+                divergence = kl_divergence(p, q)
+                # The most over-represented value explains the keyword.
+                best_value = max(p, key=lambda v: p[v] - q.get(v, 0.0))
+                key = (attribute, best_value)
+                cat_scores[key] = cat_scores.get(key, 0.0) + divergence
+            for attribute in self.numerical:
+                xs = self._numeric_values(fg_rows, attribute)
+                ys = self._numeric_values(bg_rows, attribute)
+                if not xs or not ys:
+                    continue
+                emd = earth_movers_distance_1d(xs, ys)
+                spread = max(ys) - min(ys) if len(ys) > 1 else 1.0
+                normalised = emd / spread if spread else 0.0
+                mean_shift = (sum(xs) / len(xs)) - (sum(ys) / len(ys))
+                num_scores.setdefault(attribute, []).append(
+                    (normalised, mean_shift, emd)
+                )
+        if pair_count == 0:
+            return None
+        best: Optional[PredicateMapping] = None
+        for (attribute, value), score in cat_scores.items():
+            avg = score / pair_count
+            if avg >= self.kl_threshold and (best is None or avg > best.strength):
+                best = PredicateMapping(
+                    keyword, "equality", attribute, value=value, strength=avg
+                )
+        for attribute, evidence in num_scores.items():
+            avg = sum(e[0] for e in evidence) / pair_count
+            shift = sum(e[1] for e in evidence) / len(evidence)
+            if avg >= self.emd_threshold and (best is None or avg > best.strength):
+                best = PredicateMapping(
+                    keyword,
+                    "order_by",
+                    attribute,
+                    direction="asc" if shift < 0 else "desc",
+                    strength=avg,
+                )
+        if best is not None:
+            self.mappings[keyword] = best
+        return best
+
+    def learn(self, query_log: Sequence[Sequence[str]]) -> Dict[str, PredicateMapping]:
+        """Learn mappings for every keyword occurring in the log."""
+        vocabulary: Set[str] = set()
+        for query in query_log:
+            vocabulary.update(k.lower() for k in query)
+        for keyword in sorted(vocabulary):
+            self.learn_keyword(keyword, query_log)
+        return dict(self.mappings)
+
+    # ------------------------------------------------------------------
+    # Translation and evaluation
+    # ------------------------------------------------------------------
+    def translate(
+        self, keywords: Sequence[str]
+    ) -> Tuple[List[PredicateMapping], List[str]]:
+        """Split a query into mapped predicates and residual keywords."""
+        predicates: List[PredicateMapping] = []
+        residual: List[str] = []
+        for keyword in keywords:
+            mapping = self.mappings.get(keyword.lower())
+            if mapping is not None:
+                predicates.append(mapping)
+            else:
+                residual.append(keyword.lower())
+        return predicates, residual
+
+    def structured_match(self, keywords: Sequence[str]) -> List[Row]:
+        """Evaluate the translated query (slide 96's T_sigma(Q)).
+
+        Equality predicates filter; order-by mappings sort; residual
+        keywords filter as LIKE terms.
+        """
+        predicates, residual = self.translate(keywords)
+        rows = list(self.db.rows(self.table))
+        for mapping in predicates:
+            if mapping.kind == "equality":
+                rows = [
+                    r for r in rows if str(r[mapping.attribute]) == mapping.value
+                ]
+        if residual:
+            residual_set = set(residual)
+            filtered = []
+            for row in rows:
+                text = " ".join(
+                    str(row[a]) for a in self.text_attributes if row[a] is not None
+                ).lower()
+                tokens = set(tokenize(text))
+                if residual_set <= tokens:
+                    filtered.append(row)
+            rows = filtered
+        for mapping in predicates:
+            if mapping.kind == "order_by":
+                reverse = mapping.direction == "desc"
+                rows.sort(
+                    key=lambda r: (
+                        r[mapping.attribute] is None,
+                        r[mapping.attribute] if r[mapping.attribute] is not None else 0,
+                    ),
+                    reverse=reverse,
+                )
+        return rows

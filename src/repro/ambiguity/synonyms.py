@@ -1,0 +1,124 @@
+"""Synonym / related-query discovery (slides 101-102).
+
+* ``click_log_synonyms`` — Cheng et al. (ICDE 10): two queries are
+  synonyms/hypernyms when their clicked "ground truth" sets overlap
+  significantly (Jaccard over clicked tuples).
+
+* ``data_only_similarity`` — Nambiar & Kambhampati (ICDE 06): without
+  logs, two attribute values (e.g. "honda" vs "toyota") are similar when
+  the tuples containing them have similar distributions over the other
+  attributes (cosine over bag-of-feature vectors).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.datasets.logs import ClickLogEntry
+from repro.index.text import tokenize
+from repro.relational.database import Database
+
+
+def click_log_synonyms(
+    log: Sequence[ClickLogEntry],
+    min_overlap: float = 0.5,
+) -> List[Tuple[Tuple[str, ...], Tuple[str, ...], float]]:
+    """Query pairs whose click sets overlap >= min_overlap (Jaccard).
+
+    Returns (query_a, query_b, overlap) triples, strongest first.  The
+    clicked sets act as ground truth: queries retrieving the same things
+    are interchangeable phrasings (slide 101's "Indiana Jones IV" vs
+    "Indian Jones 4").
+    """
+    clicks: Dict[Tuple[str, ...], Set] = {}
+    for entry in log:
+        key = tuple(entry.keywords)
+        clicks.setdefault(key, set()).update(entry.clicked)
+    queries = sorted(clicks)
+    out = []
+    for i, qa in enumerate(queries):
+        for qb in queries[i + 1 :]:
+            if qa == qb:
+                continue
+            a, b = clicks[qa], clicks[qb]
+            union = a | b
+            if not union:
+                continue
+            overlap = len(a & b) / len(union)
+            if overlap >= min_overlap:
+                out.append((qa, qb, overlap))
+    out.sort(key=lambda triple: (-triple[2], triple[0], triple[1]))
+    return out
+
+
+def _value_signature(
+    db: Database,
+    table: str,
+    attribute: str,
+    value: str,
+    feature_attributes: Sequence[str],
+) -> Counter:
+    """Bag of feature tokens of the tuples carrying attribute=value."""
+    signature: Counter = Counter()
+    for row in db.rows(table):
+        if str(row[attribute]).lower() != value.lower():
+            continue
+        for feature in feature_attributes:
+            fv = row[feature]
+            if fv is None:
+                continue
+            for token in tokenize(str(fv)):
+                signature[(feature, token)] += 1
+    return signature
+
+
+def _cosine(a: Counter, b: Counter) -> float:
+    if not a or not b:
+        return 0.0
+    dot = sum(a[k] * b[k] for k in a.keys() & b.keys())
+    norm = math.sqrt(sum(v * v for v in a.values())) * math.sqrt(
+        sum(v * v for v in b.values())
+    )
+    return dot / norm if norm else 0.0
+
+
+def data_only_similarity(
+    db: Database,
+    table: str,
+    attribute: str,
+    value_a: str,
+    value_b: str,
+    feature_attributes: Sequence[str],
+) -> float:
+    """Similarity of two values of *attribute* from co-occurring features.
+
+    E.g. similarity("honda", "toyota") over {model-class, price-band}
+    features — high when the two brands' tuples look alike elsewhere.
+    """
+    sig_a = _value_signature(db, table, attribute, value_a, feature_attributes)
+    sig_b = _value_signature(db, table, attribute, value_b, feature_attributes)
+    return _cosine(sig_a, sig_b)
+
+
+def similar_values(
+    db: Database,
+    table: str,
+    attribute: str,
+    value: str,
+    feature_attributes: Sequence[str],
+    k: int = 5,
+) -> List[Tuple[str, float]]:
+    """Top-k values of *attribute* most similar to *value* (data only)."""
+    others = [
+        str(v)
+        for v in db.table(table).distinct(attribute)
+        if str(v).lower() != value.lower()
+    ]
+    scored = [
+        (other, data_only_similarity(db, table, attribute, value, other, feature_attributes))
+        for other in others
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored[:k]

@@ -1,0 +1,64 @@
+"""Result analysis (tutorial slides 75-93, 143-167).
+
+Ranking, snippet generation, result differentiation, query refinement
+(data clouds, co-occurring terms, cluster-based expansion), faceted
+exploration, result-type clustering, aggregate table analysis and
+text-cube search.
+"""
+
+from repro.analysis.ranking import (
+    VectorSpaceRanker,
+    proximity_score,
+    authority_scores,
+)
+from repro.analysis.snippets import generate_snippet, SnippetItem
+from repro.analysis.differentiation import (
+    FeatureSet,
+    degree_of_difference,
+    select_features_greedy,
+    select_features_top_frequency,
+    select_features_random,
+)
+from repro.analysis.clouds import data_cloud, frequent_cooccurring_terms
+from repro.analysis.expansion import expand_query_for_clusters
+from repro.analysis.facets import (
+    FacetNode,
+    NavigationModel,
+    build_navigation_tree,
+    navigation_cost,
+)
+from repro.analysis.clustering import xbridge_clusters, rank_clusters
+from repro.analysis.aggregation import minimal_group_bys, Cell
+from repro.analysis.textcube import TextCube, top_cells
+from repro.analysis.precis import PrecisGraph, WeightedAttribute
+from repro.analysis.personalization import PreferenceProfile, personalize
+
+__all__ = [
+    "VectorSpaceRanker",
+    "proximity_score",
+    "authority_scores",
+    "generate_snippet",
+    "SnippetItem",
+    "FeatureSet",
+    "degree_of_difference",
+    "select_features_greedy",
+    "select_features_top_frequency",
+    "select_features_random",
+    "data_cloud",
+    "frequent_cooccurring_terms",
+    "expand_query_for_clusters",
+    "FacetNode",
+    "NavigationModel",
+    "build_navigation_tree",
+    "navigation_cost",
+    "xbridge_clusters",
+    "rank_clusters",
+    "minimal_group_bys",
+    "Cell",
+    "TextCube",
+    "top_cells",
+    "PrecisGraph",
+    "WeightedAttribute",
+    "PreferenceProfile",
+    "personalize",
+]

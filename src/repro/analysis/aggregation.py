@@ -1,0 +1,111 @@
+"""Aggregate keyword queries with minimal group-bys (Zhou & Pei, EDBT 09).
+
+Slides 16, 164-165: a user asks for *groups* of tuples that jointly
+cover all keywords, grouped by shared values of user-specified
+attributes.  A **cell** assigns to each specified attribute either a
+concrete value or ``*``; a cell *covers* the query when the tuples
+matching the cell jointly contain every keyword.  The answers are the
+**minimal** cells: covering cells none of whose specialisations
+(replacing a ``*`` by a value, or any further value constraint) still
+covers — exactly the slide's "December Texas *" and "* Michigan *".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.relational.table import Row
+
+STAR = "*"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """An assignment over the specified attributes (value or ``*``)."""
+
+    attributes: Tuple[str, ...]
+    values: Tuple[object, ...]  # same length; STAR = wildcard
+
+    def matches(self, row: Row) -> bool:
+        for attribute, value in zip(self.attributes, self.values):
+            if value is not STAR and value != row[attribute]:
+                return False
+        return True
+
+    def specialises(self, other: "Cell") -> bool:
+        """True if self is strictly more specific than *other*."""
+        if self.attributes != other.attributes:
+            return False
+        strictly = False
+        for mine, theirs in zip(self.values, other.values):
+            if theirs is STAR:
+                if mine is not STAR:
+                    strictly = True
+                continue
+            if mine != theirs:
+                return False
+        return strictly
+
+    def label(self) -> str:
+        return " ".join(
+            str(v) if v is not STAR else STAR for v in self.values
+        )
+
+
+def _row_tokens(row: Row) -> Set[str]:
+    return set(tokenize(row.text()))
+
+
+def _covers(
+    rows: Sequence[Row], tokens: Sequence[Set[str]], cell: Cell, keywords: Sequence[str]
+) -> bool:
+    remaining = {k.lower() for k in keywords}
+    for row, row_tokens in zip(rows, tokens):
+        if not cell.matches(row):
+            continue
+        remaining -= row_tokens
+        if not remaining:
+            return True
+    return not remaining
+
+
+def minimal_group_bys(
+    rows: Sequence[Row],
+    attributes: Sequence[str],
+    keywords: Sequence[str],
+) -> List[Cell]:
+    """All minimal covering cells over *attributes* (slide 165).
+
+    Enumerates the cells induced by the values present in the data plus
+    ``*`` per attribute, keeps the covering ones, and prunes any cell
+    that has a covering specialisation.
+    """
+    rows = list(rows)
+    tokens = [_row_tokens(r) for r in rows]
+    attributes = tuple(attributes)
+    value_options: List[List[object]] = []
+    for attribute in attributes:
+        values: Dict[object, None] = {}
+        for row in rows:
+            v = row[attribute]
+            if v is not None:
+                values.setdefault(v)
+        value_options.append([STAR] + list(values))
+    covering: List[Cell] = []
+    for combo in product(*value_options):
+        cell = Cell(attributes, tuple(combo))
+        if _covers(rows, tokens, cell, keywords):
+            covering.append(cell)
+    minimal = []
+    for cell in covering:
+        if not any(other.specialises(cell) for other in covering):
+            minimal.append(cell)
+    minimal.sort(key=lambda c: c.label())
+    return minimal
+
+
+def cell_members(rows: Sequence[Row], cell: Cell) -> List[Row]:
+    return [row for row in rows if cell.matches(row)]

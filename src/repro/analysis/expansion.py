@@ -1,0 +1,88 @@
+"""Query expansion from clustered results (slides 80-82).
+
+Given the results of an ambiguous query clustered by meaning ("Java"
+language / island / band), produce one expanded query per cluster that
+maximally retrieves its own cluster (recall) and minimally retrieves the
+others (precision) — i.e. maximises F-measure.  The exact problem is
+APX-hard (slide 82); we implement the standard greedy heuristic: grow
+each cluster's expansion term-by-term, adding the term with the best
+F-measure gain until no term improves it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+
+
+def _retrieves(expansion: Sequence[str], doc_tokens: Set[str]) -> bool:
+    return all(term in doc_tokens for term in expansion)
+
+
+def f_measure(precision: float, recall: float) -> float:
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def _evaluate(
+    expansion: Sequence[str],
+    cluster_docs: Sequence[Set[str]],
+    other_docs: Sequence[Set[str]],
+) -> float:
+    tp = sum(1 for doc in cluster_docs if _retrieves(expansion, doc))
+    fp = sum(1 for doc in other_docs if _retrieves(expansion, doc))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / len(cluster_docs)
+    return f_measure(precision, recall)
+
+
+def expand_query_for_clusters(
+    base_query: Sequence[str],
+    clusters: Sequence[Sequence[str]],
+    max_terms: int = 3,
+) -> List[Tuple[List[str], float]]:
+    """One expanded query per cluster of result texts.
+
+    *clusters* holds the raw texts of each cluster's results.  Returns
+    (expanded query, achieved F-measure) per cluster; the expansion
+    always contains the base query terms.
+    """
+    tokenised: List[List[Set[str]]] = [
+        [set(tokenize(text)) for text in cluster] for cluster in clusters
+    ]
+    out: List[Tuple[List[str], float]] = []
+    base = [t.lower() for t in base_query]
+    for ci, cluster_docs in enumerate(tokenised):
+        other_docs = [
+            doc for cj, docs in enumerate(tokenised) if cj != ci for doc in docs
+        ]
+        # Candidate terms: tokens frequent in this cluster.
+        counts: Counter = Counter()
+        for doc in cluster_docs:
+            for token in doc:
+                if token not in base:
+                    counts[token] += 1
+        candidates = [t for t, _ in counts.most_common(30)]
+        expansion = list(base)
+        best = _evaluate(expansion, cluster_docs, other_docs)
+        while len(expansion) < len(base) + max_terms:
+            best_term = None
+            best_score = best
+            for term in candidates:
+                if term in expansion:
+                    continue
+                score = _evaluate(expansion + [term], cluster_docs, other_docs)
+                if score > best_score:
+                    best_score = score
+                    best_term = term
+            if best_term is None:
+                break
+            expansion.append(best_term)
+            best = best_score
+        out.append((expansion, best))
+    return out

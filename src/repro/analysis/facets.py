@@ -1,0 +1,266 @@
+"""Faceted search with a navigation cost model (slides 84-93).
+
+Chakrabarti et al. (2004) / FACeTOR-style: query results are organised
+into a navigation tree — one facet (attribute) per level, one facet
+condition (value) per child.  The user model (slides 87-88):
+
+* at node N the user either shows results (reads |N| tuples) or expands
+  the child facet (reads its value list, then processes the children
+  they find relevant);
+* probabilities are estimated from a historical query log (slides
+  89-90): ``p(expand at facet A)`` grows with how many past queries
+  constrained A, and ``p(child N relevant)`` is the fraction of past
+  queries whose selection conditions overlap N's condition.
+
+``build_navigation_tree`` is the greedy top-down algorithm of slide 91:
+at each level pick the unused attribute minimising expected cost.
+Numeric attributes are partitioned at historical query endpoints
+(slide 85).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.logs import QueryLogEntry
+from repro.relational.table import Row
+
+
+@dataclass
+class FacetNode:
+    """One node of the navigation tree."""
+
+    condition: Optional[Tuple[str, object]]  # None at the root
+    rows: List[Row]
+    facet: Optional[str] = None  # attribute expanded below this node
+    children: List["FacetNode"] = field(default_factory=list)
+
+    def size(self) -> int:
+        return len(self.rows)
+
+
+class NavigationModel:
+    """Probability estimates from a query log (slides 89-90)."""
+
+    def __init__(self, log: Sequence[QueryLogEntry]):
+        self.log = list(log)
+        self._attr_counts: Dict[str, int] = {}
+        for entry in self.log:
+            for attr, _ in entry.conditions:
+                self._attr_counts[attr] = self._attr_counts.get(attr, 0) + 1
+
+    def p_expand(self, attribute: str) -> float:
+        """High if many historical queries involve the attribute."""
+        if not self.log:
+            return 0.5
+        return min(1.0, self._attr_counts.get(attribute, 0) / len(self.log))
+
+    def p_show_results(self, attribute: str) -> float:
+        return 1.0 - self.p_expand(attribute)
+
+    def p_relevant(self, attribute: str, value: object) -> float:
+        """Fraction of log queries whose condition overlaps (attr, value).
+
+        *value* may be a concrete value or a ``(lo, hi)`` range (numeric
+        facet conditions, slide 85).
+        """
+        if not self.log:
+            return 0.5
+        hits = 0
+        for entry in self.log:
+            for attr, cond in entry.conditions:
+                if attr != attribute:
+                    continue
+                if isinstance(cond, tuple) and isinstance(value, tuple):
+                    c_lo, c_hi = cond
+                    v_lo, v_hi = value
+                    if c_lo <= v_hi and v_lo <= c_hi:  # ranges overlap
+                        hits += 1
+                        break
+                elif isinstance(cond, tuple):
+                    lo, hi = cond
+                    try:
+                        if lo <= float(value) <= hi:  # type: ignore[arg-type]
+                            hits += 1
+                            break
+                    except (TypeError, ValueError):
+                        continue
+                elif isinstance(value, tuple):
+                    try:
+                        if value[0] <= float(cond) <= value[1]:
+                            hits += 1
+                            break
+                    except (TypeError, ValueError):
+                        continue
+                elif cond == value:
+                    hits += 1
+                    break
+        return hits / len(self.log)
+
+    def partition_points(self, attribute: str, k: int = 3) -> List[float]:
+        """Numeric partition boundaries at frequent query endpoints."""
+        endpoints: Dict[float, int] = {}
+        for entry in self.log:
+            for attr, cond in entry.conditions:
+                if attr == attribute and isinstance(cond, tuple):
+                    for point in cond:
+                        endpoints[float(point)] = endpoints.get(float(point), 0) + 1
+        ranked = sorted(endpoints.items(), key=lambda pair: (-pair[1], pair[0]))
+        return sorted(point for point, _ in ranked[:k])
+
+
+def _facet_values(rows: Sequence[Row], attribute: str) -> List[object]:
+    seen: Dict[object, None] = {}
+    for row in rows:
+        value = row[attribute]
+        if value is not None:
+            seen.setdefault(value)
+    return list(seen)
+
+
+def numeric_facet_conditions(
+    rows: Sequence[Row],
+    attribute: str,
+    model: NavigationModel,
+    k_partitions: int = 3,
+) -> List[Tuple[float, float]]:
+    """Range conditions for a numeric attribute (slide 85).
+
+    Partition boundaries come from historical query endpoints ("if many
+    queries start or end at x, it is good to partition at x"), falling
+    back to data min/max when the log is silent.
+    """
+    values = [
+        float(row[attribute]) for row in rows if row[attribute] is not None
+    ]
+    if not values:
+        return []
+    lo, hi = min(values), max(values)
+    points = [
+        p for p in model.partition_points(attribute, k=k_partitions) if lo < p < hi
+    ]
+    boundaries = [lo] + sorted(points) + [hi + 1e-9]
+    return [
+        (boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)
+    ]
+
+
+def _row_in_range(row: Row, attribute: str, condition: Tuple[float, float]) -> bool:
+    value = row[attribute]
+    if value is None:
+        return False
+    lo, hi = condition
+    return lo <= float(value) < hi or (float(value) == hi)
+
+
+def navigation_cost(
+    node: FacetNode,
+    model: NavigationModel,
+    value_read_cost: float = 0.2,
+) -> float:
+    """Expected navigation cost of the (sub)tree rooted at *node*.
+
+    cost(N) = p(showRes)·|N|
+            + p(expand)·( V·value_read_cost + Σ_c p(relevant(c))·cost(c) )
+    Leaves cost |N| (the user must read the results).
+    """
+    if node.facet is None or not node.children:
+        return float(node.size())
+    p_expand = model.p_expand(node.facet)
+    p_show = 1.0 - p_expand
+    expand_cost = len(node.children) * value_read_cost
+    for child in node.children:
+        assert child.condition is not None
+        p_rel = model.p_relevant(child.condition[0], child.condition[1])
+        expand_cost += p_rel * navigation_cost(child, model, value_read_cost)
+    return p_show * node.size() + p_expand * expand_cost
+
+
+def build_navigation_tree(
+    rows: Sequence[Row],
+    attributes: Sequence[str],
+    model: NavigationModel,
+    max_depth: int = 3,
+    min_partition: int = 2,
+    attribute_order: Optional[Sequence[str]] = None,
+) -> FacetNode:
+    """Greedy top-down construction (slide 91).
+
+    At each level the candidate attributes are those unused above; the
+    greedy pick minimises the expected cost with one-level lookahead.
+    ``attribute_order`` overrides the greedy choice (used to build the
+    static-order baselines the benchmark compares against).
+    """
+    root = FacetNode(condition=None, rows=list(rows))
+    _grow(root, list(attributes), model, max_depth, min_partition, attribute_order)
+    return root
+
+
+def _grow(
+    node: FacetNode,
+    attributes: List[str],
+    model: NavigationModel,
+    depth_left: int,
+    min_partition: int,
+    attribute_order: Optional[Sequence[str]],
+) -> None:
+    if depth_left <= 0 or not attributes or node.size() <= 1:
+        return
+    if attribute_order:
+        remaining = [a for a in attribute_order if a in attributes]
+        choice = remaining[0] if remaining else None
+    else:
+        choice = None
+        best_cost = float(node.size())  # cost of not expanding at all
+        for attribute in attributes:
+            values = _facet_values(node.rows, attribute)
+            if len(values) < min_partition:
+                continue
+            cost = _lookahead_cost(node, attribute, values, model)
+            if cost < best_cost:
+                best_cost = cost
+                choice = attribute
+    if choice is None:
+        return
+    values = _facet_values(node.rows, choice)
+    if len(values) < min_partition:
+        return
+    node.facet = choice
+    rest = [a for a in attributes if a != choice]
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+        # Numeric attribute: partition into ranges (slide 85).
+        for condition in numeric_facet_conditions(node.rows, choice, model):
+            child_rows = [
+                r for r in node.rows if _row_in_range(r, choice, condition)
+            ]
+            if not child_rows:
+                continue
+            child = FacetNode(condition=(choice, condition), rows=child_rows)
+            node.children.append(child)
+            _grow(child, rest, model, depth_left - 1, min_partition, attribute_order)
+        return
+    # Order categorical facet conditions by how many historical queries
+    # hit them (slide 85).
+    values.sort(key=lambda v: (-model.p_relevant(choice, v), str(v)))
+    for value in values:
+        child_rows = [r for r in node.rows if r[choice] == value]
+        child = FacetNode(condition=(choice, value), rows=child_rows)
+        node.children.append(child)
+        _grow(child, rest, model, depth_left - 1, min_partition, attribute_order)
+
+
+def _lookahead_cost(
+    node: FacetNode,
+    attribute: str,
+    values: Sequence[object],
+    model: NavigationModel,
+    value_read_cost: float = 0.2,
+) -> float:
+    p_expand = model.p_expand(attribute)
+    p_show = 1.0 - p_expand
+    cost = len(values) * value_read_cost
+    for value in values:
+        child_size = sum(1 for r in node.rows if r[attribute] == value)
+        cost += model.p_relevant(attribute, value) * child_size
+    return p_show * node.size() + p_expand * cost

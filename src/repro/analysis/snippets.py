@@ -1,0 +1,113 @@
+"""Query-biased XML result snippets (Huang, Liu & Chen, SIGMOD 08).
+
+Slide 148: a good snippet is self-contained, informative and concise;
+its components are (a) the query keywords in context, (b) the *key* of
+the result (the attribute that identifies it), (c) the entities involved
+and (d) dominant features.  Selecting the optimal size-bounded snippet
+is NP-hard; the paper uses greedy heuristics, as do we: items are
+prioritised keyword-witnesses first, then the result key, then dominant
+(frequent) attribute values, and picked greedily until the size budget
+is spent.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.xmltree.node import XmlNode
+
+
+@dataclass(frozen=True)
+class SnippetItem:
+    """One snippet line: the node's path, tag and (possibly trimmed) text."""
+
+    path: str
+    tag: str
+    text: str
+    reason: str  # "keyword" | "key" | "dominant"
+
+
+def _dominant_tags(result_root: XmlNode) -> List[str]:
+    """Attribute tags by frequency inside the result (dominant features)."""
+    counts = Counter(
+        node.tag
+        for node in result_root.descendants(include_self=True)
+        if node.value is not None
+    )
+    return [tag for tag, _ in counts.most_common()]
+
+
+def generate_snippet(
+    result_root: XmlNode,
+    keywords: Sequence[str],
+    max_items: int = 4,
+) -> List[SnippetItem]:
+    """Greedy size-bounded snippet for one result subtree."""
+    if max_items < 1:
+        raise ValueError("max_items must be >= 1")
+    keywords = [k.lower() for k in keywords]
+    items: List[SnippetItem] = []
+    used_nodes: Set[Tuple[int, ...]] = set()
+    covered_keywords: Set[str] = set()
+
+    def add(node: XmlNode, reason: str) -> bool:
+        if node.dewey in used_nodes or len(items) >= max_items:
+            return False
+        used_nodes.add(node.dewey)
+        items.append(
+            SnippetItem(
+                path=node.label_path(),
+                tag=node.tag,
+                text=(node.value or "")[:80],
+                reason=reason,
+            )
+        )
+        return True
+
+    # 1. keyword witnesses: one node per keyword, prefer value matches.
+    for keyword in keywords:
+        if keyword in covered_keywords:
+            continue
+        witness: Optional[XmlNode] = None
+        for node in result_root.descendants(include_self=True):
+            tokens = set(tokenize(node.value or ""))
+            if keyword in tokens:
+                witness = node
+                break
+            if witness is None and keyword in tokenize(node.tag):
+                witness = node
+        if witness is not None and add(witness, "keyword"):
+            covered_keywords.add(keyword)
+
+    # 2. the result key: the first valued child of the result root.
+    for child in result_root.children:
+        if child.value is not None:
+            add(child, "key")
+            break
+
+    # 3. dominant features until the budget is spent.
+    for tag in _dominant_tags(result_root):
+        if len(items) >= max_items:
+            break
+        for node in result_root.descendants(include_self=True):
+            if node.tag == tag and node.value is not None:
+                if add(node, "dominant"):
+                    break
+    return items
+
+
+def snippet_text(items: Sequence[SnippetItem]) -> str:
+    """Flat printable form of a snippet."""
+    return " | ".join(f"{item.tag}: {item.text}" for item in items)
+
+
+def snippet_covers_keywords(
+    items: Sequence[SnippetItem], keywords: Sequence[str]
+) -> bool:
+    """Self-containedness check: every query keyword appears."""
+    text = " ".join(f"{i.tag} {i.text}" for i in items).lower()
+    tokens = set(tokenize(text))
+    return all(k.lower() in tokens for k in keywords)

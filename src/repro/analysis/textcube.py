@@ -1,0 +1,141 @@
+"""Keyword search in a text cube / TopCells (Ding et al., ICDE 10).
+
+Slides 166-167: each database row is a set of dimension attributes plus
+a text document; a *cell* fixes some dimensions (others ``*``) and
+aggregates the documents of matching rows.  Keyword search over the
+cube returns the top-k cells with support >= min_support, ranked by the
+**average relevance** of the cell's documents to the query — surfacing
+the common feature combinations ("Brand:Acer, Model:AOA110") behind the
+matching products rather than individual products.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+
+STAR = "*"
+
+
+@dataclass(frozen=True)
+class CubeCell:
+    dimensions: Tuple[str, ...]
+    values: Tuple[object, ...]
+
+    def label(self) -> str:
+        parts = []
+        for dim, value in zip(self.dimensions, self.values):
+            parts.append(f"{dim}:{value if value is not STAR else STAR}")
+        return "{" + ", ".join(parts) + "}"
+
+
+class TextCube:
+    """An in-memory text cube over (dimensions..., document) rows."""
+
+    def __init__(
+        self,
+        dimensions: Sequence[str],
+        rows: Sequence[Tuple[Dict[str, object], str]],
+    ):
+        self.dimensions = tuple(dimensions)
+        self.rows: List[Tuple[Dict[str, object], str]] = list(rows)
+        self._tokens: List[Counter] = [
+            Counter(tokenize(doc)) for _, doc in self.rows
+        ]
+        self._df: Counter = Counter()
+        for bag in self._tokens:
+            for token in bag:
+                self._df[token] += 1
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    def _matches(self, cell: CubeCell, dims: Dict[str, object]) -> bool:
+        for dim, value in zip(cell.dimensions, cell.values):
+            if value is not STAR and dims.get(dim) != value:
+                return False
+        return True
+
+    def cell_rows(self, cell: CubeCell) -> List[int]:
+        return [
+            i for i, (dims, _) in enumerate(self.rows) if self._matches(cell, dims)
+        ]
+
+    def support(self, cell: CubeCell) -> int:
+        return len(self.cell_rows(cell))
+
+    def _relevance(self, row_idx: int, keywords: Sequence[str]) -> float:
+        bag = self._tokens[row_idx]
+        score = 0.0
+        n = len(self.rows) or 1
+        for keyword in keywords:
+            tf = bag.get(keyword.lower(), 0)
+            if tf:
+                idf = math.log((n + 1) / (self._df[keyword.lower()] + 1)) + 1.0
+                score += (1 + math.log(tf)) * idf
+        return score
+
+    def average_relevance(self, cell: CubeCell, keywords: Sequence[str]) -> float:
+        rows = self.cell_rows(cell)
+        if not rows:
+            return 0.0
+        return sum(self._relevance(i, keywords) for i in rows) / len(rows)
+
+    # ------------------------------------------------------------------
+    def enumerate_cells(self, max_fixed: Optional[int] = None) -> List[CubeCell]:
+        """All cells over value combinations present in the data."""
+        max_fixed = max_fixed if max_fixed is not None else len(self.dimensions)
+        cells: Dict[Tuple, CubeCell] = {}
+        for count in range(1, max_fixed + 1):
+            for dims in combinations(self.dimensions, count):
+                seen: Set[Tuple] = set()
+                for row_dims, _ in self.rows:
+                    key = tuple(row_dims.get(d) for d in dims)
+                    if None in key or key in seen:
+                        continue
+                    seen.add(key)
+                    values = []
+                    ki = 0
+                    for dim in self.dimensions:
+                        if dim in dims:
+                            values.append(key[dims.index(dim)])
+                        else:
+                            values.append(STAR)
+                    cell = CubeCell(self.dimensions, tuple(values))
+                    cells[(dims, key)] = cell
+        return list(cells.values())
+
+
+def top_cells(
+    cube: TextCube,
+    keywords: Sequence[str],
+    k: int = 5,
+    min_support: int = 2,
+    max_fixed: Optional[int] = None,
+) -> List[Tuple[CubeCell, float, int]]:
+    """Top-k cells by average relevance with support >= min_support.
+
+    Only cells whose aggregated documents contain every keyword at least
+    once qualify (AND semantics over the cell's virtual document).
+    """
+    lowered = [kw.lower() for kw in keywords]
+    out: List[Tuple[CubeCell, float, int]] = []
+    for cell in cube.enumerate_cells(max_fixed=max_fixed):
+        rows = cube.cell_rows(cell)
+        support = len(rows)
+        if support < min_support:
+            continue
+        combined: Set[str] = set()
+        for i in rows:
+            combined.update(cube._tokens[i])
+        if not all(kw in combined for kw in lowered):
+            continue
+        out.append((cell, cube.average_relevance(cell, lowered), support))
+    out.sort(key=lambda triple: (-triple[1], -triple[2], triple[0].label()))
+    return out[:k]

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Lets a user try every search family against the bundled synthetic
+datasets without writing code:
+
+    python -m repro search "john database" --method schema -k 5
+    python -m repro search "widom xml" --dataset tiny --method steiner
+    python -m repro xml "keyword mark" --semantics elca --snippets
+    python -m repro suggest "dat"
+    python -m repro facets --dataset events
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.xml_engine import XmlSearchEngine
+
+DATASETS: Dict[str, Callable] = {}
+XML_CORPORA: Dict[str, Callable] = {}
+
+
+def _register_datasets() -> None:
+    from repro.datasets.bibliographic import (
+        generate_bibliographic_db,
+        tiny_bibliographic_db,
+    )
+    from repro.datasets.events import generate_events_db, tutorial_events_db
+    from repro.datasets.movies import generate_movie_db
+    from repro.datasets.products import generate_product_db
+    from repro.datasets.xml_corpora import (
+        generate_auctions_xml,
+        generate_bib_xml,
+        slide_auction_tree,
+        slide_conf_tree,
+    )
+
+    DATASETS.update(
+        {
+            "biblio": lambda: generate_bibliographic_db(seed=7),
+            "tiny": tiny_bibliographic_db,
+            "movies": lambda: generate_movie_db(seed=11),
+            "products": lambda: generate_product_db(seed=13),
+            "events": lambda: generate_events_db(seed=17),
+            "events-slide": tutorial_events_db,
+        }
+    )
+    XML_CORPORA.update(
+        {
+            "bib": lambda: generate_bib_xml(seed=31),
+            "auctions": lambda: generate_auctions_xml(seed=37),
+            "conf-slide": slide_conf_tree,
+            "auctions-slide": slide_auction_tree,
+        }
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print("relational datasets:", ", ".join(sorted(DATASETS)))
+    print("xml corpora:       ", ", ".join(sorted(XML_CORPORA)))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    factory = DATASETS.get(args.dataset)
+    if factory is None:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    engine = KeywordSearchEngine(factory())
+    parsed = engine.parse(args.query)
+    if parsed.was_cleaned:
+        print(f"(query cleaned to: {' '.join(parsed.keywords)})")
+    results = engine.search(args.query, k=args.k, method=args.method)
+    if not results:
+        print("no results")
+        return 0
+    for rank, result in enumerate(results, start=1):
+        print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
+        print(f"      {result.describe()}")
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    factory = DATASETS.get(args.dataset)
+    if factory is None:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    engine = KeywordSearchEngine(factory())
+    completions = engine.suggest(args.prefix, limit=args.k)
+    print(", ".join(completions) if completions else "(no completions)")
+    return 0
+
+
+def _cmd_xml(args: argparse.Namespace) -> int:
+    factory = XML_CORPORA.get(args.corpus)
+    if factory is None:
+        print(f"unknown corpus {args.corpus!r}", file=sys.stderr)
+        return 2
+    engine = XmlSearchEngine(factory())
+    results = engine.search(args.query, k=args.k, semantics=args.semantics)
+    if not results:
+        print("no results")
+        return 0
+    for rank, result in enumerate(results, start=1):
+        print(f"{rank:2d}. [{result.score:.3f}] {result.describe()}")
+        if args.snippets:
+            from repro.analysis.snippets import snippet_text
+
+            items = engine.snippet(result, args.query)
+            print(f"      snippet: {snippet_text(items)}")
+    return 0
+
+
+def _cmd_facets(args: argparse.Namespace) -> int:
+    factory = DATASETS.get(args.dataset)
+    if factory is None:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    db = factory()
+    table = args.table or next(iter(db.tables))
+    from repro.analysis.facets import (
+        NavigationModel,
+        build_navigation_tree,
+        navigation_cost,
+    )
+    from repro.datasets.logs import generate_query_log
+
+    rows = list(db.rows(table))
+    schema = db.table(table).schema
+    attributes = [
+        c.name for c in schema.columns if c.name != schema.primary_key
+    ][:4]
+    log = generate_query_log(db, table, n_queries=100, attributes=attributes)
+    model = NavigationModel(log)
+    tree = build_navigation_tree(rows, attributes, model)
+    print(
+        f"table {table!r}: {len(rows)} rows, expected navigation cost "
+        f"{navigation_cost(tree, model):.1f} (flat list: {len(rows)})"
+    )
+
+    def show(node, indent=0):
+        for child in node.children:
+            attr, value = child.condition
+            print("  " * (indent + 1) + f"{attr}={value} ({child.size()})")
+            show(child, indent + 1)
+
+    show(tree)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Keyword search and exploration on databases "
+        "(ICDE 2011 tutorial reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list bundled datasets")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("search", help="relational keyword search")
+    p.add_argument("query")
+    p.add_argument("--dataset", default="biblio", help="dataset name")
+    p.add_argument(
+        "--method",
+        default="schema",
+        choices=["schema", "banks", "banks2", "steiner", "distinct_root", "ease"],
+    )
+    p.add_argument("-k", type=int, default=5)
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("suggest", help="type-ahead completions")
+    p.add_argument("prefix")
+    p.add_argument("--dataset", default="biblio")
+    p.add_argument("-k", type=int, default=8)
+    p.set_defaults(func=_cmd_suggest)
+
+    p = sub.add_parser("xml", help="XML keyword search")
+    p.add_argument("query")
+    p.add_argument("--corpus", default="bib")
+    p.add_argument(
+        "--semantics", default="slca", choices=["slca", "multiway", "elca"]
+    )
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--snippets", action="store_true")
+    p.set_defaults(func=_cmd_xml)
+
+    p = sub.add_parser("facets", help="faceted navigation tree")
+    p.add_argument("--dataset", default="events")
+    p.add_argument("--table", default=None)
+    p.set_defaults(func=_cmd_facets)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    _register_datasets()
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,275 @@
+"""Relational keyword search engine facade.
+
+Wires the full tutorial pipeline over one database:
+
+    query text -> clean (noisy channel + segmentation)
+               -> search (schema-based CN top-k | graph-based BANKS |
+                          distinct-root over distance index)
+               -> analyse (data cloud, co-occurring terms, facets,
+                           differentiation, form suggestions)
+
+Substructures (indexes, graphs, tuple sets) are built lazily and cached.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ambiguity.autocomplete import Tastier
+from repro.ambiguity.cleaning import CleaningResult, QueryCleaner
+from repro.analysis.clouds import data_cloud, frequent_cooccurring_terms
+from repro.analysis.differentiation import (
+    FeatureSet,
+    select_features_greedy,
+)
+from repro.core.query import Query
+from repro.core.results import SearchResult
+from repro.forms.generation import generate_forms, generate_skeletons
+from repro.forms.matching import FormIndex, rank_forms
+from repro.graph.data_graph import DataGraph, build_data_graph
+from repro.graph_search.banks import banks_backward, banks_bidirectional
+from repro.graph_search.steiner import group_steiner_dp
+from repro.index.distance import KeywordDistanceIndex
+from repro.index.inverted import InvertedIndex
+from repro.relational.database import Database, TupleId
+from repro.relational.schema_graph import SchemaGraph
+from repro.schema_search.candidate_networks import generate_candidate_networks
+from repro.schema_search.topk import topk_global_pipeline
+from repro.schema_search.tuple_sets import TupleSets
+
+
+class KeywordSearchEngine:
+    """End-to-end keyword search over a relational database."""
+
+    def __init__(
+        self,
+        db: Database,
+        max_cn_size: int = 4,
+        clean_queries: bool = True,
+    ):
+        self.db = db
+        self.max_cn_size = max_cn_size
+        self.clean_queries = clean_queries
+
+    # ------------------------------------------------------------------
+    # Lazily built shared structures
+    # ------------------------------------------------------------------
+    @cached_property
+    def index(self) -> InvertedIndex:
+        return InvertedIndex(self.db)
+
+    @cached_property
+    def schema_graph(self) -> SchemaGraph:
+        return SchemaGraph(self.db.schema)
+
+    @cached_property
+    def data_graph(self) -> DataGraph:
+        return build_data_graph(self.db)
+
+    @cached_property
+    def cleaner(self) -> QueryCleaner:
+        return QueryCleaner(self.index)
+
+    @cached_property
+    def distance_index(self) -> KeywordDistanceIndex:
+        return KeywordDistanceIndex(self.data_graph, self.index)
+
+    @cached_property
+    def tastier(self) -> Tastier:
+        return Tastier(self.data_graph, self.index)
+
+    # ------------------------------------------------------------------
+    # Query handling
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> Query:
+        """Parse and (optionally) clean a raw query string."""
+        query = Query.parse(text)
+        if not self.clean_queries or not query.keywords:
+            return query
+        cleaning: CleaningResult = self.cleaner.clean(list(query.keywords))
+        cleaned = cleaning.cleaned_tokens()
+        if cleaned and cleaned != list(query.keywords):
+            return query.with_keywords(cleaned)
+        return query
+
+    def suggest(self, prefix: str, limit: int = 8) -> List[str]:
+        """Type-ahead keyword completions."""
+        return self.tastier.complete_keyword(prefix, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        text: str,
+        k: int = 10,
+        method: str = "schema",
+    ) -> List[SearchResult]:
+        """Top-k search.
+
+        ``method`` selects the algorithm family the tutorial contrasts:
+        ``"schema"`` (CN enumeration + global-pipeline top-k),
+        ``"banks"`` (backward expansion), ``"banks2"`` (frontier
+        prioritised), ``"steiner"`` (exact group Steiner tree, top-1),
+        ``"distinct_root"`` (index-assisted distinct-root semantics),
+        ``"ease"`` (r-radius Steiner subgraphs).
+        """
+        query = self.parse(text)
+        if not query.keywords:
+            return []
+        if method == "schema":
+            return self._search_schema(query, k)
+        if method in ("banks", "banks2"):
+            return self._search_banks(query, k, bidirectional=method == "banks2")
+        if method == "steiner":
+            return self._search_steiner(query)
+        if method == "distinct_root":
+            return self._search_distinct_root(query, k)
+        if method == "ease":
+            return self._search_ease(query, k)
+        raise ValueError(f"unknown method {method!r}")
+
+    def _search_schema(self, query: Query, k: int) -> List[SearchResult]:
+        keywords = list(query.keywords)
+        tuple_sets = TupleSets(self.db, self.index, keywords)
+        cns = generate_candidate_networks(
+            self.schema_graph, tuple_sets, max_size=self.max_cn_size
+        )
+        if not cns:
+            return []
+        result = topk_global_pipeline(cns, tuple_sets, self.index, keywords, k=k)
+        return [
+            SearchResult(score=score, network=label, joined=joined)
+            for score, label, joined in result.results
+        ]
+
+    def _groups(self, keywords: Sequence[str]) -> Optional[List[List[TupleId]]]:
+        groups = [self.index.matching_tuples(k) for k in keywords]
+        if any(not g for g in groups):
+            return None
+        return groups
+
+    def _search_banks(
+        self, query: Query, k: int, bidirectional: bool
+    ) -> List[SearchResult]:
+        groups = self._groups(query.keywords)
+        if groups is None:
+            return []
+        algo = banks_bidirectional if bidirectional else banks_backward
+        result = algo(self.data_graph, groups, k=k)
+        out = []
+        for tree in result.trees:
+            joined = self._tree_to_joined(tree.nodes)
+            out.append(
+                SearchResult(
+                    score=1.0 / (1.0 + tree.weight),
+                    network=f"banks-tree(root={tree.root})",
+                    joined=joined,
+                )
+            )
+        return out
+
+    def _search_steiner(self, query: Query) -> List[SearchResult]:
+        groups = self._groups(query.keywords)
+        if groups is None:
+            return []
+        tree = group_steiner_dp(self.data_graph, groups)
+        if tree is None:
+            return []
+        joined = self._tree_to_joined(tree.nodes)
+        return [
+            SearchResult(
+                score=1.0 / (1.0 + tree.weight),
+                network=f"steiner(weight={tree.weight:.1f})",
+                joined=joined,
+            )
+        ]
+
+    def _search_distinct_root(self, query: Query, k: int) -> List[SearchResult]:
+        from repro.graph_search.semantics import distinct_root_results
+
+        groups = self._groups(query.keywords)
+        if groups is None:
+            return []
+        answers = distinct_root_results(
+            self.data_graph, groups, dmax=self.distance_index.max_distance, k=k
+        )
+        out = []
+        for answer in answers:
+            nodes = {answer.root, *(m for m in answer.matches if m is not None)}
+            out.append(
+                SearchResult(
+                    score=1.0 / (1.0 + answer.cost),
+                    network=f"distinct-root(root={answer.root})",
+                    joined=self._tree_to_joined(nodes),
+                )
+            )
+        return out
+
+    def _search_ease(self, query: Query, k: int) -> List[SearchResult]:
+        from repro.graph_search.ease import r_radius_steiner_graphs
+
+        groups = self._groups(query.keywords)
+        if groups is None:
+            return []
+        answers = r_radius_steiner_graphs(self.data_graph, groups, r=2, k=k)
+        return [
+            SearchResult(
+                score=1.0 / answer.size(),
+                network=f"ease(center={answer.center})",
+                joined=self._tree_to_joined(answer.nodes),
+            )
+            for answer in answers
+        ]
+
+    def _tree_to_joined(self, nodes) -> "JoinedRow":
+        from repro.relational.executor import JoinedRow
+
+        ordered = sorted(nodes)
+        rows = tuple(self.db.row(tid) for tid in ordered)
+        aliases = tuple(f"n{i}" for i in range(len(rows)))
+        return JoinedRow(aliases, rows)
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def refine_terms(
+        self, text: str, k: int = 8, mode: str = "cooccurrence"
+    ) -> List[Tuple[str, float]]:
+        """Suggested refinement terms for a query (slides 76-78)."""
+        query = self.parse(text)
+        if mode == "cooccurrence":
+            return [
+                (t, float(c))
+                for t, c in frequent_cooccurring_terms(
+                    self.index, list(query.keywords), k=k
+                )
+            ]
+        results = self.search(text, k=20)
+        rows = [row for r in results for row in r.joined.distinct_rows()]
+        return data_cloud(self.db, rows, list(query.keywords), k=k)
+
+    def differentiate(
+        self, results: Sequence[SearchResult], budget: int = 3
+    ) -> Dict[object, List[Tuple[str, str]]]:
+        """Comparison table across results (slides 149-153)."""
+        sets = []
+        for i, result in enumerate(results):
+            features = []
+            for row in result.joined.distinct_rows():
+                for column in row.table.schema.text_columns:
+                    value = row[column]
+                    if value is not None:
+                        features.append((f"{row.table.name}:{column}", str(value)))
+            sets.append(FeatureSet.of(i, features))
+        select_features_greedy(sets, budget=budget)
+        return {fs.result_id: sorted(fs.selected) for fs in sets}
+
+    def suggest_forms(self, text: str, k: int = 5):
+        """Ranked query forms for the keyword query (slides 54-58)."""
+        query = self.parse(text)
+        skeletons = generate_skeletons(self.schema_graph, max_size=3)
+        forms = generate_forms(self.db.schema, skeletons)
+        form_index = FormIndex(forms, self.index)
+        return rank_forms(form_index, list(query.keywords), k=k)

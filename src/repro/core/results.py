@@ -1,0 +1,53 @@
+"""Result objects returned by the facade engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.relational.database import TupleId
+from repro.relational.executor import JoinedRow
+from repro.xmltree.node import Dewey, XmlNode
+
+
+@dataclass
+class SearchResult:
+    """One relational answer: a joining network of tuples."""
+
+    score: float
+    network: str  # CN label / semantics description
+    joined: JoinedRow
+
+    def tuple_ids(self) -> List[TupleId]:
+        return [TupleId(r.table.name, r.rowid) for r in self.joined.rows]
+
+    def describe(self) -> str:
+        """Human-readable one-liner for demos and examples."""
+        parts = []
+        for row in self.joined.distinct_rows():
+            text = row.text()
+            label = f"{row.table.name}({text[:40]})" if text else row.table.name
+            parts.append(label)
+        return " -> ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"SearchResult({self.score:.3f}, {self.network})"
+
+
+@dataclass
+class XmlResult:
+    """One XML answer: a result subtree root."""
+
+    score: float
+    root: Dewey
+    node: XmlNode
+    semantics: str = "slca"
+
+    def path(self) -> str:
+        return self.node.label_path()
+
+    def describe(self, max_chars: int = 80) -> str:
+        return f"{self.path()}: {self.node.text()[:max_chars]}"
+
+    def __repr__(self) -> str:
+        return f"XmlResult({self.score:.3f}, {self.path()})"

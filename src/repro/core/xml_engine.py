@@ -1,0 +1,134 @@
+"""XML keyword search engine facade.
+
+Pipeline over one XML document: clean -> ?LCA search (SLCA / ELCA /
+multiway) -> XRank-style ranking -> analysis (snippets, return-node
+inference, type clustering, describable clustering).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.clustering import rank_clusters, xbridge_clusters
+from repro.analysis.snippets import SnippetItem, generate_snippet
+from repro.core.query import Query
+from repro.core.results import XmlResult
+from repro.xml_search.describable import describable_clusters
+from repro.xml_search.elca import elca_candidates_verify
+from repro.xml_search.slca import slca_indexed_lookup_eager, slca_multiway
+from repro.xml_search.xrank import xrank_scores
+from repro.xml_search.xreal import XReal
+from repro.xml_search.xseek import XSeek
+from repro.xmltree.index import XmlKeywordIndex
+from repro.xmltree.node import Dewey, XmlNode
+
+
+class XmlSearchEngine:
+    """End-to-end keyword search over one XML document."""
+
+    def __init__(self, root: XmlNode, match_tags: bool = True):
+        self.root = root
+        self.match_tags = match_tags
+
+    @cached_property
+    def index(self) -> XmlKeywordIndex:
+        return XmlKeywordIndex(self.root, match_tags=self.match_tags)
+
+    @cached_property
+    def xseek(self) -> XSeek:
+        return XSeek(self.root)
+
+    @cached_property
+    def xreal(self) -> XReal:
+        return XReal(self.root)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        text: str,
+        k: Optional[int] = None,
+        semantics: str = "slca",
+    ) -> List[XmlResult]:
+        """Ranked ?LCA search; ``semantics`` in slca | elca | multiway."""
+        algorithms = {
+            "slca": slca_indexed_lookup_eager,
+            "multiway": slca_multiway,
+            "elca": elca_candidates_verify,
+        }
+        if semantics not in algorithms:
+            raise ValueError(f"unknown semantics {semantics!r}")
+        query = Query.parse(text)
+        if not query.keywords:
+            return []
+        lists = self.index.match_lists(list(query.keywords))
+        if any(not lst for lst in lists):
+            return []
+        roots = algorithms[semantics](lists)
+        scores = xrank_scores(self.index, roots, list(query.keywords))
+        results = []
+        for dewey in roots:
+            node = self.root.node_at(dewey)
+            if node is None:
+                continue
+            results.append(
+                XmlResult(
+                    score=scores.get(dewey, 0.0),
+                    root=dewey,
+                    node=node,
+                    semantics=semantics,
+                )
+            )
+        results.sort(key=lambda r: (-r.score, r.root))
+        return results[:k] if k is not None else results
+
+    # ------------------------------------------------------------------
+    # Structure inference
+    # ------------------------------------------------------------------
+    def infer_return_type(self, text: str, k: int = 3) -> List[Tuple[str, float]]:
+        """XReal search-for node types for a query (slides 37-38)."""
+        query = Query.parse(text)
+        return self.xreal.infer_return_type(list(query.keywords))[:k]
+
+    def return_nodes(self, result: XmlResult, text: str) -> List[XmlNode]:
+        """XSeek return-node inference for one result (slide 51)."""
+        query = Query.parse(text)
+        return self.xseek.return_nodes(result.node, list(query.keywords))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def snippet(
+        self, result: XmlResult, text: str, max_items: int = 4
+    ) -> List[SnippetItem]:
+        query = Query.parse(text)
+        return generate_snippet(result.node, list(query.keywords), max_items)
+
+    def cluster_by_type(
+        self, results: Sequence[XmlResult], text: str
+    ) -> List[Tuple[str, float, List[XmlResult]]]:
+        """XBridge type clusters, ranked (slides 156-157)."""
+        query = Query.parse(text)
+        by_root = {r.root: r for r in results}
+        clusters = xbridge_clusters(self.root, [r.root for r in results])
+        ranked = rank_clusters(self.index, clusters, list(query.keywords))
+        return [
+            (path, score, [by_root[d] for d in clusters[path]])
+            for path, score in ranked
+        ]
+
+    def cluster_by_role(
+        self, results: Sequence[XmlResult], text: str
+    ) -> Dict[str, List[XmlResult]]:
+        """Describable clusters by keyword roles (slides 161-162)."""
+        query = Query.parse(text)
+        by_node = {id(r.node): r for r in results}
+        clusters = describable_clusters(
+            [r.node for r in results], list(query.keywords)
+        )
+        return {
+            description: [by_node[id(n)] for n in members]
+            for description, members in clusters.items()
+        }

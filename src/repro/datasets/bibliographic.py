@@ -1,0 +1,187 @@
+"""DBLP-like bibliographic database generator.
+
+The running example of the tutorial (slides 2, 10, 28, 44, 115): schema
+``conference — paper — write — author`` plus a ``cite`` self-relationship
+on papers.  Fan-outs and term skew are controllable; defaults mimic a
+small DBLP slice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.datasets import words
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, Schema, TableSchema
+
+
+def bibliographic_schema(with_cite: bool = True) -> Schema:
+    """The author–write–paper–conference(–cite) schema."""
+    tables = [
+        TableSchema(
+            "author",
+            (
+                Column("aid", "int"),
+                Column("name", "str", text=True),
+                Column("affiliation", "str", nullable=True, text=True),
+            ),
+            primary_key="aid",
+        ),
+        TableSchema(
+            "conference",
+            (
+                Column("cid", "int"),
+                Column("name", "str", text=True),
+                Column("year", "int"),
+                Column("location", "str", nullable=True, text=True),
+            ),
+            primary_key="cid",
+        ),
+        TableSchema(
+            "paper",
+            (
+                Column("pid", "int"),
+                Column("title", "str", text=True),
+                Column("abstract", "str", nullable=True, text=True),
+                Column("cid", "int"),
+            ),
+            primary_key="pid",
+            foreign_keys=(ForeignKey("cid", "conference", "cid"),),
+        ),
+        TableSchema(
+            "write",
+            (
+                Column("wid", "int"),
+                Column("aid", "int"),
+                Column("pid", "int"),
+            ),
+            primary_key="wid",
+            foreign_keys=(
+                ForeignKey("aid", "author", "aid"),
+                ForeignKey("pid", "paper", "pid"),
+            ),
+        ),
+    ]
+    if with_cite:
+        tables.append(
+            TableSchema(
+                "cite",
+                (
+                    Column("ctid", "int"),
+                    Column("citing", "int"),
+                    Column("cited", "int"),
+                ),
+                primary_key="ctid",
+                foreign_keys=(
+                    ForeignKey("citing", "paper", "pid"),
+                    ForeignKey("cited", "paper", "pid"),
+                ),
+            )
+        )
+    return Schema(tables)
+
+
+def generate_bibliographic_db(
+    n_authors: int = 60,
+    n_conferences: int = 8,
+    n_papers: int = 150,
+    avg_authors_per_paper: float = 2.2,
+    avg_citations_per_paper: float = 1.5,
+    seed: int = 7,
+    with_cite: bool = True,
+) -> Database:
+    """Generate a populated bibliographic database.
+
+    Titles/abstracts draw topic terms Zipfianly so that common terms
+    ("database", "query") produce large tuple sets and rare ones small —
+    the skew the top-k and SLCA experiments exercise.
+    """
+    rng = random.Random(seed)
+    db = Database(bibliographic_schema(with_cite=with_cite))
+
+    for aid in range(n_authors):
+        first = words.FIRST_NAMES[aid % len(words.FIRST_NAMES)]
+        last = rng.choice(words.LAST_NAMES)
+        affiliation = rng.choice(
+            ["stanford", "asu", "unsw", "mit", "wisconsin", "tsinghua", None]
+        )
+        db.insert(
+            "author", aid=aid, name=f"{first} {last}", affiliation=affiliation
+        )
+
+    for cid in range(n_conferences):
+        name = words.VENUES[cid % len(words.VENUES)]
+        year = 1998 + (cid * 3) % 13
+        location = rng.choice(words.CITIES)
+        db.insert("conference", cid=cid, name=name, year=year, location=location)
+
+    for pid in range(n_papers):
+        topic = words.distinct_zipf_sample(rng, words.TOPIC_WORDS, rng.randint(2, 4))
+        filler = rng.sample(words.FILLER_WORDS, 2)
+        title = " ".join([filler[0]] + topic + [filler[1]])
+        abstract = None
+        if rng.random() < 0.7:
+            abstract_terms = words.zipf_sample(rng, words.TOPIC_WORDS, 8)
+            abstract = "we study " + " ".join(abstract_terms)
+        cid = rng.randrange(n_conferences)
+        db.insert("paper", pid=pid, title=title, abstract=abstract, cid=cid)
+
+    wid = 0
+    for pid in range(n_papers):
+        count = max(1, int(rng.gauss(avg_authors_per_paper, 1.0)))
+        for aid in rng.sample(range(n_authors), min(count, n_authors)):
+            db.insert("write", wid=wid, aid=aid, pid=pid)
+            wid += 1
+
+    if with_cite:
+        ctid = 0
+        for pid in range(n_papers):
+            count = max(0, int(rng.gauss(avg_citations_per_paper, 1.0)))
+            for _ in range(count):
+                cited = rng.randrange(n_papers)
+                if cited != pid:
+                    db.insert("cite", ctid=ctid, citing=pid, cited=cited)
+                    ctid += 1
+    return db
+
+
+def tiny_bibliographic_db() -> Database:
+    """The hand-written instance behind the slide examples.
+
+    Contains John's SIGMOD paper ("XML keyword search"), a Widom XML
+    paper, and enough structure that queries like ``{john, sigmod}`` and
+    ``{widom, xml}`` have the interpretations slides 10 and 28 enumerate.
+    """
+    db = Database(bibliographic_schema(with_cite=True))
+    authors = [
+        (0, "john smith", "stanford"),
+        (1, "jennifer widom", "stanford"),
+        (2, "mark chen", "asu"),
+        (3, "david dewitt", "wisconsin"),
+        (4, "john ullman", None),
+    ]
+    for aid, name, aff in authors:
+        db.insert("author", aid=aid, name=name, affiliation=aff)
+    conferences = [
+        (0, "sigmod", 2007, "beijing"),
+        (1, "vldb", 2008, "auckland"),
+        (2, "icde", 2011, "hannover"),
+    ]
+    for cid, name, year, loc in conferences:
+        db.insert("conference", cid=cid, name=name, year=year, location=loc)
+    papers = [
+        (0, "xml keyword search", "keyword search on xml data", 0),
+        (1, "join processing revisited", "hash join algorithms", 1),
+        (2, "cloud data management", "cloud computing for databases", 2),
+        (3, "xml query optimization", "optimizing xquery", 1),
+    ]
+    for pid, title, abstract, cid in papers:
+        db.insert("paper", pid=pid, title=title, abstract=abstract, cid=cid)
+    writes = [(0, 0, 0), (1, 2, 0), (2, 1, 3), (3, 3, 1), (4, 4, 2), (5, 0, 2)]
+    for wid, aid, pid in writes:
+        db.insert("write", wid=wid, aid=aid, pid=pid)
+    cites = [(0, 0, 3), (1, 2, 0)]
+    for ctid, citing, cited in cites:
+        db.insert("cite", ctid=ctid, citing=citing, cited=cited)
+    return db

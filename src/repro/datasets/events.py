@@ -1,0 +1,90 @@
+"""Events table — the aggregate-keyword-search example of slides 16 & 165.
+
+``TUTORIAL_EVENTS`` reproduces the slide's table verbatim (month, state,
+city, event, description) so the Zhou & Pei minimal-group-by algorithm
+can be unit-tested against the slide's expected clusters
+("December Texas" and "* Michigan").  ``generate_events_db`` scales the
+same shape up for benchmarking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.datasets import words
+from repro.relational.database import Database
+from repro.relational.schema import Column, Schema, TableSchema
+
+#: Verbatim rows from tutorial slide 16/165.
+TUTORIAL_EVENTS: List[Dict[str, object]] = [
+    {"eid": 0, "month": "dec", "state": "tx", "city": "houston",
+     "event": "us open pool", "description": "best of 19 ranking"},
+    {"eid": 1, "month": "dec", "state": "tx", "city": "dallas",
+     "event": "cowboys dream run", "description": "motorcycle beer"},
+    {"eid": 2, "month": "dec", "state": "tx", "city": "austin",
+     "event": "spam museum party", "description": "classical american food"},
+    {"eid": 3, "month": "oct", "state": "mi", "city": "detroit",
+     "event": "motorcycle rallies", "description": "tournament round robin"},
+    {"eid": 4, "month": "oct", "state": "mi", "city": "flint",
+     "event": "michigan pool exhibition", "description": "non ranking 2 days"},
+    {"eid": 5, "month": "sep", "state": "mi", "city": "lansing",
+     "event": "american food history", "description": "the best food from usa"},
+]
+
+EVENT_WORDS = [
+    "pool", "motorcycle", "american", "food", "music", "festival",
+    "marathon", "exhibition", "tournament", "parade", "rodeo", "fair",
+]
+
+
+def events_schema() -> Schema:
+    return Schema(
+        [
+            TableSchema(
+                "events",
+                (
+                    Column("eid", "int"),
+                    Column("month", "str", text=True),
+                    Column("state", "str", text=True),
+                    Column("city", "str", text=True),
+                    Column("event", "str", text=True),
+                    Column("description", "str", text=True),
+                ),
+                primary_key="eid",
+            )
+        ]
+    )
+
+
+def tutorial_events_db() -> Database:
+    """The exact six-row table from the slides."""
+    db = Database(events_schema())
+    for record in TUTORIAL_EVENTS:
+        db.insert("events", **record)
+    return db
+
+
+def generate_events_db(n_events: int = 300, seed: int = 17) -> Database:
+    """A larger events table with the same attribute structure."""
+    rng = random.Random(seed)
+    db = Database(events_schema())
+    for record in TUTORIAL_EVENTS:
+        db.insert("events", **record)
+    for eid in range(len(TUTORIAL_EVENTS), n_events):
+        month = rng.choice(words.MONTHS)
+        state = rng.choice(words.STATES)
+        city = rng.choice(words.CITIES)
+        terms = words.distinct_zipf_sample(rng, EVENT_WORDS, rng.randint(1, 2))
+        event = " ".join(terms + [rng.choice(["show", "night", "day", "open"])])
+        description = " ".join(words.zipf_sample(rng, EVENT_WORDS, 3))
+        db.insert(
+            "events",
+            eid=eid,
+            month=month,
+            state=state,
+            city=city,
+            event=event,
+            description=description,
+        )
+    return db

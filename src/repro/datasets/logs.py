@@ -1,0 +1,147 @@
+"""Query-log and click-log generators.
+
+Several surveyed techniques consume usage logs: IQP (slide 46) estimates
+keyword-binding probabilities from a query log, faceted search (slides
+85-90) estimates expansion probabilities from historical selection
+conditions, Keyword++ (slide 98) mines differential query pairs, and
+Cheng et al. (slide 101) mine synonyms from click overlap.  Real logs
+are proprietary, so we synthesise logs from the database itself with a
+known intent distribution — which also gives benchmarks ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.index.text import tokenize
+from repro.relational.database import Database, TupleId
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One historical query.
+
+    ``keywords`` is the raw keyword sequence; ``conditions`` the
+    structured selection conditions the user (conceptually) meant, e.g.
+    ``{"brand": "lenovo", "price": (0, 800)}``; ``template`` names the
+    join template / form the query used, when known.
+    """
+
+    keywords: Tuple[str, ...]
+    conditions: Tuple[Tuple[str, object], ...] = ()
+    template: Optional[str] = None
+
+    def condition_dict(self) -> Dict[str, object]:
+        return dict(self.conditions)
+
+
+@dataclass(frozen=True)
+class ClickLogEntry:
+    """A query together with the tuples the user clicked."""
+
+    keywords: Tuple[str, ...]
+    clicked: Tuple[TupleId, ...]
+
+
+def generate_query_log(
+    db: Database,
+    table: str,
+    n_queries: int = 200,
+    attributes: Optional[Sequence[str]] = None,
+    seed: int = 23,
+) -> List[QueryLogEntry]:
+    """Generate selection-style queries against one table.
+
+    Each query picks a random row and turns 1-2 of its attribute values
+    into conditions; keyword text is drawn from the row's text columns.
+    Numeric attributes yield range conditions around the value.
+    """
+    rng = random.Random(seed)
+    tbl = db.table(table)
+    rows = list(tbl.rows())
+    if not rows:
+        return []
+    schema = tbl.schema
+    if attributes is None:
+        attributes = [c.name for c in schema.columns if c.name != schema.primary_key]
+    out: List[QueryLogEntry] = []
+    for _ in range(n_queries):
+        row = rng.choice(rows)
+        n_conditions = rng.randint(1, min(2, len(attributes)))
+        chosen = rng.sample(list(attributes), n_conditions)
+        conditions: List[Tuple[str, object]] = []
+        keyword_pool: List[str] = []
+        for attr in chosen:
+            value = row[attr]
+            if value is None:
+                continue
+            column = schema.column(attr)
+            if column.dtype in ("int", "float") and not column.text:
+                span = abs(float(value)) * 0.2 + 1.0
+                lo = round(float(value) - rng.uniform(0, span), 2)
+                hi = round(float(value) + rng.uniform(0, span), 2)
+                conditions.append((attr, (lo, hi)))
+            else:
+                conditions.append((attr, value))
+                keyword_pool.extend(tokenize(str(value)))
+        if not conditions:
+            continue
+        if not keyword_pool:
+            keyword_pool = tokenize(row.text()) or ["item"]
+        k = rng.randint(1, min(3, len(keyword_pool)))
+        keywords = tuple(rng.sample(keyword_pool, k))
+        out.append(QueryLogEntry(keywords=keywords, conditions=tuple(conditions)))
+    return out
+
+
+def generate_click_log(
+    db: Database,
+    table: str,
+    n_queries: int = 200,
+    noise: float = 0.1,
+    seed: int = 29,
+) -> List[ClickLogEntry]:
+    """Generate click-log entries with known intent.
+
+    Each entry targets one row: the query keywords are a sample of the
+    row's tokens (possibly phrased differently across entries — this is
+    what synonym mining detects) and the click set contains the target
+    plus occasional noise clicks.
+    """
+    rng = random.Random(seed)
+    tbl = db.table(table)
+    rows = list(tbl.rows())
+    if not rows:
+        return []
+    out: List[ClickLogEntry] = []
+    for _ in range(n_queries):
+        row = rng.choice(rows)
+        tokens = tokenize(row.text())
+        if not tokens:
+            continue
+        k = rng.randint(1, min(3, len(tokens)))
+        keywords = tuple(rng.sample(tokens, k))
+        clicked = [TupleId(table, row.rowid)]
+        if rng.random() < noise:
+            other = rng.choice(rows)
+            if other.rowid != row.rowid:
+                clicked.append(TupleId(table, other.rowid))
+        out.append(ClickLogEntry(keywords=keywords, clicked=tuple(clicked)))
+    return out
+
+
+def binding_frequencies(
+    log: Sequence[QueryLogEntry],
+) -> Dict[Tuple[str, str], int]:
+    """(attribute, keyword) -> count, the statistic IQP's Pr[A_i | T] needs."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for entry in log:
+        for attr, value in entry.conditions:
+            if isinstance(value, tuple):
+                continue
+            for token in tokenize(str(value)):
+                key = (attr, token)
+                counts[key] = counts.get(key, 0) + 1
+    return counts

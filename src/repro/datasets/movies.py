@@ -1,0 +1,118 @@
+"""IMDB-like movie database (tutorial slides 25-27, 36: the imdb example)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.datasets import words
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, Schema, TableSchema
+
+MOVIE_WORDS = [
+    "shining", "simpsons", "scoop", "friends", "matrix", "godfather",
+    "casablanca", "alien", "vertigo", "psycho", "jaws", "rocky",
+    "gladiator", "amadeus", "fargo", "heat", "seven", "memento",
+]
+
+PLOT_WORDS = [
+    "meaning", "life", "love", "war", "family", "crime", "revenge",
+    "journey", "dream", "mystery", "island", "city", "future", "past",
+    "hotel", "winter", "summer", "secret", "money", "power",
+]
+
+DIRECTOR_NAMES = [
+    "woody allen", "stanley kubrick", "alfred hitchcock", "sofia coppola",
+    "ridley scott", "david lynch", "joel coen", "wes anderson",
+    "kathryn bigelow", "spike lee",
+]
+
+
+def movie_schema() -> Schema:
+    return Schema(
+        [
+            TableSchema(
+                "director",
+                (
+                    Column("did", "int"),
+                    Column("name", "str", text=True),
+                    Column("dob", "int", nullable=True),
+                ),
+                primary_key="did",
+            ),
+            TableSchema(
+                "movie",
+                (
+                    Column("mid", "int"),
+                    Column("title", "str", text=True),
+                    Column("year", "int"),
+                    Column("plot", "str", nullable=True, text=True),
+                    Column("did", "int", nullable=True),
+                ),
+                primary_key="mid",
+                foreign_keys=(ForeignKey("did", "director", "did"),),
+            ),
+            TableSchema(
+                "actor",
+                (
+                    Column("acid", "int"),
+                    Column("name", "str", text=True),
+                ),
+                primary_key="acid",
+            ),
+            TableSchema(
+                "casts",
+                (
+                    Column("csid", "int"),
+                    Column("mid", "int"),
+                    Column("acid", "int"),
+                    Column("role", "str", nullable=True, text=True),
+                ),
+                primary_key="csid",
+                foreign_keys=(
+                    ForeignKey("mid", "movie", "mid"),
+                    ForeignKey("acid", "actor", "acid"),
+                ),
+            ),
+        ]
+    )
+
+
+def generate_movie_db(
+    n_directors: int = 10,
+    n_movies: int = 80,
+    n_actors: int = 40,
+    avg_cast: float = 3.0,
+    seed: int = 11,
+) -> Database:
+    """Generate a movie database with Zipf-skewed plot vocabulary."""
+    rng = random.Random(seed)
+    db = Database(movie_schema())
+    for did in range(n_directors):
+        name = DIRECTOR_NAMES[did % len(DIRECTOR_NAMES)]
+        dob = 1930 + rng.randrange(50)
+        db.insert("director", did=did, name=name, dob=dob)
+    for mid in range(n_movies):
+        title = " ".join(
+            words.distinct_zipf_sample(rng, MOVIE_WORDS, rng.randint(1, 2))
+        )
+        year = 1960 + rng.randrange(60)
+        plot = None
+        if rng.random() < 0.8:
+            plot = "a story about " + " ".join(
+                words.zipf_sample(rng, PLOT_WORDS, rng.randint(3, 6))
+            )
+        did = rng.randrange(n_directors) if rng.random() < 0.9 else None
+        db.insert("movie", mid=mid, title=title, year=year, plot=plot, did=did)
+    for acid in range(n_actors):
+        first = rng.choice(words.FIRST_NAMES)
+        last = rng.choice(words.LAST_NAMES)
+        db.insert("actor", acid=acid, name=f"{first} {last}")
+    csid = 0
+    for mid in range(n_movies):
+        count = max(1, int(rng.gauss(avg_cast, 1.0)))
+        for acid in rng.sample(range(n_actors), min(count, n_actors)):
+            role = rng.choice(PLOT_WORDS) if rng.random() < 0.4 else None
+            db.insert("casts", csid=csid, mid=mid, acid=acid, role=role)
+            csid += 1
+    return db

@@ -1,0 +1,96 @@
+"""Product / e-commerce entity table (Keyword++ setting, slides 95-99).
+
+A single wide entity table mixing categorical (brand), numerical (screen
+size, weight, price) and free-text (description) attributes.  The
+generator plants the exact phenomena Keyword++ exploits: "IBM" appearing
+in descriptions of Lenovo-branded laptops, "small"/"light" correlating
+with low screen size / weight, so that differential-query-pair analysis
+can recover the mappings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.relational.database import Database
+from repro.relational.schema import Column, Schema, TableSchema
+
+BRANDS = ["lenovo", "asus", "dell", "apple", "acer", "toshiba"]
+#: Brand synonyms that appear in descriptions but never in the brand column.
+BRAND_SYNONYMS = {"ibm": "lenovo", "mac": "apple"}
+CATEGORIES = ["laptop", "tablet", "desktop", "monitor"]
+MODEL_WORDS = [
+    "thinkpad", "aspire", "inspiron", "pavilion", "macbook", "zenbook",
+    "satellite", "latitude", "ideapad", "chromebook",
+]
+DESC_WORDS = [
+    "business", "gaming", "student", "portable", "performance", "battery",
+    "display", "keyboard", "storage", "memory", "graphics", "ultralight",
+]
+
+
+def product_schema() -> Schema:
+    return Schema(
+        [
+            TableSchema(
+                "product",
+                (
+                    Column("pid", "int"),
+                    Column("name", "str", text=True),
+                    Column("brand", "str", text=True),
+                    Column("category", "str", text=True),
+                    Column("screen_size", "float", nullable=True),
+                    Column("weight", "float", nullable=True),
+                    Column("price", "float"),
+                    Column("description", "str", text=True),
+                ),
+                primary_key="pid",
+            )
+        ]
+    )
+
+
+def generate_product_db(n_products: int = 200, seed: int = 13) -> Database:
+    """Generate the product catalog.
+
+    Planted correlations:
+
+    * ~60% of Lenovo laptop descriptions mention "ibm";
+    * descriptions of small-screen products mention "small";
+    * descriptions of light products mention "light".
+    """
+    rng = random.Random(seed)
+    db = Database(product_schema())
+    for pid in range(n_products):
+        brand = rng.choice(BRANDS)
+        category = rng.choice(CATEGORIES)
+        model = rng.choice(MODEL_WORDS)
+        name = f"{model} {rng.randrange(100, 999)}"
+        screen = round(rng.uniform(10.0, 17.5), 1)
+        weight = round(rng.uniform(0.9, 3.5), 2)
+        price = round(rng.uniform(300, 2500), 2)
+        desc_terms = rng.sample(DESC_WORDS, 3)
+        desc = f"{category} for {desc_terms[0]} with {desc_terms[1]} {desc_terms[2]}"
+        if brand == "lenovo" and rng.random() < 0.6:
+            desc += " the ibm heritage"
+        if brand == "apple" and rng.random() < 0.5:
+            desc += " classic mac design"
+        if screen <= 12.5 and rng.random() < 0.7:
+            desc += " small and compact"
+        if weight <= 1.5 and rng.random() < 0.7:
+            desc += " light to carry"
+        if price <= 600 and rng.random() < 0.5:
+            desc += " cheap value"
+        db.insert(
+            "product",
+            pid=pid,
+            name=name,
+            brand=brand,
+            category=category,
+            screen_size=screen,
+            weight=weight,
+            price=price,
+            description=desc,
+        )
+    return db

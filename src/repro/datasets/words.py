@@ -1,0 +1,91 @@
+"""Shared word pools and Zipfian sampling helpers for the generators.
+
+Term pools intentionally include the tokens the tutorial's worked
+examples use ("widom", "xml", "john", "sigmod", "keyword", "mark", …) so
+unit tests can reproduce the slides verbatim against generated data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+FIRST_NAMES = [
+    "john", "mary", "david", "wei", "yi", "ziyang", "jennifer", "mark",
+    "michael", "susan", "rakesh", "hector", "jeffrey", "jim", "anna",
+    "peter", "laura", "chen", "serge", "moshe", "dan", "alice", "bob",
+    "carol", "frank", "grace", "henry", "irene", "tom", "louis",
+]
+
+LAST_NAMES = [
+    "widom", "smith", "jones", "ullman", "dewitt", "gray", "stonebraker",
+    "chen", "wang", "liu", "garcia", "molina", "abiteboul", "vardi",
+    "naughton", "papakonstantinou", "hristidis", "chaudhuri", "agrawal",
+    "seltzer", "yang", "zhang", "lin", "luo", "qin", "sun", "li", "xu",
+    "guo", "he", "bao", "kacholia", "bhalotia", "markowetz",
+]
+
+TOPIC_WORDS = [
+    "xml", "keyword", "search", "database", "query", "processing",
+    "cloud", "computing", "mining", "olap", "stream", "index", "join",
+    "optimization", "transaction", "recovery", "parallel", "distributed",
+    "graph", "tree", "ranking", "retrieval", "schema", "relational",
+    "semantic", "web", "data", "storage", "cache", "benchmark",
+    "scalability", "privacy", "provenance", "skyline", "spatial",
+    "temporal", "probabilistic", "uncertain", "workflow", "clustering",
+]
+
+FILLER_WORDS = [
+    "novel", "efficient", "effective", "scalable", "adaptive", "robust",
+    "towards", "revisiting", "analysis", "framework", "approach",
+    "system", "model", "algorithms", "techniques", "evaluation",
+    "exploration", "integration", "management", "discovery",
+]
+
+VENUES = [
+    "sigmod", "vldb", "icde", "edbt", "cikm", "www", "kdd", "sigir",
+    "pods", "tods",
+]
+
+CITIES = [
+    "houston", "dallas", "austin", "detroit", "flint", "lansing",
+    "seattle", "portland", "boston", "chicago", "denver", "phoenix",
+]
+
+STATES = ["tx", "mi", "wa", "or", "ma", "il", "co", "az"]
+
+MONTHS = [
+    "jan", "feb", "mar", "apr", "may", "jun",
+    "jul", "aug", "sep", "oct", "nov", "dec",
+]
+
+
+def zipf_weights(n: int, s: float = 1.0) -> List[float]:
+    """Weights proportional to 1/rank^s for ranks 1..n."""
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+def zipf_choice(rng: random.Random, pool: Sequence[str], s: float = 1.0) -> str:
+    """Draw one item from *pool* with Zipfian (rank-skewed) probability."""
+    return rng.choices(pool, weights=zipf_weights(len(pool), s), k=1)[0]
+
+
+def zipf_sample(
+    rng: random.Random, pool: Sequence[str], k: int, s: float = 1.0
+) -> List[str]:
+    """Draw *k* items with replacement, Zipfian-skewed."""
+    return rng.choices(pool, weights=zipf_weights(len(pool), s), k=k)
+
+
+def distinct_zipf_sample(
+    rng: random.Random, pool: Sequence[str], k: int, s: float = 1.0
+) -> List[str]:
+    """Draw up to *k* distinct items, preferring high-rank ones."""
+    seen: List[str] = []
+    attempts = 0
+    while len(seen) < min(k, len(pool)) and attempts < 20 * k:
+        item = zipf_choice(rng, pool, s)
+        if item not in seen:
+            seen.append(item)
+        attempts += 1
+    return seen

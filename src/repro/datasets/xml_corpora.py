@@ -1,0 +1,256 @@
+"""XML corpora: slide-transcribed trees and scalable generators.
+
+The hand-built documents reproduce the tutorial's figures exactly so
+unit tests can assert slide-level behaviour; the generators scale the
+same shapes up (a DBLP-like ``bib`` corpus and an XMark-like ``auctions``
+corpus) for the SLCA/ELCA and clustering benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.datasets import words
+from repro.xmltree.build import element as e
+from repro.xmltree.build import text_element as t
+from repro.xmltree.node import XmlNode
+
+
+def slide_conf_tree() -> XmlNode:
+    """Slides 32-33: one conf, two papers — SLCA example.
+
+    ``conf(name=SIGMOD, year=2007,
+           paper(title=Keyword, author=Mark, author=Chen),
+           paper(title=RDF, author=Mark, author=Zhang))``
+    """
+    return e(
+        "conf",
+        t("name", "sigmod"),
+        t("year", "2007"),
+        e(
+            "paper",
+            t("title", "keyword"),
+            t("author", "mark"),
+            t("author", "chen"),
+        ),
+        e(
+            "paper",
+            t("title", "rdf"),
+            t("author", "mark"),
+            t("author", "zhang"),
+        ),
+    )
+
+
+def slide_query_consistency_tree() -> XmlNode:
+    """Slide 109: conf with two papers and a demo (query consistency)."""
+    return e(
+        "conf",
+        t("name", "sigmod"),
+        t("year", "2007"),
+        e(
+            "paper",
+            e("title", t("keyword", "keyword")),
+            t("author", "mark"),
+            t("author", "yang"),
+        ),
+        e(
+            "paper",
+            e("title", t("name", "xml")),
+            t("author", "liu"),
+            t("author", "chen"),
+        ),
+        e(
+            "demo",
+            e("title", t("name", "top-k")),
+            t("author", "soliman"),
+        ),
+    )
+
+
+def slide_scientist_tree() -> XmlNode:
+    """Slide 6: the structured document where John != cloud author."""
+    return e(
+        "scientists",
+        e(
+            "scientist",
+            t("name", "john"),
+            e("publications", e("paper", t("title", "xml"))),
+        ),
+        e(
+            "scientist",
+            t("name", "mary"),
+            e("publications", e("paper", t("title", "cloud"))),
+        ),
+    )
+
+
+def slide_auction_tree() -> XmlNode:
+    """Slide 161: auctions with seller/buyer/auctioneer roles for "Tom"."""
+    return e(
+        "auctions",
+        e(
+            "closed_auction",
+            t("seller", "bob"),
+            t("buyer", "mary"),
+            t("auctioneer", "tom"),
+            t("price", "149.24"),
+        ),
+        e(
+            "closed_auction",
+            t("seller", "frank"),
+            t("buyer", "tom"),
+            t("auctioneer", "louis"),
+            t("price", "750.30"),
+        ),
+        e(
+            "open_auction",
+            t("seller", "tom"),
+            t("buyer", "peter"),
+            t("auctioneer", "mark"),
+            t("price", "350.00"),
+        ),
+    )
+
+
+def slide_imdb_tree() -> XmlNode:
+    """Slides 27/36: the imdb tree (movies + director)."""
+    return e(
+        "imdb",
+        e(
+            "movie",
+            t("name", "shining"),
+            t("year", "1980"),
+            t("plot", "a haunted hotel in winter"),
+        ),
+        e(
+            "movie",
+            t("name", "simpsons"),
+            t("year", "1989"),
+            t("plot", "tv cartoon"),
+        ),
+        e(
+            "movie",
+            t("name", "scoop"),
+            t("year", "2006"),
+            t("plot", "a journalist mystery"),
+        ),
+        e(
+            "director",
+            t("name", "w allen"),
+            t("dob", "1935"),
+        ),
+    )
+
+
+def generate_bib_xml(
+    n_confs: int = 10,
+    papers_per_conf: int = 12,
+    seed: int = 31,
+    with_journals: bool = True,
+    with_workshops: bool = False,
+) -> XmlNode:
+    """A DBLP-like XML corpus: bib/{conf,journal,workshop}/paper/...
+
+    Different container types give XBridge-style clustering distinct
+    root-to-result paths to recover.
+    """
+    rng = random.Random(seed)
+    bib = XmlNode("bib")
+    containers = ["conf"] * n_confs
+    if with_journals:
+        containers += ["journal"] * max(1, n_confs // 2)
+    if with_workshops:
+        containers += ["workshop"] * max(1, n_confs // 3)
+    for idx, kind in enumerate(containers):
+        container = e(
+            kind,
+            t("name", words.VENUES[idx % len(words.VENUES)]),
+            t("year", str(1998 + (idx * 3) % 13)),
+        )
+        for _ in range(papers_per_conf):
+            topic = words.distinct_zipf_sample(rng, words.TOPIC_WORDS, rng.randint(2, 3))
+            paper = e("paper", e("title", t("keyword", " ".join(topic))))
+            n_authors = rng.randint(1, 3)
+            for _ in range(n_authors):
+                first = rng.choice(words.FIRST_NAMES)
+                last = rng.choice(words.LAST_NAMES)
+                paper.add_child(t("author", f"{first} {last}"))
+            if rng.random() < 0.3:
+                paper.add_child(
+                    t("abstract", " ".join(words.zipf_sample(rng, words.TOPIC_WORDS, 6)))
+                )
+            container.add_child(paper)
+        bib.add_child(container)
+    return bib
+
+
+def generate_auctions_xml(n_auctions: int = 60, seed: int = 37) -> XmlNode:
+    """An XMark-like auctions corpus with role ambiguity planted.
+
+    Person names recur across the seller/buyer/auctioneer roles so that
+    describable clustering has several role-interpretations per query.
+    """
+    rng = random.Random(seed)
+    people = [rng.choice(words.FIRST_NAMES) for _ in range(20)]
+    auctions = XmlNode("auctions")
+    for _ in range(n_auctions):
+        kind = rng.choice(["closed_auction", "open_auction"])
+        node = e(
+            kind,
+            t("seller", rng.choice(people)),
+            t("buyer", rng.choice(people)),
+            t("auctioneer", rng.choice(people)),
+            t("price", f"{rng.uniform(10, 999):.2f}"),
+            e("item", t("name", rng.choice(words.TOPIC_WORDS))),
+        )
+        auctions.add_child(node)
+    return auctions
+
+
+def generate_deep_auctions_xml(
+    n_regions: int = 4,
+    categories_per_region: int = 3,
+    items_per_category: int = 5,
+    seed: int = 47,
+) -> XmlNode:
+    """A deeply nested XMark-like corpus (depth >= 6).
+
+    site/regions/region/categories/category/items/item/{name,
+    description/keyword, seller/person/name} — exercises the d factor in
+    the ?LCA complexity bounds and gives clustering real path variety.
+    """
+    rng = random.Random(seed)
+    site = XmlNode("site")
+    regions = site.add_child(XmlNode("regions"))
+    region_names = ["europe", "asia", "namerica", "samerica", "africa"]
+    for ri in range(n_regions):
+        region = regions.add_child(XmlNode("region"))
+        region.add_child(t("name", region_names[ri % len(region_names)]))
+        categories = region.add_child(XmlNode("categories"))
+        for _ in range(categories_per_region):
+            category = categories.add_child(XmlNode("category"))
+            category.add_child(
+                t("label", rng.choice(words.TOPIC_WORDS))
+            )
+            items = category.add_child(XmlNode("items"))
+            for _ in range(items_per_category):
+                item = items.add_child(XmlNode("item"))
+                item.add_child(
+                    t("name", " ".join(
+                        words.distinct_zipf_sample(rng, words.TOPIC_WORDS, 2)
+                    ))
+                )
+                description = item.add_child(XmlNode("description"))
+                description.add_child(
+                    t("keyword", " ".join(
+                        words.zipf_sample(rng, words.TOPIC_WORDS, 3)
+                    ))
+                )
+                seller = item.add_child(XmlNode("seller"))
+                person = seller.add_child(XmlNode("person"))
+                person.add_child(
+                    t("name", rng.choice(words.FIRST_NAMES))
+                )
+    return site

@@ -1,0 +1,20 @@
+"""Keyword search beyond one database (slide 168).
+
+* database selection (Yu et al., SIGMOD 07): given many databases,
+  rank which ones can answer a keyword query *jointly* — keyword
+  frequency alone is not enough, the keywords must be connectable;
+* Kite-style cross-database search (Sayyadian et al., ICDE 07): answers
+  joining tuples across databases through discovered/declared
+  inter-database foreign-key links.
+"""
+
+from repro.distributed.selection import DatabaseSummary, rank_databases
+from repro.distributed.kite import InterDbLink, CrossDatabase, cross_search
+
+__all__ = [
+    "DatabaseSummary",
+    "rank_databases",
+    "InterDbLink",
+    "CrossDatabase",
+    "cross_search",
+]

@@ -1,0 +1,45 @@
+"""Evaluation methodology (tutorial slides 104-109).
+
+INEX-style character-level metrics with the tolerance-to-irrelevance
+reading model, and the axiomatic framework of Liu et al. (VLDB 08):
+data/query monotonicity and consistency checks applied to any XML
+keyword search engine.
+"""
+
+from repro.eval.inex import (
+    char_precision_recall_f,
+    result_score_with_tolerance,
+    generalized_precision_at_k,
+    average_generalized_precision,
+)
+from repro.eval.campaign import (
+    Topic,
+    CampaignReport,
+    run_campaign,
+    leaderboard_rows,
+)
+from repro.eval.axioms import (
+    AxiomReport,
+    check_data_monotonicity,
+    check_query_monotonicity,
+    check_data_consistency,
+    check_query_consistency,
+    axiom_matrix,
+)
+
+__all__ = [
+    "char_precision_recall_f",
+    "result_score_with_tolerance",
+    "generalized_precision_at_k",
+    "average_generalized_precision",
+    "Topic",
+    "CampaignReport",
+    "run_campaign",
+    "leaderboard_rows",
+    "AxiomReport",
+    "check_data_monotonicity",
+    "check_query_monotonicity",
+    "check_data_consistency",
+    "check_query_consistency",
+    "axiom_matrix",
+]

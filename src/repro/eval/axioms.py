@@ -1,0 +1,252 @@
+"""Axiomatic evaluation of XML keyword search (Liu et al., VLDB 08).
+
+Slides 107-109: instead of benchmarks, formalise intuitions as axioms
+and check whether an engine's behaviour on *pairs* of similar inputs is
+ever abnormal (assuming AND semantics):
+
+* **data monotonicity** — adding a data node never removes results.
+  Two flavours are implemented: ``count`` (the result count does not
+  decrease) and ``preserve`` (every old result is still a result);
+* **query monotonicity** — adding a query keyword never increases the
+  result count;
+* **data consistency** — every *new* result after a data addition
+  contains the added node;
+* **query consistency** — every *new* result after adding a query
+  keyword contains the new keyword (slide 109's example).
+
+An *engine* is any callable ``(root: XmlNode, keywords) -> set of
+result-root Deweys``; adapters for SLCA / ELCA / all-LCA live in
+:func:`standard_engines`.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.xml_search.elca import elca_candidates_verify
+from repro.xml_search.slca import lca_candidates, slca_indexed_lookup_eager
+from repro.xmltree.build import text_element
+from repro.xmltree.index import XmlKeywordIndex
+from repro.xmltree.node import Dewey, XmlNode
+
+Engine = Callable[[XmlNode, Sequence[str]], Set[Dewey]]
+
+
+def slca_engine(root: XmlNode, keywords: Sequence[str]) -> Set[Dewey]:
+    index = XmlKeywordIndex(root)
+    return set(slca_indexed_lookup_eager(index.match_lists(list(keywords))))
+
+
+def elca_engine(root: XmlNode, keywords: Sequence[str]) -> Set[Dewey]:
+    index = XmlKeywordIndex(root)
+    return set(elca_candidates_verify(index.match_lists(list(keywords))))
+
+
+def all_lca_engine(root: XmlNode, keywords: Sequence[str]) -> Set[Dewey]:
+    index = XmlKeywordIndex(root)
+    return set(lca_candidates(index.match_lists(list(keywords))))
+
+
+def standard_engines() -> Dict[str, Engine]:
+    return {
+        "slca": slca_engine,
+        "elca": elca_engine,
+        "all-lca": all_lca_engine,
+    }
+
+
+@dataclass
+class AxiomReport:
+    """Outcome of checking one axiom over a set of perturbations."""
+
+    axiom: str
+    checks: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.violations
+
+    @property
+    def violation_rate(self) -> float:
+        return len(self.violations) / self.checks if self.checks else 0.0
+
+
+def _clone(root: XmlNode) -> XmlNode:
+    return copy.deepcopy(root)
+
+
+def _subtree_contains_node(result: Dewey, node: Dewey) -> bool:
+    return node[: len(result)] == result
+
+
+def _subtree_contains_keyword(
+    root: XmlNode, result: Dewey, keyword: str
+) -> bool:
+    node = root.node_at(result)
+    if node is None:
+        return False
+    tokens = set(tokenize(node.text()))
+    for descendant in node.descendants(include_self=True):
+        tokens.update(tokenize(descendant.tag))
+    return keyword.lower() in tokens
+
+
+def _add_keyword_node(
+    root: XmlNode, parent: XmlNode, keyword: str, tag: str = "note"
+) -> XmlNode:
+    return parent.add_child(text_element(tag, keyword))
+
+
+def check_data_monotonicity(
+    engine: Engine,
+    root: XmlNode,
+    keywords: Sequence[str],
+    insertion_parents: Sequence[Dewey],
+    mode: str = "preserve",
+) -> AxiomReport:
+    """Add a node containing an existing query keyword at each parent."""
+    if mode not in ("preserve", "count"):
+        raise ValueError("mode must be 'preserve' or 'count'")
+    report = AxiomReport(f"data-monotonicity[{mode}]")
+    before = engine(root, keywords)
+    for parent_dewey in insertion_parents:
+        for keyword in keywords:
+            mutated = _clone(root)
+            parent = mutated.node_at(parent_dewey)
+            if parent is None:
+                continue
+            _add_keyword_node(mutated, parent, keyword)
+            after = engine(mutated, keywords)
+            report.checks += 1
+            if mode == "count":
+                if len(after) < len(before):
+                    report.violations.append(
+                        f"count {len(before)} -> {len(after)} after adding "
+                        f"{keyword!r} under {parent_dewey}"
+                    )
+            else:
+                missing = before - after
+                if missing:
+                    report.violations.append(
+                        f"results {sorted(missing)} lost after adding "
+                        f"{keyword!r} under {parent_dewey}"
+                    )
+    return report
+
+
+def check_data_consistency(
+    engine: Engine,
+    root: XmlNode,
+    keywords: Sequence[str],
+    insertion_parents: Sequence[Dewey],
+) -> AxiomReport:
+    """Every new result after a data addition must contain the new node."""
+    report = AxiomReport("data-consistency")
+    before = engine(root, keywords)
+    for parent_dewey in insertion_parents:
+        for keyword in keywords:
+            mutated = _clone(root)
+            parent = mutated.node_at(parent_dewey)
+            if parent is None:
+                continue
+            new_node = _add_keyword_node(mutated, parent, keyword)
+            after = engine(mutated, keywords)
+            report.checks += 1
+            for result in after - before:
+                if not _subtree_contains_node(result, new_node.dewey):
+                    report.violations.append(
+                        f"new result {result} does not contain added node "
+                        f"{new_node.dewey}"
+                    )
+    return report
+
+
+def check_query_monotonicity(
+    engine: Engine,
+    root: XmlNode,
+    keywords: Sequence[str],
+    extra_keywords: Sequence[str],
+) -> AxiomReport:
+    """Adding a keyword must not increase the result count (AND)."""
+    report = AxiomReport("query-monotonicity")
+    before = engine(root, keywords)
+    for extra in extra_keywords:
+        if extra.lower() in {k.lower() for k in keywords}:
+            continue
+        after = engine(root, list(keywords) + [extra])
+        report.checks += 1
+        if len(after) > len(before):
+            report.violations.append(
+                f"count {len(before)} -> {len(after)} after adding "
+                f"keyword {extra!r}"
+            )
+    return report
+
+
+def check_query_consistency(
+    engine: Engine,
+    root: XmlNode,
+    keywords: Sequence[str],
+    extra_keywords: Sequence[str],
+) -> AxiomReport:
+    """Every new result after adding a keyword contains that keyword."""
+    report = AxiomReport("query-consistency")
+    before = engine(root, keywords)
+    for extra in extra_keywords:
+        if extra.lower() in {k.lower() for k in keywords}:
+            continue
+        after = engine(root, list(keywords) + [extra])
+        report.checks += 1
+        for result in after - before:
+            if not _subtree_contains_keyword(root, result, extra):
+                report.violations.append(
+                    f"new result {result} lacks new keyword {extra!r}"
+                )
+    return report
+
+
+def axiom_matrix(
+    engines: Dict[str, Engine],
+    root: XmlNode,
+    keywords: Sequence[str],
+    extra_keywords: Sequence[str],
+    seed: int = 41,
+    n_insertions: int = 8,
+) -> Dict[str, Dict[str, AxiomReport]]:
+    """Satisfaction matrix: engine -> axiom -> report (bench E16)."""
+    rng = random.Random(seed)
+    internal = [
+        n.dewey
+        for n in root.descendants(include_self=True)
+        if n.children
+    ]
+    parents = (
+        rng.sample(internal, min(n_insertions, len(internal)))
+        if internal
+        else [root.dewey]
+    )
+    matrix: Dict[str, Dict[str, AxiomReport]] = {}
+    for name, engine in engines.items():
+        matrix[name] = {
+            "data-monotonicity": check_data_monotonicity(
+                engine, root, keywords, parents, mode="preserve"
+            ),
+            "data-monotonicity-count": check_data_monotonicity(
+                engine, root, keywords, parents, mode="count"
+            ),
+            "data-consistency": check_data_consistency(
+                engine, root, keywords, parents
+            ),
+            "query-monotonicity": check_query_monotonicity(
+                engine, root, keywords, extra_keywords
+            ),
+            "query-consistency": check_query_consistency(
+                engine, root, keywords, extra_keywords
+            ),
+        }
+    return matrix

@@ -1,0 +1,106 @@
+"""INEX-style evaluation campaigns (slides 104-106 operationalised).
+
+A *topic* is a query plus assessor ground truth: per result root, a
+graded relevance (0..1).  A campaign runs several engines over all
+topics and produces a leaderboard of mean AgP — the slide-106 metric —
+with per-topic gP@k available for drill-down.  This is the programmatic
+substitute for INEX's human assessment pipeline (see DESIGN.md's
+substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.inex import (
+    average_generalized_precision,
+    generalized_precision_at_k,
+)
+from repro.xmltree.node import Dewey, XmlNode
+
+#: An engine returns result roots in rank order for a keyword query.
+RankedEngine = Callable[[XmlNode, Sequence[str]], List[Dewey]]
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One benchmark topic: query + graded ground truth."""
+
+    topic_id: str
+    keywords: Tuple[str, ...]
+    relevance: Dict[Dewey, float]  # result root -> grade in [0, 1]
+
+    def grade(self, result: Dewey) -> float:
+        return self.relevance.get(result, 0.0)
+
+
+@dataclass
+class TopicResult:
+    topic_id: str
+    agp: float
+    gp_at: Dict[int, float]
+
+
+@dataclass
+class CampaignReport:
+    engine: str
+    topics: List[TopicResult]
+
+    @property
+    def mean_agp(self) -> float:
+        if not self.topics:
+            return 0.0
+        return sum(t.agp for t in self.topics) / len(self.topics)
+
+    def mean_gp_at(self, k: int) -> float:
+        values = [t.gp_at.get(k, 0.0) for t in self.topics]
+        return sum(values) / len(values) if values else 0.0
+
+
+def evaluate_topic(
+    engine: RankedEngine,
+    document: XmlNode,
+    topic: Topic,
+    cutoffs: Sequence[int] = (1, 3, 5, 10),
+) -> TopicResult:
+    ranked = engine(document, list(topic.keywords))
+    grades = [topic.grade(result) for result in ranked]
+    return TopicResult(
+        topic_id=topic.topic_id,
+        agp=average_generalized_precision(grades),
+        gp_at={
+            k: generalized_precision_at_k(grades, k) if grades else 0.0
+            for k in cutoffs
+        },
+    )
+
+
+def run_campaign(
+    engines: Dict[str, RankedEngine],
+    document: XmlNode,
+    topics: Sequence[Topic],
+    cutoffs: Sequence[int] = (1, 3, 5, 10),
+) -> List[CampaignReport]:
+    """Evaluate every engine on every topic; leaderboard by mean AgP."""
+    reports = []
+    for name, engine in engines.items():
+        topic_results = [
+            evaluate_topic(engine, document, topic, cutoffs) for topic in topics
+        ]
+        reports.append(CampaignReport(name, topic_results))
+    reports.sort(key=lambda r: (-r.mean_agp, r.engine))
+    return reports
+
+
+def leaderboard_rows(
+    reports: Sequence[CampaignReport], cutoffs: Sequence[int] = (1, 5)
+) -> List[Tuple[str, ...]]:
+    """Printable leaderboard rows: engine, AgP, gP@k..."""
+    rows = []
+    for report in reports:
+        row = [report.engine, f"{report.mean_agp:.3f}"]
+        for k in cutoffs:
+            row.append(f"{report.mean_gp_at(k):.3f}")
+        rows.append(tuple(row))
+    return rows

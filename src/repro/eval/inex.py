@@ -1,0 +1,101 @@
+"""INEX-style evaluation metrics (slides 104-106).
+
+INEX assessors highlight relevant character ranges; a retrieved result
+fragment is scored at character granularity:
+
+* precision — fraction of the *read* characters that are relevant,
+* recall    — fraction of relevant characters retrieved,
+* F-measure — their harmonic mean,
+
+with the **tolerance-to-irrelevance** reading model: the user reads a
+result's characters in order and stops after ``tolerance`` consecutive
+irrelevant characters (slide 105's "assume user stops reading when
+there are too many consecutive non-relevant result fragments").
+
+Ranked lists are scored by generalized precision gP@k (mean score of the
+first k results) and AgP (mean of gP@k over all k) — slide 106.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+Interval = Tuple[int, int]  # [start, end) character range
+
+
+def _to_set(intervals: Sequence[Interval]) -> Set[int]:
+    out: Set[int] = set()
+    for start, end in intervals:
+        if end < start:
+            raise ValueError("interval end before start")
+        out.update(range(start, end))
+    return out
+
+
+def read_prefix_with_tolerance(
+    result: Interval, relevant: Sequence[Interval], tolerance: int
+) -> Set[int]:
+    """Characters actually read under the tolerance model.
+
+    The user reads result characters left to right and abandons the
+    result after `tolerance` consecutive irrelevant characters (those
+    characters are still read — they are the wasted effort precision
+    charges for).
+    """
+    relevant_chars = _to_set(relevant)
+    start, end = result
+    read: Set[int] = set()
+    consecutive_irrelevant = 0
+    for position in range(start, end):
+        read.add(position)
+        if position in relevant_chars:
+            consecutive_irrelevant = 0
+        else:
+            consecutive_irrelevant += 1
+            if consecutive_irrelevant >= tolerance:
+                break
+    return read
+
+
+def char_precision_recall_f(
+    read_chars: Set[int], relevant: Sequence[Interval]
+) -> Tuple[float, float, float]:
+    """Character precision / recall / F of one read set."""
+    relevant_chars = _to_set(relevant)
+    if not read_chars:
+        return (0.0, 0.0, 0.0)
+    overlap = len(read_chars & relevant_chars)
+    precision = overlap / len(read_chars)
+    recall = overlap / len(relevant_chars) if relevant_chars else 0.0
+    if precision + recall == 0:
+        return (precision, recall, 0.0)
+    f = 2 * precision * recall / (precision + recall)
+    return (precision, recall, f)
+
+
+def result_score_with_tolerance(
+    result: Interval, relevant: Sequence[Interval], tolerance: int = 20
+) -> float:
+    """F-measure of one result under the tolerance reading model."""
+    read = read_prefix_with_tolerance(result, relevant, tolerance)
+    __, __, f = char_precision_recall_f(read, relevant)
+    return f
+
+
+def generalized_precision_at_k(scores: Sequence[float], k: int) -> float:
+    """gP@k: average score of the first k results (slide 106)."""
+    if k <= 0:
+        raise ValueError("k must be >= 1")
+    window = list(scores[:k])
+    if not window:
+        return 0.0
+    return sum(window) / k
+
+
+def average_generalized_precision(scores: Sequence[float]) -> float:
+    """AgP: mean of gP@k over all k = 1..n."""
+    if not scores:
+        return 0.0
+    return sum(
+        generalized_precision_at_k(scores, k) for k in range(1, len(scores) + 1)
+    ) / len(scores)

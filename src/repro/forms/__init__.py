@@ -1,0 +1,42 @@
+"""Query forms and QUnits (tutorial slides 54-64).
+
+* form model + offline skeleton/form generation and online keyword ->
+  form matching, ranking and grouping (Chu et al., SIGMOD 09),
+* queriability-driven form design: entity, related-entity, attribute and
+  operator-specific queriability (Jayapandian & Jagadish, PVLDB 08),
+* QUnits: materialised semantic units searched by keywords (Nandi &
+  Jagadish, CIDR 09).
+"""
+
+from repro.forms.model import QueryForm, Skeleton, PredicateSlot
+from repro.forms.generation import generate_skeletons, generate_forms
+from repro.forms.matching import FormIndex, rank_forms, group_forms
+from repro.forms.queriability import (
+    entity_queriability,
+    related_entity_queriability,
+    participation_ratio,
+    attribute_queriability,
+    operator_affinities,
+    design_forms,
+)
+from repro.forms.qunits import QUnit, materialize_qunits, search_qunits
+
+__all__ = [
+    "QueryForm",
+    "Skeleton",
+    "PredicateSlot",
+    "generate_skeletons",
+    "generate_forms",
+    "FormIndex",
+    "rank_forms",
+    "group_forms",
+    "entity_queriability",
+    "related_entity_queriability",
+    "participation_ratio",
+    "attribute_queriability",
+    "operator_affinities",
+    "design_forms",
+    "QUnit",
+    "materialize_qunits",
+    "search_qunits",
+]

@@ -1,0 +1,91 @@
+"""Offline form generation (Chu et al., SIGMOD 09; slides 55-56).
+
+Step 1 enumerates *skeleton templates*: connected join trees over the
+schema graph up to a size budget, deduplicated by canonical form.
+Step 2 attaches predicate slots — by default every text attribute of
+every participating table ("add predicate attributes to each skeleton
+template; leave operator and expression unfilled").  Optionally each
+skeleton is also expanded into the query classes of slide 58 (SELECT /
+AGGR / GROUP / UNION-INTERSECT), which drives the two-level grouping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.forms.model import PredicateSlot, QueryForm, Skeleton
+from repro.relational.schema import Schema
+from repro.relational.schema_graph import SchemaGraph
+
+QUERY_CLASSES = ("SELECT", "AGGR", "GROUP", "UNION-INTERSECT")
+
+
+def generate_skeletons(
+    schema_graph: SchemaGraph,
+    max_size: int = 3,
+    max_skeletons: Optional[int] = None,
+) -> List[Skeleton]:
+    """All connected join trees up to *max_size* tables, duplicate-free."""
+    seen: Set[str] = set()
+    out: List[Skeleton] = []
+    queue: deque = deque()
+    for table in sorted(schema_graph.tables):
+        skeleton = Skeleton((table,), ())
+        code = skeleton.canonical()
+        if code not in seen:
+            seen.add(code)
+            queue.append(skeleton)
+    emitted: Set[str] = set()
+    while queue:
+        skeleton = queue.popleft()
+        code = skeleton.canonical()
+        if code not in emitted:
+            emitted.add(code)
+            out.append(skeleton)
+            if max_skeletons is not None and len(out) >= max_skeletons:
+                break
+        if skeleton.size >= max_size:
+            continue
+        for i, table in enumerate(skeleton.tables):
+            for nbr, edge in schema_graph.neighbors(table):
+                extended = Skeleton(
+                    skeleton.tables + (nbr,),
+                    skeleton.edges + ((i, skeleton.size, edge),),
+                )
+                ext_code = extended.canonical()
+                if ext_code not in seen:
+                    seen.add(ext_code)
+                    queue.append(extended)
+    out.sort(key=lambda s: (s.size, s.label()))
+    return out
+
+
+def generate_forms(
+    schema: Schema,
+    skeletons: Sequence[Skeleton],
+    with_query_classes: bool = False,
+    text_attributes_only: bool = True,
+) -> List[QueryForm]:
+    """Attach predicate slots to every skeleton (step 2 of slide 56)."""
+    forms: List[QueryForm] = []
+    for skeleton in skeletons:
+        slots: List[PredicateSlot] = []
+        for node_idx, table_name in enumerate(skeleton.tables):
+            table = schema.table(table_name)
+            if text_attributes_only:
+                attributes = table.text_columns
+            else:
+                attributes = tuple(
+                    c.name for c in table.columns if c.name != table.primary_key
+                )
+            for attribute in attributes:
+                slots.append(PredicateSlot(node_idx, table_name, attribute))
+        if not slots:
+            continue
+        if with_query_classes:
+            for query_class in QUERY_CLASSES:
+                forms.append(QueryForm(skeleton, tuple(slots), query_class))
+        else:
+            forms.append(QueryForm(skeleton, tuple(slots)))
+    return forms

@@ -1,0 +1,230 @@
+"""Queriability-driven form design (Jayapandian & Jagadish, PVLDB 08).
+
+Slides 59-63, plus the slide-40 participation arithmetic:
+
+* **entity queriability** — PageRank adapted to data navigation: an
+  entity type likely to be *visited* while browsing is likely to be
+  *queried*; score spread to out-links is weighted by how many instance
+  connections each link carries (slide 60);
+* **related-entity queriability** — relatedness of E1 – E2 is the mean
+  of the two directional generalised participation ratios
+  P(E1 -> E2) = fraction of E1 instances connected to some E2 instance
+  (slide 40), combined with the endpoints' own queriabilities;
+* **attribute queriability** — non-null occurrence ratio (slide 62);
+* **operator-specific queriability** — selective attributes -> selection,
+  text fields -> projection, single-valued mandatory -> order-by,
+  numeric -> aggregation (slide 63);
+* ``design_forms`` — assemble the top-queriability forms under a budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.forms.model import PredicateSlot, QueryForm, Skeleton
+from repro.relational.database import Database
+from repro.relational.schema_graph import SchemaGraph
+
+
+def _connected_instances(
+    db: Database, from_table: str, to_table: str
+) -> Set[int]:
+    """Rowids of *from_table* connected to some *to_table* instance
+    by one FK edge or via one intermediate (relationship) tuple."""
+    connected: Set[int] = set()
+    for row in db.rows(from_table):
+        frontier = [(row, 0)]
+        seen = {(from_table, row.rowid)}
+        while frontier:
+            current, depth = frontier.pop()
+            if current.table.name == to_table and depth > 0:
+                connected.add(row.rowid)
+                break
+            if depth >= 2:
+                continue
+            neighbors = [p for p, _ in db.references_of(current)]
+            neighbors.extend(c for c, _, _ in db.referrers_of(current))
+            for nbr in neighbors:
+                key = (nbr.table.name, nbr.rowid)
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append((nbr, depth + 1))
+    return connected
+
+
+def participation_ratio(db: Database, from_table: str, to_table: str) -> float:
+    """P(E1 -> E2): fraction of E1 instances connected to some E2 (slide 40)."""
+    total = len(db.table(from_table))
+    if total == 0:
+        return 0.0
+    return len(_connected_instances(db, from_table, to_table)) / total
+
+
+def entity_queriability(
+    db: Database,
+    schema_graph: SchemaGraph,
+    damping: float = 0.85,
+    iterations: int = 50,
+) -> Dict[str, float]:
+    """PageRank over the schema graph with instance-weighted spread.
+
+    The weight of the edge t -> u is the number of instance connections
+    between the two tables (slide 60: inproceedings spreads more weight
+    to author than article if it carries more author links).
+    """
+    tables = schema_graph.tables
+    weights: Dict[str, Dict[str, float]] = {t: {} for t in tables}
+    for edge in schema_graph.edges:
+        count = 0
+        child = db.table(edge.child)
+        for row in child.rows():
+            if row[edge.fk.column] is not None:
+                count += 1
+        if count == 0:
+            count = 1
+        weights[edge.child][edge.parent] = (
+            weights[edge.child].get(edge.parent, 0.0) + count
+        )
+        weights[edge.parent][edge.child] = (
+            weights[edge.parent].get(edge.child, 0.0) + count
+        )
+    rank = {t: 1.0 / len(tables) for t in tables}
+    for _ in range(iterations):
+        nxt = {t: (1 - damping) / len(tables) for t in tables}
+        for t in tables:
+            out = weights[t]
+            total = sum(out.values())
+            if total == 0:
+                for u in tables:
+                    nxt[u] += damping * rank[t] / len(tables)
+                continue
+            for u, w in out.items():
+                nxt[u] += damping * rank[t] * (w / total)
+        rank = nxt
+    return rank
+
+
+def related_entity_queriability(
+    db: Database,
+    schema_graph: SchemaGraph,
+    entity_scores: Dict[str, float],
+    e1: str,
+    e2: str,
+) -> float:
+    """Queriability of asking E1 and E2 together (slides 40, 61)."""
+    relatedness = 0.5 * (
+        participation_ratio(db, e1, e2) + participation_ratio(db, e2, e1)
+    )
+    # Combined queriability on the same scale as single entities: the
+    # pair inherits the sum of its endpoints' queriabilities, damped by
+    # how related they actually are (slide 61) — strongly-participating
+    # pairs outrank their individual entities, weak pairs do not.
+    return relatedness * (entity_scores.get(e1, 0.0) + entity_scores.get(e2, 0.0))
+
+
+def attribute_queriability(db: Database, table: str, attribute: str) -> float:
+    """Fraction of non-null occurrences w.r.t. parent instances (slide 62)."""
+    tbl = db.table(table)
+    if len(tbl) == 0:
+        return 0.0
+    non_null = sum(1 for row in tbl.rows() if row[attribute] is not None)
+    return non_null / len(tbl)
+
+
+def operator_affinities(
+    db: Database, table: str, attribute: str
+) -> Dict[str, float]:
+    """Operator-specific queriability of one attribute (slide 63)."""
+    tbl = db.table(table)
+    schema = tbl.schema
+    column = schema.column(attribute)
+    n = len(tbl) or 1
+    values = [row[attribute] for row in tbl.rows()]
+    non_null = [v for v in values if v is not None]
+    distinct = len(set(non_null))
+    selectivity = distinct / n
+    mandatory = len(non_null) == n
+    numeric = column.dtype in ("int", "float")
+    out = {
+        # Highly selective attributes identify instances -> selection.
+        "selection": selectivity,
+        # Text fields are informative to read -> projection.
+        "projection": 1.0 if column.text else 0.2,
+        # Single-valued mandatory attributes order well -> order by.
+        "order_by": (1.0 if (mandatory and numeric) else 0.1),
+        # Numeric attributes aggregate -> aggregation.
+        "aggregation": 1.0 if numeric else 0.0,
+    }
+    return out
+
+
+def design_forms(
+    db: Database,
+    schema_graph: SchemaGraph,
+    form_budget: int = 5,
+    attributes_per_form: int = 3,
+) -> List[QueryForm]:
+    """Assemble the top-queriability forms (slides 59-63 pipeline).
+
+    Candidate skeletons are single entities and related entity pairs
+    (joined through their connecting relationship path); they are ranked
+    by (related-)entity queriability, and each form receives its tables'
+    top-queriability attributes as predicate slots.
+    """
+    entity_scores = entity_queriability(db, schema_graph)
+    schema = db.schema
+    entities = [t for t in schema.entity_tables()]
+    candidates: List[Tuple[float, Skeleton]] = []
+    for entity in entities:
+        candidates.append(
+            (entity_scores.get(entity, 0.0), Skeleton((entity,), ()))
+        )
+    for i, e1 in enumerate(entities):
+        for e2 in entities[i:]:
+            skeleton = _join_skeleton(schema_graph, e1, e2)
+            if skeleton is None:
+                continue
+            score = related_entity_queriability(
+                db, schema_graph, entity_scores, e1, e2
+            )
+            candidates.append((score, skeleton))
+    candidates.sort(key=lambda pair: (-pair[0], pair[1].label()))
+    forms: List[QueryForm] = []
+    for score, skeleton in candidates[:form_budget]:
+        slots: List[PredicateSlot] = []
+        scored_slots: List[Tuple[float, PredicateSlot]] = []
+        for node_idx, table_name in enumerate(skeleton.tables):
+            tbl = schema.table(table_name)
+            for column in tbl.columns:
+                if column.name == tbl.primary_key:
+                    continue
+                quality = attribute_queriability(db, table_name, column.name)
+                scored_slots.append(
+                    (quality, PredicateSlot(node_idx, table_name, column.name))
+                )
+        scored_slots.sort(key=lambda pair: (-pair[0], pair[1].label()))
+        slots = [slot for _, slot in scored_slots[:attributes_per_form]]
+        if slots:
+            forms.append(QueryForm(skeleton, tuple(slots)))
+    return forms
+
+
+def _join_skeleton(
+    schema_graph: SchemaGraph, e1: str, e2: str
+) -> Optional[Skeleton]:
+    """Skeleton joining two entities along their shortest schema path."""
+    if e1 == e2:
+        return None
+    try:
+        path = schema_graph.shortest_join_path(e1, e2)
+    except Exception:
+        return None
+    tables = tuple(path)
+    edges = []
+    for i in range(len(path) - 1):
+        connecting = schema_graph.edges_between(path[i], path[i + 1])
+        if not connecting:
+            return None
+        edges.append((i, i + 1, connecting[0]))
+    return Skeleton(tables, tuple(edges))

@@ -1,0 +1,47 @@
+"""Graph-based keyword search (tutorial slides 29-31, 113-114, 121-128).
+
+Data modeled as a tuple graph; answers are small connecting structures:
+
+* exact group Steiner trees by dynamic programming (Ding+ ICDE 07),
+* BANKS I backward expansion and BANKS II frontier-prioritised
+  expansion (Bhalotia+ ICDE 02, Kacholia+ VLDB 05),
+* STAR-style local-improvement approximation (Kasneci+ ICDE 09),
+* distinct-root and distinct-core semantics (He+ SIGMOD 07, Qin+ ICDE 09),
+* EASE r-radius Steiner subgraphs (Li+ SIGMOD 08),
+* BLINKS-style TA search over keyword-distance lists (He+ SIGMOD 07).
+"""
+
+from repro.graph_search.steiner import (
+    SteinerTree,
+    group_steiner_dp,
+    tree_weight,
+)
+from repro.graph_search.banks import (
+    BanksResult,
+    banks_backward,
+    banks_bidirectional,
+)
+from repro.graph_search.star import star_approximation
+from repro.graph_search.mip import steiner_milp, steiner_milp_rooted
+from repro.graph_search.semantics import (
+    distinct_root_results,
+    distinct_core_results,
+)
+from repro.graph_search.ease import r_radius_steiner_graphs
+from repro.graph_search.blinks import blinks_topk
+
+__all__ = [
+    "SteinerTree",
+    "group_steiner_dp",
+    "tree_weight",
+    "BanksResult",
+    "banks_backward",
+    "banks_bidirectional",
+    "star_approximation",
+    "steiner_milp",
+    "steiner_milp_rooted",
+    "distinct_root_results",
+    "distinct_core_results",
+    "r_radius_steiner_graphs",
+    "blinks_topk",
+]

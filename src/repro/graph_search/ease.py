@@ -1,0 +1,97 @@
+"""EASE: r-radius Steiner subgraphs (Li et al., SIGMOD 08; slides 31, 128).
+
+An answer is a subgraph of radius <= r that matches every query keyword,
+reduced to its *Steiner* part: only nodes lying on paths between keyword
+matches survive ("less unnecessary nodes", slide 31).  We enumerate
+candidate centers (nodes whose r-hop ball covers all keywords), extract
+the Steiner nodes of each ball, and deduplicate by node set, keeping the
+most compact representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.data_graph import DataGraph
+from repro.relational.database import TupleId
+
+
+@dataclass(frozen=True)
+class RadiusSteinerGraph:
+    """One EASE answer: center, Steiner node set, matched keyword nodes."""
+
+    center: TupleId
+    nodes: FrozenSet[TupleId]
+    keyword_nodes: FrozenSet[TupleId]
+
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+def r_radius_steiner_graphs(
+    graph: DataGraph,
+    groups: Sequence[Sequence[TupleId]],
+    r: int = 2,
+    k: Optional[int] = None,
+) -> List[RadiusSteinerGraph]:
+    """Enumerate r-radius Steiner subgraphs covering all keyword groups.
+
+    Results are ordered by (size, center) — smaller (more compact)
+    subgraphs first, matching EASE's compactness-oriented ranking.
+    """
+    if not groups or any(not g for g in groups):
+        return []
+    group_sets = [set(g) for g in groups]
+    all_matches: Set[TupleId] = set().union(*group_sets)
+    answers: Dict[FrozenSet[TupleId], RadiusSteinerGraph] = {}
+    for center in graph.nodes:
+        ball = graph.bfs_hops(center, max_hops=r)
+        members = set(ball)
+        matched = [members & gs for gs in group_sets]
+        if not all(matched):
+            continue
+        keyword_nodes = set().union(*matched)
+        steiner = _steiner_reduce(graph, members, keyword_nodes, center)
+        key = frozenset(steiner)
+        existing = answers.get(key)
+        candidate = RadiusSteinerGraph(
+            center=center,
+            nodes=frozenset(steiner),
+            keyword_nodes=frozenset(keyword_nodes),
+        )
+        if existing is None or candidate.center < existing.center:
+            answers[key] = candidate
+    out = sorted(answers.values(), key=lambda a: (a.size(), a.center))
+    return out[:k] if k is not None else out
+
+
+def _steiner_reduce(
+    graph: DataGraph,
+    members: Set[TupleId],
+    keyword_nodes: Set[TupleId],
+    center: TupleId,
+) -> Set[TupleId]:
+    """Drop ball nodes not on any path between keyword nodes.
+
+    Standard reduction on the induced subgraph: iteratively peel
+    degree-<=1 nodes that are not keyword nodes; what remains is the
+    union of paths among keyword nodes (plus cycles through them).
+    """
+    sub = {n: set() for n in members}
+    for n in members:
+        for nbr, _ in graph.neighbors(n):
+            if nbr in members:
+                sub[n].add(nbr)
+    changed = True
+    alive = set(members)
+    while changed:
+        changed = False
+        for node in list(alive):
+            if node in keyword_nodes:
+                continue
+            degree = len(sub[node] & alive)
+            if degree <= 1:
+                alive.discard(node)
+                changed = True
+    return alive if alive else set(keyword_nodes)

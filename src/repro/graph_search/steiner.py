@@ -1,0 +1,144 @@
+"""Exact group Steiner trees by dynamic programming.
+
+Slide 30: the top-1 result of keyword search under tree semantics is the
+minimum-weight tree connecting one instance of each keyword — the group
+Steiner tree (GST).  NP-hard in general, but tractable for a fixed
+number of keyword groups ℓ (slide 112, Ding+ ICDE 07) via the
+Dreyfus–Wagner style DP over group subsets:
+
+    dp[S][v] = weight of the cheapest tree rooted at v covering groups S
+    grow:   dp[S][v] -> dp[S][u] + w(u, v)          (Dijkstra relaxation)
+    merge:  dp[S1][v] + dp[S2][v] -> dp[S1|S2][v]
+
+Complexity O(3^ℓ·n + 2^ℓ·(n log n + m)): exponential in ℓ only.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.data_graph import DataGraph
+from repro.relational.database import TupleId
+
+INF = float("inf")
+
+
+@dataclass
+class SteinerTree:
+    """An answer tree: root, edges and total weight."""
+
+    root: TupleId
+    edges: List[Tuple[TupleId, TupleId]]
+    weight: float
+
+    @property
+    def nodes(self) -> Set[TupleId]:
+        out = {self.root}
+        for u, v in self.edges:
+            out.add(u)
+            out.add(v)
+        return out
+
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+def tree_weight(graph: DataGraph, edges: Sequence[Tuple[TupleId, TupleId]]) -> float:
+    total = 0.0
+    for u, v in edges:
+        w = graph.edge_weight(u, v)
+        if w is None:
+            raise ValueError(f"({u}, {v}) is not an edge")
+        total += w
+    return total
+
+
+def group_steiner_dp(
+    graph: DataGraph,
+    groups: Sequence[Sequence[TupleId]],
+    max_groups: int = 10,
+) -> Optional[SteinerTree]:
+    """Minimum-weight group Steiner tree, or None if no tree connects all.
+
+    *groups* are the keyword match sets; a tree must touch at least one
+    node from each group.  Raises for more than *max_groups* groups (the
+    DP is exponential in the group count).
+    """
+    g = len(groups)
+    if g == 0:
+        return None
+    if g > max_groups:
+        raise ValueError(f"too many groups for exact DP ({g} > {max_groups})")
+    if any(not group for group in groups):
+        return None
+
+    full = (1 << g) - 1
+    # dp[mask][node] = best weight; parent pointers for reconstruction.
+    dp: List[Dict[TupleId, float]] = [{} for _ in range(full + 1)]
+    # back[mask][node] = ("edge", u) or ("merge", m1, m2)
+    back: List[Dict[TupleId, Tuple]] = [{} for _ in range(full + 1)]
+
+    for i, group in enumerate(groups):
+        mask = 1 << i
+        for node in group:
+            if node in graph and dp[mask].get(node, INF) > 0.0:
+                dp[mask][node] = 0.0
+                back[mask][node] = ("leaf",)
+
+    for mask in range(1, full + 1):
+        # Merge: combine proper submasks at the same root.
+        sub = (mask - 1) & mask
+        while sub:
+            other = mask ^ sub
+            if sub < other:  # each unordered pair once
+                for node, w1 in dp[sub].items():
+                    w2 = dp[other].get(node)
+                    if w2 is None:
+                        continue
+                    if w1 + w2 < dp[mask].get(node, INF):
+                        dp[mask][node] = w1 + w2
+                        back[mask][node] = ("merge", sub, other)
+            sub = (sub - 1) & mask
+        # Grow: Dijkstra over dp[mask].
+        heap = [(w, n) for n, w in dp[mask].items()]
+        heapq.heapify(heap)
+        settled: Set[TupleId] = set()
+        while heap:
+            w, node = heapq.heappop(heap)
+            if node in settled or w > dp[mask].get(node, INF):
+                continue
+            settled.add(node)
+            for nbr, edge_w in graph.neighbors(node):
+                nw = w + edge_w
+                if nw < dp[mask].get(nbr, INF):
+                    dp[mask][nbr] = nw
+                    back[mask][nbr] = ("edge", node)
+                    heapq.heappush(heap, (nw, nbr))
+
+    if not dp[full]:
+        return None
+    root = min(dp[full], key=lambda n: (dp[full][n], n))
+    edges: List[Tuple[TupleId, TupleId]] = []
+    _reconstruct(full, root, back, edges)
+    return SteinerTree(root=root, edges=edges, weight=dp[full][root])
+
+
+def _reconstruct(
+    mask: int,
+    node: TupleId,
+    back: List[Dict[TupleId, Tuple]],
+    edges: List[Tuple[TupleId, TupleId]],
+) -> None:
+    entry = back[mask].get(node)
+    if entry is None or entry[0] == "leaf":
+        return
+    if entry[0] == "edge":
+        parent = entry[1]
+        edges.append((parent, node))
+        _reconstruct(mask, parent, back, edges)
+    else:
+        __, sub, other = entry
+        _reconstruct(sub, node, back, edges)
+        _reconstruct(other, node, back, edges)

@@ -1,0 +1,99 @@
+"""δ-step forward index (TASTIER, Li et al. SIGMOD 09; slides 72-73).
+
+For every node, the set of token ids appearing on tuples reachable within
+δ hops.  During type-ahead search, the candidates produced by the
+smallest prefix's inverted list are pruned by checking that the token-id
+*ranges* of the remaining prefixes intersect each candidate's forward
+set — exactly the slide-73 example where candidate ``{11, 12, 78}`` is
+pruned to ``{12}`` by ``Range(sig) = [k23, k27]``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.data_graph import DataGraph
+from repro.index.inverted import InvertedIndex
+from repro.index.trie import Trie
+from repro.relational.database import TupleId
+
+
+class DeltaForwardIndex:
+    """node -> sorted token ids within δ hops."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        index: InvertedIndex,
+        trie: Trie,
+        delta: int = 2,
+    ):
+        self.graph = graph
+        self.index = index
+        self.trie = trie
+        self.delta = delta
+        self._forward: Dict[TupleId, List[int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        # Token ids directly on each node.
+        local: Dict[TupleId, Set[int]] = {}
+        for node in self.graph.nodes:
+            tokens = self.index.tokens_of(node)
+            if tokens:
+                local[node] = {self.trie.token_id(t) for t in tokens if t in self.trie}
+        # Propagate δ hops by iterated neighbourhood union.
+        reach: Dict[TupleId, Set[int]] = {
+            node: set(ids) for node, ids in local.items()
+        }
+        frontier_sets = dict(reach)
+        for _ in range(self.delta):
+            nxt: Dict[TupleId, Set[int]] = {}
+            for node in self.graph.nodes:
+                gathered: Set[int] = set()
+                for nbr, _w in self.graph.neighbors(node):
+                    nbr_tokens = frontier_sets.get(nbr)
+                    if nbr_tokens:
+                        gathered |= nbr_tokens
+                if gathered:
+                    have = reach.setdefault(node, set())
+                    new = gathered - have
+                    if new:
+                        have |= new
+                        nxt[node] = new
+            frontier_sets = nxt
+            if not frontier_sets:
+                break
+        self._forward = {node: sorted(ids) for node, ids in reach.items()}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def tokens_within_delta(self, node: TupleId) -> List[int]:
+        return list(self._forward.get(node, ()))
+
+    def reaches_range(self, node: TupleId, lo: int, hi: int) -> bool:
+        """True if *node* reaches some token id in [lo, hi] within δ hops."""
+        ids = self._forward.get(node)
+        if not ids:
+            return False
+        pos = bisect_left(ids, lo)
+        return pos < len(ids) and ids[pos] <= hi
+
+    def filter_candidates(
+        self, candidates: Iterable[TupleId], ranges: Iterable[Tuple[int, int]]
+    ) -> List[TupleId]:
+        """Keep candidates that reach every token-id range within δ hops."""
+        ranges = list(ranges)
+        out = []
+        for node in candidates:
+            if all(self.reaches_range(node, lo, hi) for lo, hi in ranges):
+                out.append(node)
+        return out
+
+    def size(self) -> int:
+        return sum(len(v) for v in self._forward.values())
+
+    def __repr__(self) -> str:
+        return f"DeltaForwardIndex(delta={self.delta}, {self.size()} entries)"

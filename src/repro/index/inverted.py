@@ -1,0 +1,130 @@
+"""Inverted keyword index over relational tuples.
+
+Maps every token appearing in a text column to the posting list of
+tuples containing it, together with per-(tuple, column) term frequencies.
+This is the index behind tuple-set construction in DISCOVER-style search
+(slide 28: the "query tuple sets" :math:`R^Q`) and behind TF·IDF scoring
+(slides 144, 158).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.relational.database import Database, TupleId
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One occurrence record: tuple, column it occurred in, and frequency."""
+
+    tid: TupleId
+    column: str
+    frequency: int
+
+
+class InvertedIndex:
+    """Token -> postings over the text columns of a :class:`Database`."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._postings: Dict[str, List[Posting]] = {}
+        self._doc_count = 0
+        self._tuple_tokens: Dict[TupleId, Set[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for table in self.db.tables.values():
+            text_cols = table.schema.text_columns
+            if not text_cols:
+                continue
+            for row in table.rows():
+                tid = TupleId(table.name, row.rowid)
+                self._doc_count += 1
+                seen: Set[str] = set()
+                for column in text_cols:
+                    value = row[column]
+                    if value is None:
+                        continue
+                    counts: Dict[str, int] = {}
+                    for token in tokenize(str(value)):
+                        counts[token] = counts.get(token, 0) + 1
+                    for token, freq in counts.items():
+                        self._postings.setdefault(token, []).append(
+                            Posting(tid, column, freq)
+                        )
+                        seen.add(token)
+                if seen:
+                    self._tuple_tokens[tid] = seen
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def postings(self, token: str) -> List[Posting]:
+        return list(self._postings.get(token.lower(), ()))
+
+    def matching_tuples(self, token: str) -> List[TupleId]:
+        """Distinct tuples containing *token*, in posting order."""
+        seen: Dict[TupleId, None] = {}
+        for posting in self._postings.get(token.lower(), ()):
+            seen.setdefault(posting.tid)
+        return list(seen)
+
+    def matching_tuples_in(self, token: str, table: str) -> List[TupleId]:
+        return [t for t in self.matching_tuples(token) if t.table == table]
+
+    def tuples_matching_all(self, tokens: Iterable[str]) -> List[TupleId]:
+        """Tuples whose text contains every token (single-tuple AND)."""
+        sets: List[Set[TupleId]] = []
+        for token in tokens:
+            sets.append(set(self.matching_tuples(token)))
+        if not sets:
+            return []
+        common = set.intersection(*sets)
+        return sorted(common)
+
+    def tokens_of(self, tid: TupleId) -> Set[str]:
+        return set(self._tuple_tokens.get(tid, ()))
+
+    def contains_token(self, tid: TupleId, token: str) -> bool:
+        return token.lower() in self._tuple_tokens.get(tid, ())
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def vocabulary(self) -> List[str]:
+        return sorted(self._postings)
+
+    @property
+    def document_count(self) -> int:
+        """Number of tuples with at least one text column (N for IDF)."""
+        return self._doc_count
+
+    def document_frequency(self, token: str) -> int:
+        return len({p.tid for p in self._postings.get(token.lower(), ())})
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency (ln((N+1)/(df+1)) + 1)."""
+        df = self.document_frequency(token)
+        return math.log((self._doc_count + 1) / (df + 1)) + 1.0
+
+    def term_frequency(self, tid: TupleId, token: str) -> int:
+        token = token.lower()
+        return sum(
+            p.frequency
+            for p in self._postings.get(token, ())
+            if p.tid == tid
+        )
+
+    def __contains__(self, token: str) -> bool:
+        return token.lower() in self._postings
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex({len(self._postings)} terms, "
+            f"{self._doc_count} documents)"
+        )

@@ -1,0 +1,40 @@
+"""Tokenisation shared by every index and search engine in the library.
+
+A deliberately simple analyzer: lowercase, split on non-alphanumerics,
+keep pure numbers (years matter in bibliographic search).  Keeping one
+analyzer everywhere guarantees that query-side and index-side token
+streams agree — the classic source of silent recall loss.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_token(token: str) -> str:
+    """Lowercase and strip a single token; may return an empty string."""
+    return "".join(_TOKEN_RE.findall(token.lower()))
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into normalized tokens, preserving order and duplicates."""
+    if not text:
+        return []
+    return _TOKEN_RE.findall(text.lower())
+
+
+def term_frequencies(text: str) -> Dict[str, int]:
+    """Token -> occurrence count for *text*."""
+    return dict(Counter(tokenize(text)))
+
+
+def vocabulary(texts: Iterable[str]) -> List[str]:
+    """Sorted distinct tokens across *texts*."""
+    vocab = set()
+    for text in texts:
+        vocab.update(tokenize(text))
+    return sorted(vocab)

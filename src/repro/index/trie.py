@@ -1,0 +1,158 @@
+"""Character trie with prefix ranges and error-tolerant prefix matching.
+
+TASTIER (Li et al., SIGMOD 09; slides 71-73) indexes every token in a
+trie so that a keystroke-by-keystroke prefix corresponds to a contiguous
+*range* of token ids; the δ-step forward index is then probed with those
+ranges.  ``fuzzy_prefix`` additionally implements autocompletion that
+tolerates edit errors in the prefix (Chaudhuri & Kaushik, SIGMOD 09) via
+incremental edit-distance rows down the trie.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class _TrieNode:
+    __slots__ = ("children", "token_id", "min_id", "max_id")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode"] = {}
+        self.token_id: Optional[int] = None  # set when a token ends here
+        self.min_id = -1
+        self.max_id = -1
+
+
+class Trie:
+    """Trie over a token vocabulary, assigning lexicographic token ids.
+
+    Token ids are dense [0, n) in lexicographic order, so every trie node
+    covers a contiguous id range — the property TASTIER's pruning relies
+    on.  Construction sorts the vocabulary; insertion afterwards is not
+    supported (tokens come from an already-built inverted index).
+    """
+
+    def __init__(self, tokens: Iterable[str]):
+        vocab = sorted(set(tokens))
+        self._tokens: List[str] = vocab
+        self._ids: Dict[str, int] = {tok: i for i, tok in enumerate(vocab)}
+        self._root = _TrieNode()
+        for token, token_id in self._ids.items():
+            self._insert(token, token_id)
+        self._finalize_ranges(self._root)
+
+    def _insert(self, token: str, token_id: int) -> None:
+        node = self._root
+        for ch in token:
+            node = node.children.setdefault(ch, _TrieNode())
+        node.token_id = token_id
+
+    def _finalize_ranges(self, node: _TrieNode) -> Tuple[int, int]:
+        ids = []
+        if node.token_id is not None:
+            ids.append(node.token_id)
+        for child in node.children.values():
+            lo, hi = self._finalize_ranges(child)
+            if lo >= 0:
+                ids.append(lo)
+                ids.append(hi)
+        if ids:
+            node.min_id = min(ids)
+            node.max_id = max(ids)
+        return node.min_id, node.max_id
+
+    # ------------------------------------------------------------------
+    # Exact prefix API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def token(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def token_id(self, token: str) -> int:
+        return self._ids[token]
+
+    def _walk(self, prefix: str) -> Optional[_TrieNode]:
+        node = self._root
+        for ch in prefix:
+            node = node.children.get(ch)
+            if node is None:
+                return None
+        return node
+
+    def prefix_range(self, prefix: str) -> Optional[Tuple[int, int]]:
+        """Inclusive (min token id, max token id) for *prefix*, or None."""
+        node = self._walk(prefix)
+        if node is None or node.min_id < 0:
+            return None
+        return (node.min_id, node.max_id)
+
+    def complete(self, prefix: str, limit: Optional[int] = None) -> List[str]:
+        """All tokens starting with *prefix*, lexicographically."""
+        rng = self.prefix_range(prefix)
+        if rng is None:
+            return []
+        lo, hi = rng
+        tokens = self._tokens[lo : hi + 1]
+        return tokens[:limit] if limit is not None else tokens
+
+    # ------------------------------------------------------------------
+    # Error-tolerant prefix matching
+    # ------------------------------------------------------------------
+    def fuzzy_prefix(self, prefix: str, max_errors: int = 1) -> List[Tuple[str, int]]:
+        """Tokens with a prefix within edit distance *max_errors* of *prefix*.
+
+        Returns (token, distance) pairs sorted by (distance, token).  A
+        token matches when *some* prefix of it is within the budget —
+        standard type-ahead semantics.
+        """
+        results: Dict[int, int] = {}
+        m = len(prefix)
+        first_row = list(range(m + 1))
+        self._fuzzy_walk(self._root, prefix, first_row, max_errors, results)
+        out = [(self._tokens[tid], dist) for tid, dist in results.items()]
+        out.sort(key=lambda pair: (pair[1], pair[0]))
+        return out
+
+    def _fuzzy_walk(
+        self,
+        node: _TrieNode,
+        prefix: str,
+        row: List[int],
+        budget: int,
+        results: Dict[int, int],
+    ) -> None:
+        # row[j] = edit distance between the path spelled so far and
+        # prefix[:j].  When row[-1] <= budget, every token in the subtree
+        # completes the (approximate) prefix at that distance — but we keep
+        # descending because a longer path may match with a smaller distance
+        # (e.g. the exact token), and _collect keeps the minimum.
+        if row[-1] <= budget:
+            self._collect(node, row[-1], results)
+            if row[-1] == 0:
+                return
+        if min(row) > budget:
+            return
+        for ch, child in node.children.items():
+            next_row = [row[0] + 1]
+            for j in range(1, len(row)):
+                cost = 0 if prefix[j - 1] == ch else 1
+                next_row.append(
+                    min(row[j - 1] + cost, row[j] + 1, next_row[j - 1] + 1)
+                )
+            self._fuzzy_walk(child, prefix, next_row, budget, results)
+
+    def _collect(self, node: _TrieNode, distance: int, results: Dict[int, int]) -> None:
+        if node.token_id is not None:
+            prev = results.get(node.token_id)
+            if prev is None or distance < prev:
+                results[node.token_id] = distance
+        for child in node.children.values():
+            self._collect(child, distance, results)
+
+    def __repr__(self) -> str:
+        return f"Trie({len(self._tokens)} tokens)"

@@ -1,0 +1,38 @@
+"""In-memory relational database substrate.
+
+This subpackage provides the structured-data foundation that the keyword
+search techniques surveyed in the ICDE 2011 tutorial operate on: typed
+tables with primary/foreign keys, a queryable schema graph, and a small
+relational executor (select / project / hash join) used to evaluate
+candidate networks.
+"""
+
+from repro.relational.schema import Column, ForeignKey, TableSchema, Schema
+from repro.relational.table import Row, Table
+from repro.relational.database import Database, TupleId
+from repro.relational.executor import (
+    select,
+    project,
+    hash_join,
+    join_rows,
+    JoinedRow,
+)
+from repro.relational.schema_graph import SchemaGraph, SchemaEdge
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "Schema",
+    "Row",
+    "Table",
+    "Database",
+    "TupleId",
+    "select",
+    "project",
+    "hash_join",
+    "join_rows",
+    "JoinedRow",
+    "SchemaGraph",
+    "SchemaEdge",
+]

@@ -1,0 +1,144 @@
+"""The :class:`Database`: a schema plus populated tables.
+
+Also defines :class:`TupleId`, the global identifier ``(table, rowid)``
+used by the data graph, inverted indexes and search results to refer to
+tuples without holding row objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.relational.schema import Schema, SchemaError, TableSchema
+from repro.relational.table import Row, Table
+
+
+@dataclass(frozen=True, order=True)
+class TupleId:
+    """Global tuple identifier: table name + table-local rowid."""
+
+    table: str
+    rowid: int
+
+    def __str__(self) -> str:
+        return f"{self.table}:{self.rowid}"
+
+
+class Database:
+    """A populated relational database.
+
+    ``insert`` validates foreign keys against already-inserted parents by
+    default, so loaders must insert referenced tables first (or pass
+    ``check_fk=False`` and call :meth:`validate` afterwards).
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.tables: Dict[str, Table] = {
+            tbl.name: Table(tbl) for tbl in schema
+        }
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def insert(self, table: str, check_fk: bool = True, **values: object) -> TupleId:
+        tbl = self.table(table)
+        if check_fk:
+            for fk in tbl.schema.foreign_keys:
+                value = values.get(fk.column)
+                if value is None:
+                    continue
+                parent = self.table(fk.ref_table)
+                if parent.by_key(value) is None:
+                    raise SchemaError(
+                        f"{table}.{fk.column}={value!r} references missing "
+                        f"{fk.ref_table}.{fk.ref_column}"
+                    )
+        rowid = tbl.insert(**values)
+        return TupleId(table, rowid)
+
+    def insert_many(
+        self, table: str, records: Iterable[Dict[str, object]], check_fk: bool = True
+    ) -> List[TupleId]:
+        return [self.insert(table, check_fk=check_fk, **record) for record in records]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def row(self, tid: TupleId) -> Row:
+        return self.table(tid.table).row(tid.rowid)
+
+    def rows(self, table: str) -> Iterator[Row]:
+        return self.table(table).rows()
+
+    def all_tuple_ids(self) -> Iterator[TupleId]:
+        for name, tbl in self.tables.items():
+            for rowid in range(len(tbl)):
+                yield TupleId(name, rowid)
+
+    def size(self) -> int:
+        """Total number of tuples across all tables."""
+        return sum(len(t) for t in self.tables.values())
+
+    # ------------------------------------------------------------------
+    # Foreign-key navigation (the joins keyword search traverses)
+    # ------------------------------------------------------------------
+    def references_of(self, row: Row) -> List[Tuple[Row, str]]:
+        """Rows referenced *by* ``row`` (row's FKs), with the FK column name."""
+        out = []
+        for fk in row.table.schema.foreign_keys:
+            value = row[fk.column]
+            if value is None:
+                continue
+            parent = self.table(fk.ref_table).by_key(value)
+            if parent is not None:
+                out.append((parent, fk.column))
+        return out
+
+    def referrers_of(self, row: Row) -> List[Tuple[Row, str, str]]:
+        """Rows that reference ``row``: (child row, child table, fk column)."""
+        out = []
+        for tbl in self.tables.values():
+            for fk in tbl.schema.foreign_keys:
+                if fk.ref_table != row.table.name:
+                    continue
+                for child in tbl.lookup(fk.column, row.key):
+                    out.append((child, tbl.name, fk.column))
+        return out
+
+    def neighbors(self, tid: TupleId) -> List[TupleId]:
+        """Tuples joined to *tid* by one FK edge, in either direction."""
+        row = self.row(tid)
+        out = [TupleId(parent.table.name, parent.rowid)
+               for parent, _ in self.references_of(row)]
+        out.extend(TupleId(child.table.name, child.rowid)
+                   for child, _, _ in self.referrers_of(row))
+        return out
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """Return a list of referential-integrity violations (empty = OK)."""
+        problems = []
+        for tbl in self.tables.values():
+            for fk in tbl.schema.foreign_keys:
+                parent = self.table(fk.ref_table)
+                for row in tbl.rows():
+                    value = row[fk.column]
+                    if value is not None and parent.by_key(value) is None:
+                        problems.append(
+                            f"{tbl.name}:{row.rowid}.{fk.column}={value!r} dangling"
+                        )
+        return problems
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}={len(t)}" for n, t in self.tables.items())
+        return f"Database({parts})"

@@ -1,0 +1,212 @@
+"""Relational schema model: columns, keys, table schemas and schemas.
+
+The schema layer is deliberately small but strict: every table declares a
+primary key, foreign keys must reference declared primary keys, and text
+columns (the ones keyword search indexes) are marked explicitly.  The
+candidate-network machinery in :mod:`repro.schema_search` consumes the
+:class:`Schema` through :class:`repro.relational.schema_graph.SchemaGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Supported column types, mapped to the Python types accepted on insert.
+DTYPES = {
+    "int": int,
+    "float": (int, float),
+    "str": str,
+}
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schema definitions or violated constraints."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    dtype:
+        One of ``"int"``, ``"float"``, ``"str"``.
+    nullable:
+        Whether ``None`` is an accepted value.
+    text:
+        Whether the column participates in keyword search (inverted
+        indexes are built over text columns only).
+    """
+
+    name: str
+    dtype: str = "str"
+    nullable: bool = False
+    text: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPES:
+            raise SchemaError(f"unknown dtype {self.dtype!r} for column {self.name!r}")
+
+    def validate(self, value: object) -> object:
+        """Check *value* against this column's type; return it unchanged."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return None
+        expected = DTYPES[self.dtype]
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.dtype}, got {type(value).__name__}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint ``column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a single table.
+
+    A *relationship table* (e.g. ``write`` between ``author`` and
+    ``paper``) is one whose foreign keys cover at least two distinct
+    referenced tables; :meth:`is_relationship` is used by the form
+    generator and return-node inference.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: str
+    foreign_keys: Tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        if self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise SchemaError(
+                    f"foreign key column {fk.column!r} is not a column of {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def text_columns(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns if c.text)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def foreign_key_for(self, column: str) -> Optional[ForeignKey]:
+        for fk in self.foreign_keys:
+            if fk.column == column:
+                return fk
+        return None
+
+    def referenced_tables(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(fk.ref_table for fk in self.foreign_keys))
+
+    def is_relationship(self) -> bool:
+        """True if this table's role is to connect other tables.
+
+        A table with two or more foreign keys is a relationship table
+        even when both keys reference the same table (e.g. ``cite``
+        linking papers to papers).
+        """
+        return len(self.foreign_keys) >= 2
+
+
+def table(
+    name: str,
+    columns: Iterable[Column],
+    primary_key: str,
+    foreign_keys: Iterable[ForeignKey] = (),
+) -> TableSchema:
+    """Convenience constructor mirroring :class:`TableSchema`."""
+    return TableSchema(name, tuple(columns), primary_key, tuple(foreign_keys))
+
+
+class Schema:
+    """A database schema: a named collection of :class:`TableSchema`.
+
+    Validates referential integrity of the declaration itself: every
+    foreign key must point at an existing table's primary key.
+    """
+
+    def __init__(self, tables: Iterable[TableSchema]):
+        self._tables: Dict[str, TableSchema] = {}
+        for tbl in tables:
+            if tbl.name in self._tables:
+                raise SchemaError(f"duplicate table {tbl.name!r}")
+            self._tables[tbl.name] = tbl
+        for tbl in self._tables.values():
+            for fk in tbl.foreign_keys:
+                target = self._tables.get(fk.ref_table)
+                if target is None:
+                    raise SchemaError(
+                        f"{tbl.name}.{fk.column} references unknown table {fk.ref_table!r}"
+                    )
+                if fk.ref_column != target.primary_key:
+                    raise SchemaError(
+                        f"{tbl.name}.{fk.column} must reference the primary key "
+                        f"of {fk.ref_table!r} ({target.primary_key!r})"
+                    )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def join_edges(self) -> List[Tuple[str, str, ForeignKey]]:
+        """All (referencing table, referenced table, fk) triples."""
+        edges = []
+        for tbl in self:
+            for fk in tbl.foreign_keys:
+                edges.append((tbl.name, fk.ref_table, fk))
+        return edges
+
+    def entity_tables(self) -> List[str]:
+        """Tables that are not pure relationship tables."""
+        return [t.name for t in self if not t.is_relationship()]
+
+    def relationship_tables(self) -> List[str]:
+        return [t.name for t in self if t.is_relationship()]

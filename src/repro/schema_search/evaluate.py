@@ -1,0 +1,116 @@
+"""CN evaluation: turning a candidate network into joined results.
+
+A CN evaluates to its *minimal total joining networks of tuples*
+(DISCOVER): assignments of one tuple per CN node such that every edge's
+join predicate holds and no tuple occurs twice (a repeated tuple means
+the result collapses into a smaller CN's result).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.database import TupleId
+from repro.relational.executor import JoinedRow, JoinStats, hash_join
+from repro.relational.table import Row
+from repro.schema_search.candidate_networks import CandidateNetwork
+from repro.schema_search.tuple_sets import TupleSets
+
+
+def _join_order(cn: CandidateNetwork) -> List[Tuple[int, Optional[int]]]:
+    """BFS traversal: (node index, parent index or None for the root)."""
+    adj = cn.adjacency()
+    order: List[Tuple[int, Optional[int]]] = [(0, None)]
+    visited = {0}
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for nbr, _ in adj[node]:
+                if nbr not in visited:
+                    visited.add(nbr)
+                    order.append((nbr, node))
+                    nxt.append(nbr)
+        frontier = nxt
+    return order
+
+
+def _alias(i: int) -> str:
+    return f"n{i}"
+
+
+def evaluate_cn(
+    cn: CandidateNetwork,
+    tuple_sets: TupleSets,
+    stats: Optional[JoinStats] = None,
+    require_distinct: bool = True,
+) -> Iterator[JoinedRow]:
+    """Stream the joining networks of tuples for *cn*.
+
+    Joins are executed left-deep in BFS order with hash joins; the
+    optional ``stats`` accumulates tuples read / joins executed (these
+    counters are the cost proxy the E2/E3 benchmarks report).
+    """
+    adj = cn.adjacency()
+    order = _join_order(cn)
+    root_idx, _ = order[0]
+    base_rows = tuple_sets.rows(cn.nodes[root_idx].key)
+    if stats is not None:
+        stats.tuples_read += len(base_rows)
+    current: Iterator[JoinedRow] = (
+        JoinedRow((_alias(root_idx),), (row,)) for row in base_rows
+    )
+    for node_idx, parent_idx in order[1:]:
+        edge = next(e for nbr, e in adj[parent_idx] if nbr == node_idx)
+        parent_table = cn.nodes[parent_idx].table
+        left_col, right_col = edge.join_columns(parent_table)
+        right_rows = tuple_sets.rows(cn.nodes[node_idx].key)
+        current = hash_join(
+            current,
+            _alias(parent_idx),
+            left_col,
+            right_rows,
+            _alias(node_idx),
+            right_col,
+            stats=stats,
+        )
+    for joined in current:
+        if require_distinct and _has_repeated_tuple(joined):
+            continue
+        yield joined
+
+
+def _has_repeated_tuple(joined: JoinedRow) -> bool:
+    seen: Set[Tuple[str, int]] = set()
+    for row in joined.rows:
+        key = (row.table.name, row.rowid)
+        if key in seen:
+            return True
+        seen.add(key)
+    return False
+
+
+def cn_results(
+    cn: CandidateNetwork,
+    tuple_sets: TupleSets,
+    stats: Optional[JoinStats] = None,
+) -> List[JoinedRow]:
+    """Materialised results of one CN."""
+    return list(evaluate_cn(cn, tuple_sets, stats=stats))
+
+
+def result_tuple_ids(joined: JoinedRow) -> List[TupleId]:
+    return [TupleId(row.table.name, row.rowid) for row in joined.rows]
+
+
+def all_results(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+    stats: Optional[JoinStats] = None,
+) -> List[Tuple[CandidateNetwork, JoinedRow]]:
+    """Evaluate every CN; returns (cn, result) pairs."""
+    out: List[Tuple[CandidateNetwork, JoinedRow]] = []
+    for cn in cns:
+        for joined in evaluate_cn(cn, tuple_sets, stats=stats):
+            out.append((cn, joined))
+    return out

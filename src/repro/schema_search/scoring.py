@@ -1,0 +1,98 @@
+"""Result scoring for relational keyword search.
+
+Two scoring regimes the tutorial contrasts (slides 116-117):
+
+* a **monotonic** score — the sum of per-tuple TF·IDF contributions,
+  mildly normalised by CN size.  Monotonicity (a result improves when
+  any constituent tuple's score improves) is the precondition of the
+  Naive/Sparse/Pipeline top-k strategies of DISCOVER2;
+
+* the **SPARK** score (Luo et al., SIGMOD 07) — treats the whole joined
+  tree as one *virtual document* (so term frequencies aggregate before
+  the log-saturation), multiplied by a completeness factor and a size
+  penalty.  This is non-monotonic: two mediocre tuples matching
+  different keywords can beat one strong tuple matching one keyword —
+  which is exactly why SPARK needs skyline-sweep / block-pipeline
+  (:mod:`repro.schema_search.spark`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+from repro.index.inverted import InvertedIndex
+from repro.relational.database import TupleId
+from repro.relational.executor import JoinedRow
+
+
+def tuple_score(
+    index: InvertedIndex, tid: TupleId, keywords: Sequence[str]
+) -> float:
+    """Per-tuple TF·IDF: sum over keywords of ln(1 + tf) * idf."""
+    total = 0.0
+    for keyword in keywords:
+        tf = index.term_frequency(tid, keyword)
+        if tf:
+            total += math.log1p(tf) * index.idf(keyword)
+    return total
+
+
+def monotonic_result_score(
+    index: InvertedIndex, joined: JoinedRow, keywords: Sequence[str]
+) -> float:
+    """Sum of tuple scores, normalised by result size (monotonic)."""
+    total = 0.0
+    for row in joined.rows:
+        total += tuple_score(index, TupleId(row.table.name, row.rowid), keywords)
+    return total / (1.0 + math.log(len(joined.rows)))
+
+
+def virtual_document_tf(
+    index: InvertedIndex, joined: JoinedRow, keyword: str
+) -> int:
+    """Aggregated term frequency of *keyword* over the joined tree."""
+    return sum(
+        index.term_frequency(TupleId(row.table.name, row.rowid), keyword)
+        for row in joined.rows
+    )
+
+
+def spark_score(
+    index: InvertedIndex,
+    joined: JoinedRow,
+    keywords: Sequence[str],
+    completeness_power: float = 2.0,
+) -> float:
+    """SPARK's three-factor score: score_a * score_b * score_c.
+
+    * score_a — TF·IDF of the virtual document,
+    * score_b — completeness: (matched keyword fraction) ** p,
+    * score_c — size penalty 1 / (1 + ln(size)).
+    """
+    matched = 0
+    score_a = 0.0
+    for keyword in keywords:
+        tf = virtual_document_tf(index, joined, keyword)
+        if tf:
+            matched += 1
+            score_a += math.log1p(tf) * index.idf(keyword)
+    if matched == 0:
+        return 0.0
+    score_b = (matched / len(keywords)) ** completeness_power
+    score_c = 1.0 / (1.0 + math.log(len(joined.rows)))
+    return score_a * score_b * score_c
+
+
+def spark_upper_bound(
+    index: InvertedIndex,
+    tuple_scores: Sequence[float],
+    size: int,
+) -> float:
+    """Monotonic upper bound on the SPARK score of a combination.
+
+    Uses the sub-additivity of ln(1 + x): the virtual-document factor is
+    bounded by the sum of per-tuple factors; completeness <= 1.
+    """
+    score_c = 1.0 / (1.0 + math.log(size))
+    return sum(tuple_scores) * score_c

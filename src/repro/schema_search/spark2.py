@@ -1,0 +1,145 @@
+"""SPARK2 partition-graph pruning (Luo et al., TKDE; slide 135).
+
+The *partition graph* captures how every CN can be obtained by joining
+two smaller CNs (and possibly free tuple sets).  Its payoff: if a
+sub-CN evaluates to an empty result, every CN containing it is empty
+too and can be pruned without being evaluated — "allow pruning if one
+sub-CN produces empty result".
+
+``PartitionGraph`` indexes the connected sub-CNs of each CN by
+canonical code; ``evaluate_with_pruning`` processes CNs smallest-first,
+records empty canonical codes, and skips any CN containing a known
+empty sub-CN, counting how many evaluations the pruning saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.executor import JoinedRow, JoinStats
+from repro.schema_search.candidate_networks import CandidateNetwork
+from repro.schema_search.evaluate import evaluate_cn
+from repro.schema_search.tuple_sets import TupleSets
+
+
+def connected_subnetworks(
+    cn: CandidateNetwork, max_size: Optional[int] = None
+) -> List[CandidateNetwork]:
+    """All connected sub-CNs of *cn* (including itself).
+
+    Enumerated by expanding connected node subsets; CN sizes are small
+    (<= 7), so the subset count stays manageable.
+    """
+    adj = cn.adjacency()
+    n = len(cn.nodes)
+    limit = max_size if max_size is not None else n
+    found: Dict[frozenset, None] = {}
+    frontier: List[frozenset] = [frozenset([i]) for i in range(n)]
+    for subset in frontier:
+        found.setdefault(subset)
+    while frontier:
+        nxt = []
+        for subset in frontier:
+            if len(subset) >= limit:
+                continue
+            for node in subset:
+                for nbr, __ in adj[node]:
+                    if nbr in subset:
+                        continue
+                    grown = subset | {nbr}
+                    if grown not in found:
+                        found[grown] = None
+                        nxt.append(grown)
+        frontier = nxt
+    out = []
+    for subset in found:
+        index_map = {old: new for new, old in enumerate(sorted(subset))}
+        nodes = [cn.nodes[i] for i in sorted(subset)]
+        edges = [
+            (index_map[a], index_map[b], edge)
+            for a, b, edge in cn.edges
+            if a in subset and b in subset
+        ]
+        out.append(CandidateNetwork(nodes, edges))
+    return out
+
+
+class PartitionGraph:
+    """Sub-CN containment index over a CN collection."""
+
+    def __init__(self, cns: Sequence[CandidateNetwork]):
+        self.cns = list(cns)
+        # canonical code of sub-CN -> indices of CNs containing it
+        self._containment: Dict[str, Set[int]] = {}
+        self._sub_codes: List[Set[str]] = []
+        for idx, cn in enumerate(self.cns):
+            codes = {
+                sub.canonical_code() for sub in connected_subnetworks(cn)
+            }
+            self._sub_codes.append(codes)
+            for code in codes:
+                self._containment.setdefault(code, set()).add(idx)
+
+    def containing(self, code: str) -> Set[int]:
+        return set(self._containment.get(code, ()))
+
+    def sub_codes(self, cn_index: int) -> Set[str]:
+        return set(self._sub_codes[cn_index])
+
+    def shared_subexpressions(self) -> Dict[str, int]:
+        """Sub-CN code -> number of CNs sharing it (the slide-135 graph)."""
+        return {
+            code: len(owners)
+            for code, owners in self._containment.items()
+            if len(owners) > 1
+        }
+
+
+@dataclass
+class PruningOutcome:
+    results: List[Tuple[CandidateNetwork, JoinedRow]]
+    evaluated: int
+    pruned: int
+    stats: JoinStats
+
+
+def evaluate_with_pruning(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+) -> PruningOutcome:
+    """Evaluate CNs smallest-first, pruning supersets of empty sub-CNs."""
+    order = sorted(range(len(cns)), key=lambda i: (cns[i].size, cns[i].label()))
+    graph = PartitionGraph(cns)
+    empty_codes: Set[str] = set()
+    stats = JoinStats()
+    results: List[Tuple[CandidateNetwork, JoinedRow]] = []
+    evaluated = 0
+    pruned = 0
+    for idx in order:
+        cn = cns[idx]
+        if graph.sub_codes(idx) & empty_codes:
+            pruned += 1
+            continue
+        evaluated += 1
+        produced = list(evaluate_cn(cn, tuple_sets, stats=stats))
+        if produced:
+            results.extend((cn, row) for row in produced)
+        else:
+            empty_codes.add(cn.canonical_code())
+    return PruningOutcome(results, evaluated, pruned, stats)
+
+
+def evaluate_without_pruning(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+) -> PruningOutcome:
+    """Baseline: evaluate every CN."""
+    stats = JoinStats()
+    results: List[Tuple[CandidateNetwork, JoinedRow]] = []
+    for cn in cns:
+        results.extend(
+            (cn, row) for row in evaluate_cn(cn, tuple_sets, stats=stats)
+        )
+    return PruningOutcome(results, len(cns), 0, stats)

@@ -1,0 +1,320 @@
+"""Top-k query processing strategies (DISCOVER2, Hristidis+ VLDB 03).
+
+Slide 116 contrasts four strategies under a monotonic scoring function;
+all four return the same top-k but touch very different amounts of data:
+
+* **Naive** — evaluate every CN fully, sort, cut at k;
+* **Sparse** — evaluate CNs in descending score-bound order, skipping
+  any CN whose bound cannot beat the current k-th score;
+* **Single pipeline** — additionally stop *inside* a CN once the bound
+  of its unseen results drops below the k-th score;
+* **Global pipeline** — interleave all CNs, always advancing the one
+  with the highest remaining bound by one slice.
+
+The execution slice is one *anchor tuple*: each CN executor orders the
+tuples of its largest non-free node by descending TF·IDF score and, per
+slice, joins one anchor tuple through the rest of the network with
+index-nested-loop lookups (hash maps per node, built on first use and
+charged to the statistics).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.inverted import InvertedIndex
+from repro.relational.database import TupleId
+from repro.relational.executor import JoinedRow, JoinStats
+from repro.relational.table import Row
+from repro.schema_search.candidate_networks import CandidateNetwork
+from repro.schema_search.scoring import monotonic_result_score, tuple_score
+from repro.schema_search.tuple_sets import TupleSets
+
+EPS = 1e-9
+
+
+@dataclass
+class TopKResult:
+    """Outcome of one strategy run."""
+
+    results: List[Tuple[float, str, JoinedRow]]
+    stats: JoinStats
+    cns_executed: int = 0
+    batches: int = 0
+
+    def scores(self) -> List[float]:
+        return [round(score, 9) for score, _, _ in self.results]
+
+
+class CNExecutor:
+    """Sliced evaluation of one CN in descending score-bound order."""
+
+    def __init__(
+        self,
+        cn: CandidateNetwork,
+        tuple_sets: TupleSets,
+        index: InvertedIndex,
+        keywords: Sequence[str],
+    ):
+        self.cn = cn
+        self.tuple_sets = tuple_sets
+        self.index = index
+        self.keywords = list(keywords)
+        self._adj = cn.adjacency()
+        self._norm = 1.0 / (1.0 + math.log(cn.size))
+        # Per-node max tuple score (free nodes contribute 0).
+        self._node_max: List[float] = []
+        for node in cn.nodes:
+            if node.is_free:
+                self._node_max.append(0.0)
+            else:
+                tids = tuple_sets.tuple_ids(node.key)
+                self._node_max.append(
+                    max(
+                        (tuple_score(index, t, self.keywords) for t in tids),
+                        default=0.0,
+                    )
+                )
+        # Anchor: the non-free node with the most tuples (finest slicing).
+        non_free = [i for i, n in enumerate(cn.nodes) if not n.is_free]
+        self.anchor = max(non_free, key=lambda i: tuple_sets.size(cn.nodes[i].key))
+        anchor_tids = tuple_sets.tuple_ids(cn.nodes[self.anchor].key)
+        scored = [
+            (tuple_score(index, t, self.keywords), t) for t in anchor_tids
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        self._anchor_queue: List[Tuple[float, TupleId]] = scored
+        self._cursor = 0
+        self._rest_max = sum(
+            s for i, s in enumerate(self._node_max) if i != self.anchor
+        )
+        self._maps: Optional[Dict[Tuple[int, str], Dict[object, List[Row]]]] = None
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._anchor_queue)
+
+    def bound(self) -> float:
+        """Upper bound on the score of any not-yet-produced result."""
+        if self.exhausted():
+            return float("-inf")
+        anchor_score = self._anchor_queue[self._cursor][0]
+        return (anchor_score + self._rest_max) * self._norm
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _build_maps(self, stats: JoinStats) -> None:
+        self._maps = {}
+        for node_idx, node in enumerate(self.cn.nodes):
+            if node_idx == self.anchor:
+                continue
+            rows = self.tuple_sets.rows(node.key)
+            stats.tuples_read += len(rows)
+            columns = set()
+            for nbr, edge in self._adj[node_idx]:
+                __, right_col = edge.join_columns(self.cn.nodes[nbr].table)
+                columns.add(right_col)
+            for column in columns:
+                mapping: Dict[object, List[Row]] = {}
+                for row in rows:
+                    value = row[column]
+                    if value is not None:
+                        mapping.setdefault(value, []).append(row)
+                self._maps[(node_idx, column)] = mapping
+
+    def _assignments(
+        self, node_idx: int, row: Row, parent_idx: int, stats: JoinStats
+    ) -> List[Dict[int, Row]]:
+        per_child: List[List[Dict[int, Row]]] = []
+        for nbr, edge in self._adj[node_idx]:
+            if nbr == parent_idx:
+                continue
+            left_col, right_col = edge.join_columns(self.cn.nodes[node_idx].table)
+            stats.joins_executed += 1
+            value = row[left_col]
+            matches = (
+                self._maps[(nbr, right_col)].get(value, [])  # type: ignore[index]
+                if value is not None
+                else []
+            )
+            stats.tuples_read += len(matches)
+            sub: List[Dict[int, Row]] = []
+            for match in matches:
+                sub.extend(self._assignments(nbr, match, node_idx, stats))
+            if not sub:
+                return []
+            per_child.append(sub)
+        combos: List[Dict[int, Row]] = [{node_idx: row}]
+        for sub in per_child:
+            combos = [{**c, **s} for c in combos for s in sub]
+        return combos
+
+    def next_batch(self, stats: JoinStats) -> List[Tuple[float, JoinedRow]]:
+        """Produce all results anchored at the next anchor tuple."""
+        if self.exhausted():
+            return []
+        if self._maps is None:
+            self._build_maps(stats)
+        _, anchor_tid = self._anchor_queue[self._cursor]
+        self._cursor += 1
+        anchor_row = self.tuple_sets.db.row(anchor_tid)
+        stats.tuples_read += 1
+        out: List[Tuple[float, JoinedRow]] = []
+        for assignment in self._assignments(self.anchor, anchor_row, -1, stats):
+            ordered = tuple(assignment[i] for i in range(self.cn.size))
+            if len({(r.table.name, r.rowid) for r in ordered}) < len(ordered):
+                continue  # repeated tuple -> collapses into a smaller CN
+            aliases = tuple(f"n{i}" for i in range(self.cn.size))
+            joined = JoinedRow(aliases, ordered)
+            score = monotonic_result_score(self.index, joined, self.keywords)
+            out.append((score, joined))
+        stats.tuples_emitted += len(out)
+        return out
+
+    def run_all(self, stats: JoinStats) -> List[Tuple[float, JoinedRow]]:
+        out: List[Tuple[float, JoinedRow]] = []
+        while not self.exhausted():
+            out.extend(self.next_batch(stats))
+        return out
+
+
+class _TopKHeap:
+    """Fixed-capacity min-heap over (score, tiebreak, payload)."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self._heap: List[Tuple[float, int, str, JoinedRow]] = []
+        self._counter = itertools.count()
+
+    def offer(self, score: float, label: str, joined: JoinedRow) -> None:
+        entry = (score, next(self._counter), label, joined)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif score > self._heap[0][0] + EPS:
+            heapq.heapreplace(self._heap, entry)
+
+    def kth_score(self) -> float:
+        if len(self._heap) < self.k:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def sorted_results(self) -> List[Tuple[float, str, JoinedRow]]:
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        return [(score, label, joined) for score, _, label, joined in ordered]
+
+
+def _executors(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+    index: InvertedIndex,
+    keywords: Sequence[str],
+) -> List[CNExecutor]:
+    return [CNExecutor(cn, tuple_sets, index, keywords) for cn in cns]
+
+
+def topk_naive(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    k: int = 10,
+) -> TopKResult:
+    """Evaluate everything, then cut."""
+    stats = JoinStats()
+    heap = _TopKHeap(k)
+    batches = 0
+    for executor in _executors(cns, tuple_sets, index, keywords):
+        while not executor.exhausted():
+            for score, joined in executor.next_batch(stats):
+                heap.offer(score, executor.cn.label(), joined)
+            batches += 1
+    return TopKResult(heap.sorted_results(), stats, cns_executed=len(cns), batches=batches)
+
+
+def topk_sparse(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    k: int = 10,
+) -> TopKResult:
+    """Skip whole CNs whose bound cannot reach the current k-th score."""
+    stats = JoinStats()
+    heap = _TopKHeap(k)
+    executors = _executors(cns, tuple_sets, index, keywords)
+    executors.sort(key=lambda e: -e.bound())
+    executed = 0
+    batches = 0
+    for executor in executors:
+        if executor.bound() <= heap.kth_score() + EPS:
+            continue
+        executed += 1
+        while not executor.exhausted():
+            for score, joined in executor.next_batch(stats):
+                heap.offer(score, executor.cn.label(), joined)
+            batches += 1
+    return TopKResult(heap.sorted_results(), stats, cns_executed=executed, batches=batches)
+
+
+def topk_single_pipeline(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    k: int = 10,
+) -> TopKResult:
+    """Sparse + early stop inside each CN when its own bound falls."""
+    stats = JoinStats()
+    heap = _TopKHeap(k)
+    executors = _executors(cns, tuple_sets, index, keywords)
+    executors.sort(key=lambda e: -e.bound())
+    executed = 0
+    batches = 0
+    for executor in executors:
+        if executor.bound() <= heap.kth_score() + EPS:
+            continue
+        executed += 1
+        while not executor.exhausted() and executor.bound() > heap.kth_score() + EPS:
+            for score, joined in executor.next_batch(stats):
+                heap.offer(score, executor.cn.label(), joined)
+            batches += 1
+    return TopKResult(heap.sorted_results(), stats, cns_executed=executed, batches=batches)
+
+
+def topk_global_pipeline(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    k: int = 10,
+) -> TopKResult:
+    """Always advance the CN with the highest remaining bound."""
+    stats = JoinStats()
+    heap = _TopKHeap(k)
+    executors = _executors(cns, tuple_sets, index, keywords)
+    pq: List[Tuple[float, int, CNExecutor]] = []
+    touched = set()
+    for i, executor in enumerate(executors):
+        if not executor.exhausted():
+            heapq.heappush(pq, (-executor.bound(), i, executor))
+    batches = 0
+    while pq:
+        neg_bound, i, executor = heapq.heappop(pq)
+        if -neg_bound <= heap.kth_score() + EPS:
+            break
+        touched.add(i)
+        for score, joined in executor.next_batch(stats):
+            heap.offer(score, executor.cn.label(), joined)
+        batches += 1
+        if not executor.exhausted():
+            heapq.heappush(pq, (-executor.bound(), i, executor))
+    return TopKResult(
+        heap.sorted_results(), stats, cns_executed=len(touched), batches=batches
+    )

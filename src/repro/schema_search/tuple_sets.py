@@ -1,0 +1,114 @@
+"""Query tuple sets (DISCOVER, Hristidis & Papakonstantinou VLDB 02).
+
+For query Q, each relation R is partitioned by the *exact* subset of
+query keywords a tuple contains: ``R^K = { t in R : tokens(t) cap Q = K }``.
+The exact-partition semantics guarantees that results produced by
+different candidate networks are disjoint — the property DISCOVER's
+duplicate-free enumeration relies on.  ``R^{}`` (the free tuple set) is
+the whole relation, used for pure join nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.index.inverted import InvertedIndex
+from repro.relational.database import Database, TupleId
+from repro.relational.table import Row
+
+
+@dataclass(frozen=True)
+class TupleSetKey:
+    """Identity of a tuple set: relation + exact keyword subset."""
+
+    table: str
+    keywords: FrozenSet[str]
+
+    @property
+    def is_free(self) -> bool:
+        return not self.keywords
+
+    def label(self) -> str:
+        if self.is_free:
+            return self.table
+        return f"{self.table}^{{{','.join(sorted(self.keywords))}}}"
+
+
+class TupleSets:
+    """All non-empty tuple sets of a query over a database."""
+
+    def __init__(self, db: Database, index: InvertedIndex, keywords: Sequence[str]):
+        self.db = db
+        self.index = index
+        self.keywords: Tuple[str, ...] = tuple(k.lower() for k in keywords)
+        self._sets: Dict[TupleSetKey, List[TupleId]] = {}
+        self._matched_by_table: Dict[str, Set[int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        query = set(self.keywords)
+        # Tuples matching at least one keyword, with their exact subset.
+        by_tuple: Dict[TupleId, Set[str]] = {}
+        for keyword in query:
+            for tid in self.index.matching_tuples(keyword):
+                by_tuple.setdefault(tid, set()).add(keyword)
+        for tid, subset in by_tuple.items():
+            key = TupleSetKey(tid.table, frozenset(subset))
+            self._sets.setdefault(key, []).append(tid)
+            self._matched_by_table.setdefault(tid.table, set()).add(tid.rowid)
+        for tids in self._sets.values():
+            tids.sort()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def non_free_keys(self) -> List[TupleSetKey]:
+        """All non-empty, non-free tuple-set identities, sorted by label."""
+        return sorted(self._sets, key=lambda k: k.label())
+
+    def keys_for_table(self, table: str) -> List[TupleSetKey]:
+        return [k for k in self.non_free_keys() if k.table == table]
+
+    def tuple_ids(self, key: TupleSetKey) -> List[TupleId]:
+        """Members of a tuple set.
+
+        The free set ``R^{}`` holds the tuples of R containing *no*
+        query keyword — the complement of all non-free sets.  This is
+        what makes results of different CNs pairwise disjoint (DISCOVER's
+        exact-partition guarantee).
+        """
+        if key.is_free:
+            matched = self._matched_by_table.get(key.table, set())
+            return [
+                TupleId(key.table, rowid)
+                for rowid in range(len(self.db.table(key.table)))
+                if rowid not in matched
+            ]
+        return list(self._sets.get(key, ()))
+
+    def rows(self, key: TupleSetKey) -> List[Row]:
+        return [self.db.row(tid) for tid in self.tuple_ids(key)]
+
+    def size(self, key: TupleSetKey) -> int:
+        if key.is_free:
+            matched = self._matched_by_table.get(key.table, set())
+            return len(self.db.table(key.table)) - len(matched)
+        return len(self._sets.get(key, ()))
+
+    def keyword_subsets(self, table: str) -> List[FrozenSet[str]]:
+        """Non-empty exact keyword subsets available in *table*."""
+        return [k.keywords for k in self.keys_for_table(table)]
+
+    def covered_keywords(self) -> Set[str]:
+        """Query keywords that match at least one tuple anywhere."""
+        out: Set[str] = set()
+        for key in self._sets:
+            out |= key.keywords
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleSets(Q={list(self.keywords)}, "
+            f"{len(self._sets)} non-free sets)"
+        )

@@ -1,0 +1,18 @@
+"""Spatial keyword search (slide 168: Zhang et al., ICDE 09).
+
+Objects carry a location and text; the *m-closest keywords* (mCK) query
+asks for the most compact group of objects that collectively covers all
+query keywords — "searching by document" over a map.
+"""
+
+from repro.spatial.objects import SpatialObject, SpatialDatabase, generate_spatial_db
+from repro.spatial.mck import mck_exhaustive, mck_grid, diameter
+
+__all__ = [
+    "SpatialObject",
+    "SpatialDatabase",
+    "generate_spatial_db",
+    "mck_exhaustive",
+    "mck_grid",
+    "diameter",
+]

@@ -1,0 +1,130 @@
+"""m-closest-keywords (mCK) queries (Zhang et al., ICDE 09).
+
+Find one object per query keyword such that the group is as *tight* as
+possible — we minimise the group diameter (max pairwise distance).
+
+* ``mck_exhaustive`` — exact: enumerate all combinations (test oracle,
+  small inputs only);
+* ``mck_grid`` — exact with grid pruning: seed an upper bound with the
+  best group anchored near each object of the rarest keyword, then
+  enumerate combinations restricted to the ball around each anchor,
+  skipping anchors whose neighbourhood cannot beat the bound.  Prunes
+  the vast majority of combinations on clustered data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.spatial.objects import SpatialDatabase, SpatialObject
+
+INF = float("inf")
+
+
+def diameter(group: Sequence[SpatialObject]) -> float:
+    """Max pairwise distance within a group (0 for singletons)."""
+    best = 0.0
+    for i in range(len(group)):
+        for j in range(i + 1, len(group)):
+            d = group[i].distance_to(group[j])
+            if d > best:
+                best = d
+    return best
+
+
+def mck_exhaustive(
+    db: SpatialDatabase,
+    keywords: Sequence[str],
+    max_combinations: int = 2_000_000,
+) -> Optional[Tuple[List[SpatialObject], float]]:
+    """Exact mCK by full enumeration."""
+    groups = [db.matching(k) for k in keywords]
+    if any(not g for g in groups):
+        return None
+    total = 1
+    for g in groups:
+        total *= len(g)
+    if total > max_combinations:
+        raise ValueError(f"combination space too large ({total})")
+    best_group: Optional[List[SpatialObject]] = None
+    best_diameter = INF
+    for combo in itertools.product(*groups):
+        d = diameter(combo)
+        if d < best_diameter:
+            best_diameter = d
+            best_group = list(combo)
+    if best_group is None:
+        return None
+    return best_group, best_diameter
+
+
+class MckStats:
+    def __init__(self) -> None:
+        self.combinations_checked = 0
+        self.anchors_pruned = 0
+
+
+def mck_grid(
+    db: SpatialDatabase,
+    keywords: Sequence[str],
+    stats: Optional[MckStats] = None,
+) -> Optional[Tuple[List[SpatialObject], float]]:
+    """Exact mCK with anchor-ball pruning.
+
+    Anchored at each object of the rarest keyword: any group containing
+    the anchor with diameter < bound lies inside the bound-radius ball
+    around it, so only ball-local matches are combined; anchors whose
+    ball lacks some keyword (or is provably worse) are skipped.
+    """
+    stats = stats if stats is not None else MckStats()
+    keywords = [k.lower() for k in keywords]
+    groups = {k: db.matching(k) for k in keywords}
+    if any(not g for g in groups.values()):
+        return None
+    rarest = min(keywords, key=lambda k: len(groups[k]))
+    others = [k for k in keywords if k != rarest]
+
+    # Initial bound: greedy nearest-match group from the first anchor.
+    best_group: Optional[List[SpatialObject]] = None
+    best_diameter = INF
+    for anchor in groups[rarest]:
+        group = [anchor]
+        ok = True
+        for keyword in others:
+            nearest = min(
+                groups[keyword],
+                key=lambda o: o.distance_to(anchor),
+            )
+            group.append(nearest)
+        d = diameter(group)
+        if d < best_diameter:
+            best_diameter = d
+            best_group = group
+
+    # Refinement: exact search inside each anchor's bound-radius ball.
+    for anchor in groups[rarest]:
+        radius = best_diameter
+        ball = db.objects_near(anchor.x, anchor.y, radius)
+        ball_ids = {o.oid for o in ball}
+        local: List[List[SpatialObject]] = []
+        feasible = True
+        for keyword in others:
+            members = [o for o in groups[keyword] if o.oid in ball_ids]
+            if not members:
+                feasible = False
+                break
+            local.append(members)
+        if not feasible:
+            stats.anchors_pruned += 1
+            continue
+        for combo in itertools.product(*local):
+            stats.combinations_checked += 1
+            group = [anchor, *combo]
+            d = diameter(group)
+            if d < best_diameter:
+                best_diameter = d
+                best_group = group
+    if best_group is None:
+        return None
+    return best_group, best_diameter

@@ -1,0 +1,105 @@
+"""Spatial objects and a grid-indexed spatial database."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+
+
+@dataclass(frozen=True)
+class SpatialObject:
+    """A point object with text content."""
+
+    oid: int
+    x: float
+    y: float
+    text: str
+
+    def tokens(self) -> Set[str]:
+        return set(tokenize(self.text))
+
+    def distance_to(self, other: "SpatialObject") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class SpatialDatabase:
+    """Objects with a uniform grid index and keyword posting lists."""
+
+    def __init__(self, objects: Iterable[SpatialObject], cell_size: float = 1.0):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.objects: List[SpatialObject] = list(objects)
+        self.cell_size = cell_size
+        self._grid: Dict[Tuple[int, int], List[SpatialObject]] = {}
+        self._postings: Dict[str, List[SpatialObject]] = {}
+        for obj in self.objects:
+            self._grid.setdefault(self._cell(obj.x, obj.y), []).append(obj)
+            for token in obj.tokens():
+                self._postings.setdefault(token, []).append(obj)
+
+    def _cell(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self.cell_size)),
+                int(math.floor(y / self.cell_size)))
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def matching(self, keyword: str) -> List[SpatialObject]:
+        return list(self._postings.get(keyword.lower(), ()))
+
+    def objects_near(
+        self, x: float, y: float, radius: float
+    ) -> List[SpatialObject]:
+        """Objects within *radius* of (x, y), via the grid."""
+        span = int(math.ceil(radius / self.cell_size))
+        cx, cy = self._cell(x, y)
+        out = []
+        for dx in range(-span, span + 1):
+            for dy in range(-span, span + 1):
+                for obj in self._grid.get((cx + dx, cy + dy), ()):
+                    if math.hypot(obj.x - x, obj.y - y) <= radius:
+                        out.append(obj)
+        return out
+
+    def cells_with_keyword(self, keyword: str) -> Set[Tuple[int, int]]:
+        return {self._cell(o.x, o.y) for o in self.matching(keyword)}
+
+
+def generate_spatial_db(
+    n_objects: int = 120,
+    keywords: Sequence[str] = ("cafe", "museum", "park", "hotel", "garage"),
+    extent: float = 20.0,
+    seed: int = 43,
+    cell_size: float = 2.0,
+    planted_cluster: bool = True,
+) -> SpatialDatabase:
+    """Random points with 1-2 keywords each; optionally plants one tight
+    cluster containing every keyword (the intended mCK answer)."""
+    rng = random.Random(seed)
+    objects = []
+    oid = 0
+    for _ in range(n_objects):
+        terms = rng.sample(list(keywords), rng.randint(1, 2))
+        objects.append(
+            SpatialObject(
+                oid,
+                round(rng.uniform(0, extent), 3),
+                round(rng.uniform(0, extent), 3),
+                " ".join(terms),
+            )
+        )
+        oid += 1
+    if planted_cluster:
+        cx, cy = extent * 0.3, extent * 0.7
+        for i, keyword in enumerate(keywords):
+            objects.append(
+                SpatialObject(
+                    oid, round(cx + i * 0.05, 3), round(cy + i * 0.04, 3), keyword
+                )
+            )
+            oid += 1
+    return SpatialDatabase(objects, cell_size=cell_size)

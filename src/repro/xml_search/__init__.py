@@ -1,0 +1,59 @@
+"""XML keyword search (tutorial slides 32-43, 136-141, 161-162).
+
+Implements the ?LCA result-definition family and the structure-inference
+techniques the tutorial surveys for XML:
+
+* SLCA — scan-eager, indexed-lookup-eager, multiway (skip-based),
+* ELCA — brute force (DIL-style) and candidate+verify (Index-Stack style),
+* XRank-style decay scoring,
+* XSeek return-node inference,
+* XReal search-for-node inference,
+* NTC total-correlation structure scoring,
+* describable result clustering by keyword roles.
+"""
+
+from repro.xml_search.slca import (
+    contains_all,
+    lca_candidates,
+    slca_scan_eager,
+    slca_indexed_lookup_eager,
+    slca_multiway,
+    slca_bruteforce,
+)
+from repro.xml_search.elca import elca_bruteforce, elca_candidates_verify
+from repro.xml_search.xrank import xrank_scores, rank_results
+from repro.xml_search.xseek import XSeek, NodeCategory
+from repro.xml_search.xreal import XReal
+from repro.xml_search.ntc import entropy, total_correlation, normalized_total_correlation
+from repro.xml_search.describable import describable_clusters, RoleSignature
+from repro.xml_search.probabilistic import ProbabilisticQueryBuilder, PathQuery
+from repro.xml_search.interconnection import interconnected, interconnected_answers
+from repro.xml_search.probabilistic_xml import ProbabilisticXml
+from repro.xml_search.xbridge_sketch import PathSketch
+
+__all__ = [
+    "contains_all",
+    "lca_candidates",
+    "slca_scan_eager",
+    "slca_indexed_lookup_eager",
+    "slca_multiway",
+    "slca_bruteforce",
+    "elca_bruteforce",
+    "elca_candidates_verify",
+    "xrank_scores",
+    "rank_results",
+    "XSeek",
+    "NodeCategory",
+    "XReal",
+    "entropy",
+    "total_correlation",
+    "normalized_total_correlation",
+    "describable_clusters",
+    "RoleSignature",
+    "ProbabilisticQueryBuilder",
+    "PathQuery",
+    "interconnected",
+    "interconnected_answers",
+    "ProbabilisticXml",
+    "PathSketch",
+]

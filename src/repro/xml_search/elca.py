@@ -1,0 +1,146 @@
+"""ELCA computation (Guo et al., SIGMOD 03; Xu & Papakonstantinou, EDBT 08).
+
+A node u is an *Exclusive* LCA if, for every query keyword, u's subtree
+contains a witness occurrence that is **not** inside any descendant of u
+that itself contains all keywords.  Because "contains all keywords" is
+upward-monotone inside a subtree, the maximal contains-all strict
+descendants of u are exactly its contains-all children — so the
+verification reduces to per-child exclusion (which is what the XRank
+stack maintains implicitly).
+
+Two implementations with one contract:
+
+* ``elca_bruteforce`` — full tree traversal with per-node keyword
+  counts, O(N·k): the DIL-style baseline for E6;
+* ``elca_candidates_verify`` — the Index-Stack strategy of slide 140:
+  ``ELCA ⊆ ∪_{v∈S1} SLCA({v}, S2..Sk)``, verify each candidate with
+  range counts over the Dewey lists, O(k·d·|S1|·log|Smax|).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.xml_search.slca import _anchor_candidate, _dedup_keep_deepest
+from repro.xmltree.node import Dewey, XmlNode
+
+
+def _subtree_range(deweys: List[Dewey], node: Dewey) -> Tuple[int, int]:
+    """Index range [lo, hi) of matches inside the subtree of *node*."""
+    lo = bisect_left(deweys, node)
+    hi = lo
+    while hi < len(deweys) and deweys[hi][: len(node)] == node:
+        hi += 1
+    return lo, hi
+
+
+def _subtree_count(deweys: List[Dewey], node: Dewey) -> int:
+    lo = bisect_left(deweys, node)
+    # Upper bound via the next sibling prefix: node + (last+1).
+    upper = node[:-1] + (node[-1] + 1,)
+    hi = bisect_left(deweys, upper)
+    # All entries in [lo, hi) start with a prefix >= node and < sibling,
+    # which for Dewey labels means they are in node's subtree (or node).
+    return hi - lo
+
+
+def _contains_all(lists: Sequence[List[Dewey]], node: Dewey) -> bool:
+    return all(_subtree_count(lst, node) > 0 for lst in lists)
+
+
+def elca_bruteforce(root: XmlNode, keywords: Sequence[str]) -> List[Dewey]:
+    """Traverse the tree, counting keyword witnesses with child exclusion."""
+    keywords = [k.lower() for k in keywords]
+    k = len(keywords)
+
+    results: List[Dewey] = []
+
+    def visit(node: XmlNode) -> List[int]:
+        """Return subtree keyword counts; record ELCAs on the way up."""
+        own = [0] * k
+        node_tokens: Set[str] = set()
+        if node.value:
+            node_tokens.update(tokenize(node.value))
+        node_tokens.update(tokenize(node.tag))
+        for i, keyword in enumerate(keywords):
+            if keyword in node_tokens:
+                own[i] += 1
+        child_counts = [visit(child) for child in node.children]
+        total = list(own)
+        for counts in child_counts:
+            for i in range(k):
+                total[i] += counts[i]
+        if all(c > 0 for c in total):
+            # Exclude witnesses inside contains-all children.
+            exclusive = list(own)
+            for counts in child_counts:
+                if not all(c > 0 for c in counts):
+                    for i in range(k):
+                        exclusive[i] += counts[i]
+            if all(c > 0 for c in exclusive):
+                results.append(node.dewey)
+        return total
+
+    visit(root)
+    return sorted(results)
+
+
+def elca_candidates_verify(lists: Sequence[List[Dewey]]) -> List[Dewey]:
+    """Candidate generation + range-count verification (slide 140).
+
+    Candidates come from anchoring each element of the smallest list
+    against the others (exactly the ELCA_candidates superset of Xu &
+    Papakonstantinou).  A candidate u is verified by checking that for
+    every keyword some witness under u survives after subtracting the
+    matches claimed by u's contains-all children.
+    """
+    lists = [lst for lst in lists]
+    if not lists or any(not lst for lst in lists):
+        return []
+    smallest_idx = min(range(len(lists)), key=lambda i: len(lists[i]))
+    anchors = lists[smallest_idx]
+    others = [lst for i, lst in enumerate(lists) if i != smallest_idx]
+
+    candidates: Set[Dewey] = set()
+    for anchor in anchors:
+        cand = _anchor_candidate(anchor, others)
+        if cand is not None:
+            candidates.add(cand)
+            # Every ancestor of an SLCA-style candidate can be an ELCA
+            # too; but only ancestors that are LCAs of some combination.
+            # The candidate superset of the EDBT'08 paper includes, for
+            # each anchor, the LCAs it forms with *prefixes*; we take the
+            # ancestors of cand that still contain all keywords.
+            node = cand[:-1]
+            while len(node) >= 1:
+                if _contains_all(lists, node):
+                    candidates.add(node)
+                node = node[:-1]
+
+    results = []
+    for cand in sorted(candidates):
+        if _verify_elca(lists, cand):
+            results.append(cand)
+    return results
+
+
+def _verify_elca(lists: Sequence[List[Dewey]], node: Dewey) -> bool:
+    if not _contains_all(lists, node):
+        return False
+    # Find the children of `node` that could be contains-all: only
+    # children holding at least one match of the smallest list under node.
+    smallest = min(lists, key=len)
+    lo, hi = _subtree_range(smallest, node)
+    child_prefixes: Set[Dewey] = set()
+    for dewey in smallest[lo:hi]:
+        if len(dewey) > len(node):
+            child_prefixes.add(dewey[: len(node) + 1])
+    blocking = [c for c in child_prefixes if _contains_all(lists, c)]
+    for lst in lists:
+        total = _subtree_count(lst, node)
+        claimed = sum(_subtree_count(lst, child) for child in blocking)
+        if total - claimed <= 0:
+            return False
+    return True

@@ -1,0 +1,102 @@
+"""Interconnection semantics (XSEarch — Cohen et al., VLDB 03; slide 34).
+
+Two nodes are *interconnected* when the tree path between them contains
+no two distinct nodes with the same label (besides the endpoints): a
+path through two different ``paper`` elements relates two unrelated
+papers, so their descendants should not be combined into one answer.
+An answer is a combination of keyword matches that is pairwise
+interconnected; its presentation root is the matches' LCA.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.xmltree.node import Dewey, XmlNode, common_prefix
+
+
+def _path_nodes(root: XmlNode, a: Dewey, b: Dewey) -> List[XmlNode]:
+    """Nodes on the tree path a -> lca -> b, inclusive."""
+    lca = common_prefix(a, b)
+    path: List[XmlNode] = []
+    for dewey in (a, b):
+        current = list(dewey)
+        side: List[XmlNode] = []
+        while len(current) >= len(lca):
+            node = root.node_at(tuple(current))
+            if node is not None:
+                side.append(node)
+            if len(current) == len(lca):
+                break
+            current.pop()
+        if dewey == a:
+            path.extend(side)
+        else:
+            # avoid duplicating the LCA node
+            path.extend(reversed(side[:-1]))
+    return path
+
+
+def interconnected(root: XmlNode, a: Dewey, b: Dewey) -> bool:
+    """True iff the a-b path has no two distinct equal-labelled nodes.
+
+    The endpoints themselves are allowed to share a label (two authors
+    of one paper are related), interior repetitions are not.
+    """
+    if a == b:
+        return True
+    path = _path_nodes(root, a, b)
+    labels: Dict[str, int] = {}
+    for node in path:
+        labels[node.tag] = labels.get(node.tag, 0) + 1
+    for tag, count in labels.items():
+        if count < 2:
+            continue
+        holders = [n for n in path if n.tag == tag]
+        # Permit a repeated label only when both holders are endpoints.
+        endpoint_deweys = {a, b}
+        if all(h.dewey in endpoint_deweys for h in holders):
+            continue
+        return False
+    return True
+
+
+def interconnected_answers(
+    root: XmlNode,
+    lists: Sequence[List[Dewey]],
+    max_combinations: int = 100_000,
+) -> List[Tuple[Dewey, Tuple[Dewey, ...]]]:
+    """All pairwise-interconnected match combinations.
+
+    Returns (answer root = LCA, matches) in document order of the root.
+    """
+    if not lists or any(not lst for lst in lists):
+        return []
+    total = 1
+    for lst in lists:
+        total *= len(lst)
+    if total > max_combinations:
+        raise ValueError(f"combination space too large ({total})")
+    out: List[Tuple[Dewey, Tuple[Dewey, ...]]] = []
+    seen: Set[Tuple[Dewey, ...]] = set()
+    for combo in product(*lists):
+        key = tuple(sorted(set(combo)))
+        if key in seen:
+            continue
+        seen.add(key)
+        ok = True
+        for i in range(len(combo)):
+            for j in range(i + 1, len(combo)):
+                if not interconnected(root, combo[i], combo[j]):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            lca = combo[0]
+            for dewey in combo[1:]:
+                lca = common_prefix(lca, dewey)
+            out.append((lca, tuple(combo)))
+    out.sort()
+    return out

@@ -1,0 +1,191 @@
+"""Probabilistic keyword-to-XPath refinement (Petkova et al., ECIR 09).
+
+Slides 47-48: list and score all bindings of content/structure
+keywords, then *reduce* high-probability combinations into valid XPath
+queries by applying operators that update probabilities:
+
+* aggregation   — ``//a[~x] + //a[~y] -> //a[~"x y"]``, Pr = Pr(A)·Pr(B)
+* specialization — ``//a[~x] -> //b//a[~x]``,
+                    Pr = Pr(a under b) · Pr(A)
+* nesting       — ``//a + //b[~y] -> //a[//b[~y]]``,
+                    Pr = IG(a,b) · Pr(A) · Pr(B)
+
+The binding probability uses a path language model:
+``Pr(path[~w]) = pLM(w | text of path's nodes)`` with add-one smoothing.
+Top-k valid queries are kept via best-first (A*-like) search over the
+reduction space.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.text import tokenize
+from repro.xmltree.node import XmlNode
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """A simple structured query: an anchor path + content predicates."""
+
+    path: str  # label path, e.g. "/conf/paper"
+    predicates: Tuple[Tuple[str, str], ...]  # (sub-path, keyword)
+    probability: float
+
+    def xpath(self) -> str:
+        parts = "".join(
+            f"[{sub or '.'} ~ {kw!r}]" for sub, kw in self.predicates
+        )
+        return f"{self.path}{parts}"
+
+
+class ProbabilisticQueryBuilder:
+    """Builds scored XPath-like queries from a keyword query."""
+
+    def __init__(self, root: XmlNode):
+        self.root = root
+        # label path -> list of nodes; -> language model counts
+        self._nodes: Dict[str, List[XmlNode]] = {}
+        self._lm: Dict[str, Dict[str, int]] = {}
+        self._lm_total: Dict[str, int] = {}
+        for node in root.descendants(include_self=True):
+            path = node.label_path()
+            self._nodes.setdefault(path, []).append(node)
+        for path, nodes in self._nodes.items():
+            counts: Dict[str, int] = {}
+            for node in nodes:
+                if node.value:
+                    for token in tokenize(node.value):
+                        counts[token] = counts.get(token, 0) + 1
+            self._lm[path] = counts
+            self._lm_total[path] = sum(counts.values())
+
+    # ------------------------------------------------------------------
+    # Binding probabilities
+    # ------------------------------------------------------------------
+    def binding_probability(self, path: str, keyword: str) -> float:
+        """pLM(w | doc(path)) with add-one smoothing (slide 47)."""
+        counts = self._lm.get(path)
+        if counts is None:
+            return 0.0
+        vocab = max(1, len(counts))
+        return (counts.get(keyword.lower(), 0) + 1) / (
+            self._lm_total.get(path, 0) + vocab
+        )
+
+    def candidate_bindings(
+        self, keyword: str, limit: int = 5
+    ) -> List[Tuple[str, float]]:
+        """Paths most likely to contain *keyword*, scored."""
+        keyword = keyword.lower()
+        scored = []
+        for path, counts in self._lm.items():
+            if counts.get(keyword, 0) > 0:
+                scored.append((path, self.binding_probability(path, keyword)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:limit]
+
+    # ------------------------------------------------------------------
+    # Reduction operators
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _common_ancestor_path(a: str, b: str) -> Optional[str]:
+        pa = a.split("/")
+        pb = b.split("/")
+        n = 0
+        for x, y in zip(pa, pb):
+            if x != y:
+                break
+            n += 1
+        if n <= 1:
+            return None
+        return "/".join(pa[:n]) or None
+
+    def _descendant_probability(self, ancestor: str, descendant: str) -> float:
+        """Pr(a descendant path exists under an ancestor instance)."""
+        ancestors = self._nodes.get(ancestor, ())
+        if not ancestors:
+            return 0.0
+        with_descendant = 0
+        for node in ancestors:
+            prefix = node.label_path()
+            for sub in node.descendants(include_self=True):
+                if sub.label_path() == descendant:
+                    with_descendant += 1
+                    break
+        return with_descendant / len(ancestors)
+
+    def build(self, keywords: Sequence[str], k: int = 5) -> List[PathQuery]:
+        """Top-k valid queries combining all keywords (slide 48).
+
+        Generates per-keyword bindings, then for each combination finds
+        the deepest common anchor (nesting) and scores it as
+        Pr = prod_i Pr(binding_i) * prod_i Pr(sub-path under anchor).
+        Best-first over combinations keeps the search bounded.
+        """
+        keywords = [kw.lower() for kw in keywords]
+        per_keyword = [self.candidate_bindings(kw) for kw in keywords]
+        if any(not c for c in per_keyword):
+            return []
+        heap: List[Tuple[float, int, Tuple[int, ...]]] = []
+        counter = itertools.count()
+        start = tuple([0] * len(keywords))
+
+        def upper(vec: Tuple[int, ...]) -> float:
+            p = 1.0
+            for i, pos in enumerate(vec):
+                if pos >= len(per_keyword[i]):
+                    return 0.0
+                p *= per_keyword[i][pos][1]
+            return p
+
+        seen = {start}
+        heapq.heappush(heap, (-upper(start), next(counter), start))
+        results: List[PathQuery] = []
+        while heap and len(results) < k * 3:
+            neg_p, __, vec = heapq.heappop(heap)
+            if -neg_p <= 0:
+                break
+            query = self._reduce(
+                [per_keyword[i][pos] for i, pos in enumerate(vec)], keywords
+            )
+            if query is not None:
+                results.append(query)
+            for dim in range(len(vec)):
+                succ = vec[:dim] + (vec[dim] + 1,) + vec[dim + 1 :]
+                if succ[dim] < len(per_keyword[dim]) and succ not in seen:
+                    seen.add(succ)
+                    heapq.heappush(heap, (-upper(succ), next(counter), succ))
+        results.sort(key=lambda q: (-q.probability, q.xpath()))
+        # Deduplicate identical xpaths.
+        unique: Dict[str, PathQuery] = {}
+        for query in results:
+            unique.setdefault(query.xpath(), query)
+        return list(unique.values())[:k]
+
+    def _reduce(
+        self, bindings: List[Tuple[str, float]], keywords: List[str]
+    ) -> Optional[PathQuery]:
+        paths = [p for p, __ in bindings]
+        anchor = paths[0]
+        for path in paths[1:]:
+            common = self._common_ancestor_path(anchor, path)
+            if common is None:
+                return None
+            anchor = common if len(common) < len(anchor) else (
+                anchor if anchor == path else common
+            )
+        # Aggregation: same path for several keywords multiplies their
+        # probabilities on one predicate path.
+        probability = 1.0
+        predicates: List[Tuple[str, str]] = []
+        for (path, p), keyword in zip(bindings, keywords):
+            probability *= p
+            sub = path[len(anchor):].lstrip("/")
+            predicates.append((sub, keyword))
+            if path != anchor:
+                probability *= self._descendant_probability(anchor, path)
+        return PathQuery(anchor, tuple(predicates), probability)

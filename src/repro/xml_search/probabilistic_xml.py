@@ -1,0 +1,134 @@
+"""Top-k keyword search over probabilistic XML (Li et al., ICDE 11;
+slide 168).
+
+A *p-document* annotates nodes with independent existence probabilities
+(a node exists only if its whole ancestor chain exists).  A keyword
+result (an SLCA root over the possible structure) is returned with the
+probability that, in a random world, the root exists and its surviving
+subtree still contains every keyword.
+
+For independent-node p-documents this probability factorises bottom-up:
+
+    P(subtree of v contains k | v exists)
+        = 1 - (1 - self_match) * prod_child (1 - p_child * P_child(k))
+
+and for multiple keywords the exact joint requires tracking keyword
+subsets, which we do — each node carries a distribution over the subset
+of query keywords its surviving subtree covers (2^|Q| entries, fine for
+the 2-4 keyword queries keyword search sees).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.text import tokenize
+from repro.xmltree.node import Dewey, XmlNode
+
+
+class ProbabilisticXml:
+    """An XmlNode tree + per-node existence probabilities."""
+
+    def __init__(
+        self,
+        root: XmlNode,
+        probabilities: Optional[Dict[Dewey, float]] = None,
+        default: float = 1.0,
+    ):
+        self.root = root
+        self._p = dict(probabilities or {})
+        self.default = default
+        for dewey, p in self._p.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability out of range for {dewey}: {p}")
+
+    def probability(self, node: XmlNode) -> float:
+        return self._p.get(node.dewey, self.default)
+
+    def existence_probability(self, node: XmlNode) -> float:
+        """P(node exists) = product of probabilities up the chain."""
+        p = 1.0
+        current: Optional[XmlNode] = node
+        while current is not None:
+            p *= self.probability(current)
+            current = current.parent
+        return p
+
+    # ------------------------------------------------------------------
+    def _coverage_distribution(
+        self, node: XmlNode, keywords: Sequence[str]
+    ) -> Dict[int, float]:
+        """Distribution over covered-keyword bitmasks, conditioned on
+        *node* existing."""
+        k = len(keywords)
+        self_mask = 0
+        tokens = set(tokenize(node.value or "")) | set(tokenize(node.tag))
+        for i, keyword in enumerate(keywords):
+            if keyword in tokens:
+                self_mask |= 1 << i
+        dist: Dict[int, float] = {self_mask: 1.0}
+        for child in node.children:
+            p_child = self.probability(child)
+            child_dist = self._coverage_distribution(child, keywords)
+            merged: Dict[int, float] = {}
+            for mask, prob in dist.items():
+                # child absent
+                merged[mask] = merged.get(mask, 0.0) + prob * (1 - p_child)
+                # child present with its own coverage
+                for cmask, cprob in child_dist.items():
+                    key = mask | cmask
+                    merged[key] = merged.get(key, 0.0) + prob * p_child * cprob
+            dist = merged
+        return dist
+
+    def containment_probability(
+        self, node: XmlNode, keywords: Sequence[str]
+    ) -> float:
+        """P(surviving subtree of node covers all keywords | node exists)."""
+        keywords = [k.lower() for k in keywords]
+        full = (1 << len(keywords)) - 1
+        dist = self._coverage_distribution(node, keywords)
+        return dist.get(full, 0.0)
+
+    def result_probability(self, node: XmlNode, keywords: Sequence[str]) -> float:
+        """P(node exists and its surviving subtree covers all keywords)."""
+        return self.existence_probability(node) * self.containment_probability(
+            node, keywords
+        )
+
+    # ------------------------------------------------------------------
+    def topk(
+        self,
+        keywords: Sequence[str],
+        k: int = 5,
+        min_probability: float = 0.0,
+        candidates: Optional[Sequence[Dewey]] = None,
+    ) -> List[Tuple[XmlNode, float]]:
+        """Top-k result roots by probability.
+
+        Candidates default to the SLCAs of the *possible structure*
+        (every probabilistic result root is an LCA in some world whose
+        deepest representative appears among them or their descendants;
+        for library purposes the possible-structure SLCAs are the
+        standard candidate set).
+        """
+        keywords = [kw.lower() for kw in keywords]
+        if candidates is None:
+            from repro.xml_search.slca import slca_indexed_lookup_eager
+            from repro.xmltree.index import XmlKeywordIndex
+
+            index = XmlKeywordIndex(self.root)
+            lists = index.match_lists(keywords)
+            if any(not lst for lst in lists):
+                return []
+            candidates = slca_indexed_lookup_eager(lists)
+        scored = []
+        for dewey in candidates:
+            node = self.root.node_at(dewey)
+            if node is None:
+                continue
+            p = self.result_probability(node, keywords)
+            if p > min_probability:
+                scored.append((node, p))
+        scored.sort(key=lambda pair: (-pair[1], pair[0].dewey))
+        return scored[:k]

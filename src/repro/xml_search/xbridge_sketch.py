@@ -1,0 +1,84 @@
+"""XBridge structure+value sketch (Li et al., EDBT 10; slide 38).
+
+"XBridge builds a structure + value sketch to estimate the most
+promising return type": instead of scanning instances per query (as
+:class:`repro.xml_search.xreal.XReal` does), an offline sketch stores,
+per node type (label path), the count of type instances whose subtree
+contains each term.  Online, a type's score for a query is computed
+from the sketch in O(|Q|) lookups — the estimate equals XReal's exact
+``f_T^k`` because the sketch is lossless at term granularity (a real
+deployment would compress the value side; we expose ``top_terms_only``
+to emulate a lossy sketch and measure the estimation error).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.text import tokenize
+from repro.xmltree.node import XmlNode
+
+
+class PathSketch:
+    """Offline per-type term-frequency sketch."""
+
+    def __init__(self, root: XmlNode, top_terms_only: Optional[int] = None):
+        self.root = root
+        # label path -> (instance count, term -> instances containing it)
+        self._instances: Dict[str, int] = {}
+        self._terms: Dict[str, Dict[str, int]] = {}
+        self._leaf_types: Dict[str, bool] = {}
+        by_path: Dict[str, List[XmlNode]] = {}
+        for node in root.descendants(include_self=True):
+            by_path.setdefault(node.label_path(), []).append(node)
+        for path, nodes in by_path.items():
+            self._instances[path] = len(nodes)
+            self._leaf_types[path] = all(n.is_leaf for n in nodes)
+            counts: Counter = Counter()
+            for node in nodes:
+                tokens = set(tokenize(node.text())) | set(tokenize(node.tag))
+                for token in tokens:
+                    counts[token] += 1
+            if top_terms_only is not None:
+                counts = Counter(dict(counts.most_common(top_terms_only)))
+            self._terms[path] = dict(counts)
+
+    @property
+    def node_types(self) -> List[str]:
+        return sorted(self._instances)
+
+    def sketch_size(self) -> int:
+        """Total stored (path, term) entries."""
+        return sum(len(t) for t in self._terms.values())
+
+    def estimated_frequency(self, path: str, keyword: str) -> int:
+        """Sketch estimate of f_T^k (exact when the sketch is lossless)."""
+        return self._terms.get(path, {}).get(keyword.lower(), 0)
+
+    def type_score(self, path: str, keywords: Sequence[str]) -> float:
+        score = 1.0
+        for keyword in keywords:
+            freq = self.estimated_frequency(path, keyword)
+            if freq == 0:
+                return 0.0
+            score *= 1.0 + math.log1p(freq)
+        return score
+
+    def infer_return_type(
+        self,
+        keywords: Sequence[str],
+        exclude_leaf_types: bool = True,
+        k: Optional[int] = None,
+    ) -> List[Tuple[str, float]]:
+        """Promising return types from the sketch alone."""
+        out = []
+        for path in self.node_types:
+            if exclude_leaf_types and self._leaf_types.get(path, False):
+                continue
+            score = self.type_score(path, keywords)
+            if score > 0:
+                out.append((path, score))
+        out.sort(key=lambda item: (-item[1], item[0]))
+        return out[:k] if k is not None else out

@@ -1,0 +1,106 @@
+"""XReal: inferring the search-for node type (Bao et al., ICDE 09).
+
+Slides 37-38: for query Q, score every node type T (identified by its
+label path) by its potential to be what the user searches for:
+
+    score(T) = prod_{k in Q} ( 1 + log(1 + f_T^k) )   if f_T^k > 0 for all k
+             = 0                                       otherwise
+
+where ``f_T^k`` is the number of T-typed nodes whose subtree contains
+keyword k.  The "ensures T has the potential to match all query
+keywords" requirement from the slide is the all-keywords factor; the
+log dampens dominance of huge types.  Instance scoring aggregates leaf
+scores upward with a depth decay, as slide 38 sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.text import tokenize
+from repro.xmltree.node import XmlNode
+
+
+class XReal:
+    """Search-for-node-type inference and instance retrieval."""
+
+    def __init__(self, root: XmlNode):
+        self.root = root
+        # label path -> nodes of that type
+        self._by_path: Dict[str, List[XmlNode]] = {}
+        for node in root.descendants(include_self=True):
+            self._by_path.setdefault(node.label_path(), []).append(node)
+
+    @property
+    def node_types(self) -> List[str]:
+        return sorted(self._by_path)
+
+    def type_keyword_frequency(self, path: str, keyword: str) -> int:
+        """f_T^k: number of T-typed nodes whose subtree contains *keyword*."""
+        keyword = keyword.lower()
+        count = 0
+        for node in self._by_path.get(path, ()):
+            if keyword in tokenize(node.text()) or keyword in tokenize(node.tag):
+                count += 1
+        return count
+
+    def type_score(self, path: str, keywords: Sequence[str]) -> float:
+        score = 1.0
+        for keyword in keywords:
+            freq = self.type_keyword_frequency(path, keyword)
+            if freq == 0:
+                return 0.0
+            score *= 1.0 + math.log1p(freq)
+        return score
+
+    def infer_return_type(
+        self,
+        keywords: Sequence[str],
+        candidate_paths: Optional[Sequence[str]] = None,
+        exclude_leaf_types: bool = True,
+    ) -> List[Tuple[str, float]]:
+        """Node types ranked by score (zero-score types omitted).
+
+        Leaf/attribute types are excluded by default — XReal searches for
+        entity-like answers (``/conf/paper``), not individual attributes.
+        """
+        paths = candidate_paths if candidate_paths is not None else self.node_types
+        out = []
+        for path in paths:
+            nodes = self._by_path.get(path, ())
+            if not nodes:
+                continue
+            if exclude_leaf_types and all(n.is_leaf for n in nodes):
+                continue
+            score = self.type_score(path, keywords)
+            if score > 0:
+                out.append((path, score))
+        out.sort(key=lambda item: (-item[1], item[0]))
+        return out
+
+    def instances(
+        self, path: str, keywords: Sequence[str], decay: float = 0.8
+    ) -> List[Tuple[XmlNode, float]]:
+        """T-typed nodes containing every keyword, scored bottom-up.
+
+        Leaf contributions decay with depth below the instance root
+        (slide 38: "internal node aggregates the score of child nodes").
+        """
+        out = []
+        keywords = [k.lower() for k in keywords]
+        for node in self._by_path.get(path, ()):
+            text_tokens = set(tokenize(node.text())) | set(tokenize(node.tag))
+            if not all(k in text_tokens for k in keywords):
+                continue
+            score = 0.0
+            for descendant in node.descendants(include_self=True):
+                local = set(tokenize(descendant.value or ""))
+                local |= set(tokenize(descendant.tag))
+                hits = sum(1 for k in keywords if k in local)
+                if hits:
+                    depth = len(descendant.dewey) - len(node.dewey)
+                    score += hits * (decay ** depth)
+            out.append((node, score))
+        out.sort(key=lambda item: (-item[1], item[0].dewey))
+        return out

@@ -1,0 +1,129 @@
+"""XSeek: return-node inference (Liu & Chen, SIGMOD 07; slide 51).
+
+XSeek analyses (a) data semantics — which node types are *entities*,
+which are *attributes*, which are connection nodes — and (b) the match
+pattern of the query keywords — which keywords act as predicates (they
+match data values) and which name desired output (they match tag
+labels).  The inferred return nodes are:
+
+* explicit: nodes whose tag a query keyword names without constraining
+  a value (``Q1 = "John, institution"`` returns institution nodes);
+* implicit: when all keywords are predicates, the master entity of the
+  match context (``Q2 = "John, Univ of Toronto"`` returns the author).
+
+Entity inference follows the paper's heuristic: a node type is an
+entity if nodes of that tag appear as *multiple siblings* under a common
+parent tag somewhere in the data (i.e. it is "starred" in the DTD);
+attribute types occur at most once per parent and carry a value.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.xmltree.node import Dewey, XmlNode
+
+
+class NodeCategory(str, Enum):
+    ENTITY = "entity"
+    ATTRIBUTE = "attribute"
+    CONNECTION = "connection"
+    VALUE = "value"
+
+
+class XSeek:
+    """Return-node inference over one XML document."""
+
+    def __init__(self, root: XmlNode):
+        self.root = root
+        self._categories: Dict[str, NodeCategory] = {}
+        self._classify_types()
+
+    # ------------------------------------------------------------------
+    # Data semantics
+    # ------------------------------------------------------------------
+    def _classify_types(self) -> None:
+        repeated_tags: Set[str] = set()
+        has_value: Dict[str, bool] = {}
+        for node in self.root.descendants(include_self=True):
+            counts: Dict[str, int] = {}
+            for child in node.children:
+                counts[child.tag] = counts.get(child.tag, 0) + 1
+            for tag, count in counts.items():
+                if count > 1:
+                    repeated_tags.add(tag)
+            has_value.setdefault(node.tag, False)
+            if node.value is not None:
+                has_value[node.tag] = True
+        for tag, valued in has_value.items():
+            if tag in repeated_tags:
+                self._categories[tag] = NodeCategory.ENTITY
+            elif valued:
+                self._categories[tag] = NodeCategory.ATTRIBUTE
+            else:
+                self._categories[tag] = NodeCategory.CONNECTION
+
+    def category(self, tag: str) -> NodeCategory:
+        return self._categories.get(tag, NodeCategory.CONNECTION)
+
+    def entities(self) -> List[str]:
+        return sorted(
+            tag
+            for tag, cat in self._categories.items()
+            if cat is NodeCategory.ENTITY
+        )
+
+    # ------------------------------------------------------------------
+    # Keyword-pattern analysis
+    # ------------------------------------------------------------------
+    def classify_keywords(
+        self, keywords: Sequence[str]
+    ) -> Tuple[List[str], List[str]]:
+        """Split keywords into (label keywords, value predicates).
+
+        A keyword is a label keyword when it names a tag occurring in the
+        document; everything else is treated as a value predicate.
+        """
+        tags = {n.tag.lower() for n in self.root.descendants(include_self=True)}
+        labels = []
+        predicates = []
+        for keyword in keywords:
+            if keyword.lower() in tags:
+                labels.append(keyword.lower())
+            else:
+                predicates.append(keyword.lower())
+        return labels, predicates
+
+    # ------------------------------------------------------------------
+    # Return-node inference
+    # ------------------------------------------------------------------
+    def return_nodes(
+        self, result_root: XmlNode, keywords: Sequence[str]
+    ) -> List[XmlNode]:
+        """Nodes to present for one search result rooted at *result_root*."""
+        labels, predicates = self.classify_keywords(keywords)
+        if labels:
+            # Explicit return nodes: subtree nodes whose tag was named.
+            out = [
+                node
+                for node in result_root.descendants(include_self=True)
+                if node.tag.lower() in labels
+            ]
+            if out:
+                return out
+        # Implicit: the nearest entity at or below the result root that
+        # contains the predicate matches; fall back to the result root.
+        candidates = []
+        for node in result_root.descendants(include_self=True):
+            if self.category(node.tag) is not NodeCategory.ENTITY:
+                continue
+            text_tokens = set(tokenize(node.text()))
+            if all(p in text_tokens for p in predicates):
+                candidates.append(node)
+        if candidates:
+            # The highest (shallowest) qualifying entity is the master one.
+            candidates.sort(key=lambda n: len(n.dewey))
+            return [candidates[0]]
+        return [result_root]

@@ -1,0 +1,22 @@
+"""XML tree substrate.
+
+XML keyword search (slides 27, 32-43, 136-141) works over ordered
+labelled trees with Dewey identifiers: each node's Dewey label is its
+path of child offsets from the root, so lowest common ancestors reduce
+to longest common prefixes and document order to lexicographic order.
+"""
+
+from repro.xmltree.node import Dewey, XmlNode, lca_dewey, common_prefix
+from repro.xmltree.build import element, text_element, parse_xml
+from repro.xmltree.index import XmlKeywordIndex
+
+__all__ = [
+    "Dewey",
+    "XmlNode",
+    "lca_dewey",
+    "common_prefix",
+    "element",
+    "text_element",
+    "parse_xml",
+    "XmlKeywordIndex",
+]

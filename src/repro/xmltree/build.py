@@ -1,0 +1,51 @@
+"""Builders and a parser for XML documents.
+
+``element`` gives a concise literal syntax used throughout the tests to
+transcribe the tutorial's slide trees; ``parse_xml`` accepts real XML
+markup via :mod:`xml.etree.ElementTree`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Union
+
+from repro.xmltree.node import XmlNode
+
+Child = Union["XmlNode", str]
+
+
+def element(tag: str, *children: Child, value: Optional[str] = None) -> XmlNode:
+    """Build a node: ``element("paper", element("title", value="xml"))``.
+
+    A bare string child is shorthand for a text value on this node
+    (``element("name", "sigmod")`` == ``element("name", value="sigmod")``).
+    """
+    node = XmlNode(tag, value=value)
+    for child in children:
+        if isinstance(child, str):
+            if node.value is None:
+                node.value = child
+            else:
+                node.value += " " + child
+        else:
+            node.add_child(child)
+    return node
+
+
+def text_element(tag: str, value: str) -> XmlNode:
+    """A leaf node carrying text."""
+    return XmlNode(tag, value=value)
+
+
+def parse_xml(markup: str) -> XmlNode:
+    """Parse XML markup into an :class:`XmlNode` tree."""
+    return _convert(ET.fromstring(markup))
+
+
+def _convert(elem: "ET.Element") -> XmlNode:
+    text = elem.text.strip() if elem.text and elem.text.strip() else None
+    node = XmlNode(elem.tag, value=text)
+    for child in elem:
+        node.add_child(_convert(child))
+    return node

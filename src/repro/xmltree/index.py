@@ -1,0 +1,132 @@
+"""Keyword inverted lists over an XML document.
+
+A keyword matches a node if it occurs in the node's text value or equals
+the node's tag (the tutorial's queries mix value keywords like "Mark"
+with label keywords like "paper" — slide 109).  Lists are kept sorted in
+document order (Dewey order), which is the precondition of every ?LCA
+algorithm in :mod:`repro.xml_search`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, List, Optional, Sequence
+
+from repro.index.text import tokenize
+from repro.xmltree.node import Dewey, XmlNode
+
+
+class XmlKeywordIndex:
+    """token -> sorted Dewey list, plus label-path statistics."""
+
+    def __init__(self, root: XmlNode, match_tags: bool = True):
+        self.root = root
+        self.match_tags = match_tags
+        self._lists: Dict[str, List[Dewey]] = {}
+        self._node_count = 0
+        self._path_counts: Dict[str, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for node in self.root.descendants(include_self=True):
+            self._node_count += 1
+            path = node.label_path()
+            self._path_counts[path] = self._path_counts.get(path, 0) + 1
+            tokens = set()
+            if node.value:
+                tokens.update(tokenize(node.value))
+            if self.match_tags:
+                tokens.update(tokenize(node.tag))
+            for token in tokens:
+                self._lists.setdefault(token, []).append(node.dewey)
+        for deweys in self._lists.values():
+            deweys.sort()
+
+    # ------------------------------------------------------------------
+    # Lists
+    # ------------------------------------------------------------------
+    def matches(self, keyword: str) -> List[Dewey]:
+        """Sorted Dewey list for *keyword* (empty when absent)."""
+        return list(self._lists.get(keyword.lower(), ()))
+
+    def match_lists(self, keywords: Sequence[str]) -> List[List[Dewey]]:
+        return [self.matches(k) for k in keywords]
+
+    def has_all(self, keywords: Sequence[str]) -> bool:
+        return all(self._lists.get(k.lower()) for k in keywords)
+
+    def list_size(self, keyword: str) -> int:
+        return len(self._lists.get(keyword.lower(), ()))
+
+    @property
+    def vocabulary(self) -> List[str]:
+        return sorted(self._lists)
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def inverse_element_frequency(self, keyword: str) -> float:
+        """ief(x) = N / #nodes containing x (XBridge scoring, slide 158)."""
+        size = self.list_size(keyword)
+        if size == 0:
+            return float(self._node_count)
+        return self._node_count / size
+
+    # ------------------------------------------------------------------
+    # Label-path statistics (XReal / XBridge / structure inference)
+    # ------------------------------------------------------------------
+    def label_paths(self) -> List[str]:
+        return sorted(self._path_counts)
+
+    def path_count(self, path: str) -> int:
+        return self._path_counts.get(path, 0)
+
+    # ------------------------------------------------------------------
+    # Sorted-list primitives used by SLCA algorithms (slide 138-139)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def left_match(deweys: List[Dewey], v: Dewey) -> Optional[Dewey]:
+        """lm(S, v): rightmost element of S that is <= v in document order."""
+        pos = bisect_right(deweys, v)
+        if pos == 0:
+            return None
+        return deweys[pos - 1]
+
+    @staticmethod
+    def right_match(deweys: List[Dewey], v: Dewey) -> Optional[Dewey]:
+        """rm(S, v): leftmost element of S that is >= v in document order."""
+        pos = bisect_left(deweys, v)
+        if pos == len(deweys):
+            return None
+        return deweys[pos]
+
+    @staticmethod
+    def closest_match(deweys: List[Dewey], v: Dewey) -> Optional[Dewey]:
+        """Element of S whose LCA with *v* is deepest (ties -> left match).
+
+        Standard XKSearch primitive: the closest match in document order
+        maximises the common-prefix length with *v*.
+        """
+        left = XmlKeywordIndex.left_match(deweys, v)
+        right = XmlKeywordIndex.right_match(deweys, v)
+        if left is None:
+            return right
+        if right is None:
+            return left
+
+        def lcp(a: Dewey, b: Dewey) -> int:
+            n = 0
+            for x, y in zip(a, b):
+                if x != y:
+                    break
+                n += 1
+            return n
+
+        return left if lcp(left, v) >= lcp(right, v) else right
+
+    def __repr__(self) -> str:
+        return (
+            f"XmlKeywordIndex({len(self._lists)} terms, "
+            f"{self._node_count} nodes)"
+        )

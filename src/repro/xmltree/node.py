@@ -1,0 +1,171 @@
+"""XML nodes with Dewey labels.
+
+A :class:`XmlNode` is an ordered, labelled tree node with an optional
+text value.  Dewey labels (tuples of child offsets, root = ``(0,)``)
+give three properties the ?LCA algorithms rely on:
+
+* document order  == lexicographic order of Dewey labels,
+* ancestor(u, v)  == ``u.dewey`` is a proper prefix of ``v.dewey``,
+* lca(u, v)       == longest common prefix of the two labels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+Dewey = Tuple[int, ...]
+
+
+def common_prefix(a: Dewey, b: Dewey) -> Dewey:
+    """Longest common prefix of two Dewey labels."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return a[:n]
+
+
+def lca_dewey(labels: Sequence[Dewey]) -> Dewey:
+    """Dewey label of the LCA of all *labels* (root label for empty input)."""
+    if not labels:
+        return (0,)
+    acc = labels[0]
+    for label in labels[1:]:
+        acc = common_prefix(acc, label)
+    return acc
+
+
+def is_ancestor(a: Dewey, d: Dewey) -> bool:
+    """True iff *a* is a proper ancestor of *d*."""
+    return len(a) < len(d) and d[: len(a)] == a
+
+
+def is_ancestor_or_self(a: Dewey, d: Dewey) -> bool:
+    return len(a) <= len(d) and d[: len(a)] == a
+
+
+class XmlNode:
+    """One node of an XML document tree."""
+
+    __slots__ = ("tag", "value", "children", "parent", "dewey")
+
+    def __init__(self, tag: str, value: Optional[str] = None):
+        self.tag = tag
+        self.value = value
+        self.children: List[XmlNode] = []
+        self.parent: Optional[XmlNode] = None
+        self.dewey: Dewey = (0,)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_child(self, child: "XmlNode") -> "XmlNode":
+        child.parent = self
+        child.dewey = self.dewey + (len(self.children),)
+        self.children.append(child)
+        child._renumber()
+        return child
+
+    def _renumber(self) -> None:
+        for i, child in enumerate(self.children):
+            child.dewey = self.dewey + (i,)
+            child._renumber()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self.dewey) - 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def root(self) -> "XmlNode":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def label_path(self) -> str:
+        """Absolute label path like ``/conf/paper/title``."""
+        parts: List[str] = []
+        node: Optional[XmlNode] = self
+        while node is not None:
+            parts.append(node.tag)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    def ancestors(self, include_self: bool = False) -> Iterator["XmlNode"]:
+        node = self if include_self else self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "XmlNode") -> bool:
+        return is_ancestor(self.dewey, other.dewey)
+
+    def descendants(self, include_self: bool = False) -> Iterator["XmlNode"]:
+        """Pre-order (document-order) traversal of the subtree."""
+        if include_self:
+            yield self
+        for child in self.children:
+            yield from child.descendants(include_self=True)
+
+    def subtree_size(self) -> int:
+        return 1 + sum(c.subtree_size() for c in self.children)
+
+    def find(self, predicate: Callable[["XmlNode"], bool]) -> List["XmlNode"]:
+        return [n for n in self.descendants(include_self=True) if predicate(n)]
+
+    def find_by_tag(self, tag: str) -> List["XmlNode"]:
+        return self.find(lambda n: n.tag == tag)
+
+    def child_by_tag(self, tag: str) -> Optional["XmlNode"]:
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def node_at(self, dewey: Dewey) -> Optional["XmlNode"]:
+        """Node with the given Dewey label within this node's document."""
+        root = self.root()
+        if not dewey or dewey[0] != root.dewey[0]:
+            return None
+        node = root
+        for offset in dewey[1:]:
+            if offset >= len(node.children):
+                return None
+            node = node.children[offset]
+        return node
+
+    # ------------------------------------------------------------------
+    # Content
+    # ------------------------------------------------------------------
+    def text(self) -> str:
+        """Concatenated text of the subtree, in document order."""
+        parts = []
+        for node in self.descendants(include_self=True):
+            if node.value:
+                parts.append(node.value)
+        return " ".join(parts)
+
+    def to_string(self, indent: int = 0) -> str:
+        """Readable serialisation (used by snippets and examples)."""
+        pad = "  " * indent
+        if self.is_leaf:
+            value = f" {self.value}" if self.value else ""
+            return f"{pad}<{self.tag}>{value}"
+        lines = [f"{pad}<{self.tag}>"]
+        if self.value:
+            lines.append(f"{pad}  {self.value}")
+        for child in self.children:
+            lines.append(child.to_string(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        dewey = ".".join(map(str, self.dewey))
+        value = f"={self.value!r}" if self.value is not None else ""
+        return f"XmlNode({self.tag}@{dewey}{value})"

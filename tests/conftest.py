@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic databases and derived structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.bibliographic import (
+    generate_bibliographic_db,
+    tiny_bibliographic_db,
+)
+from repro.datasets.events import tutorial_events_db
+from repro.datasets.movies import generate_movie_db
+from repro.datasets.products import generate_product_db
+from repro.graph.data_graph import build_data_graph
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    return tiny_bibliographic_db()
+
+
+@pytest.fixture(scope="session")
+def biblio_db():
+    return generate_bibliographic_db(seed=7)
+
+
+@pytest.fixture(scope="session")
+def movie_db():
+    return generate_movie_db(seed=11)
+
+
+@pytest.fixture(scope="session")
+def product_db():
+    return generate_product_db(seed=13)
+
+
+@pytest.fixture(scope="session")
+def events_db():
+    return tutorial_events_db()
+
+
+@pytest.fixture(scope="session")
+def tiny_index(tiny_db):
+    return InvertedIndex(tiny_db)
+
+
+@pytest.fixture(scope="session")
+def biblio_index(biblio_db):
+    return InvertedIndex(biblio_db)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_db):
+    return build_data_graph(tiny_db)
+
+
+@pytest.fixture(scope="session")
+def biblio_graph(biblio_db):
+    return build_data_graph(biblio_db)

@@ -1,0 +1,235 @@
+"""Tests for spelling, cleaning, autocomplete, rewriting and synonyms."""
+
+import pytest
+
+from repro.ambiguity.autocomplete import Tastier
+from repro.ambiguity.cleaning import QueryCleaner
+from repro.ambiguity.rewriting import (
+    KeywordPlusPlus,
+    earth_movers_distance_1d,
+    kl_divergence,
+)
+from repro.ambiguity.spelling import NoisyChannelCorrector
+from repro.ambiguity.synonyms import (
+    click_log_synonyms,
+    data_only_similarity,
+    similar_values,
+)
+from repro.datasets.logs import ClickLogEntry, generate_click_log
+from repro.relational.database import TupleId
+
+
+class TestNoisyChannel:
+    FREQ = {"ipad": 50, "ipod": 30, "apple": 80, "nano": 20, "att": 10}
+
+    def test_exact_token_wins(self):
+        corr = NoisyChannelCorrector(self.FREQ)
+        assert corr.correct("ipad") == "ipad"
+
+    def test_slide66_ipd_to_ipad(self):
+        """Slide 66: observed 'ipd' -> candidates ipad/ipod; the prior
+        (ipad more frequent) breaks the tie."""
+        corr = NoisyChannelCorrector(self.FREQ)
+        candidates = [t for t, _ in corr.candidates("ipd")]
+        assert candidates[0] == "ipad"
+        assert "ipod" in candidates
+
+    def test_error_model_penalises_distance(self):
+        corr = NoisyChannelCorrector(self.FREQ)
+        assert corr.error_probability("ipd", "ipad") > corr.error_probability(
+            "ipd", "apple"
+        )
+        assert corr.error_probability("x", "nano") == 0.0  # beyond budget
+
+    def test_unknown_token_stays(self):
+        corr = NoisyChannelCorrector(self.FREQ)
+        assert corr.correct("zzzzzzz") == "zzzzzzz"
+
+    def test_prior_normalised(self):
+        corr = NoisyChannelCorrector(self.FREQ)
+        total = sum(corr.prior(t) for t in self.FREQ)
+        assert 0 < total <= 1.0
+
+
+class TestQueryCleaner:
+    def test_cleans_misspelled_keyword(self, tiny_index):
+        cleaner = QueryCleaner(tiny_index)
+        result = cleaner.clean(["datbase"])
+        # tiny db has "databases" in abstract? Use a known term: "keyword".
+        result = cleaner.clean(["keyward"])
+        assert result.cleaned_tokens() == ["keyword"]
+
+    def test_preserves_correct_query(self, tiny_index):
+        cleaner = QueryCleaner(tiny_index)
+        result = cleaner.clean(["xml", "keyword"])
+        assert result.cleaned_tokens() == ["xml", "keyword"]
+
+    def test_segmentation_groups_cooccurring_tokens(self, tiny_index):
+        cleaner = QueryCleaner(tiny_index)
+        # "xml keyword" co-occur in paper 0 => preferred as one segment.
+        result = cleaner.clean(["xml", "keyword", "widom"])
+        segment_lengths = [len(s.cleaned) for s in result.segments]
+        assert sum(segment_lengths) == 3
+        assert max(segment_lengths) >= 2
+
+    def test_nonempty_guarantee(self, tiny_index):
+        cleaner = QueryCleaner(tiny_index, require_nonempty=True)
+        result = cleaner.clean(["keyward", "serach"])
+        for segment in result.segments:
+            assert segment.support > 0
+
+    def test_empty_query(self, tiny_index):
+        cleaner = QueryCleaner(tiny_index)
+        result = cleaner.clean([])
+        assert result.segments == ()
+        assert result.cleaned_tokens() == []
+
+
+class TestTastier:
+    def test_prefix_search_finds_tuples(self, tiny_graph, tiny_index):
+        tastier = Tastier(tiny_graph, tiny_index, delta=2)
+        result = tastier.search(["wid", "xm"], k=5)
+        assert result.answers
+        assert result.candidates_after_pruning <= result.candidates_initial
+
+    def test_pruning_reduces_candidates(self, biblio_graph, biblio_index):
+        tastier = Tastier(biblio_graph, biblio_index, delta=2)
+        result = tastier.search(["joh", "data"], k=5)
+        assert result.candidates_after_pruning <= result.candidates_initial
+
+    def test_unknown_prefix_gives_empty(self, tiny_graph, tiny_index):
+        tastier = Tastier(tiny_graph, tiny_index, delta=2)
+        assert tastier.search(["zzzz"], k=5).answers == []
+
+    def test_complete_keyword(self, tiny_graph, tiny_index):
+        tastier = Tastier(tiny_graph, tiny_index)
+        suggestions = tastier.complete_keyword("si")
+        assert "sigmod" in suggestions
+
+    def test_answers_sorted_by_cost(self, tiny_graph, tiny_index):
+        tastier = Tastier(tiny_graph, tiny_index, delta=2)
+        result = tastier.search(["xml"], k=10)
+        costs = [c for _, c in result.answers]
+        assert costs == sorted(costs)
+
+
+class TestDivergences:
+    def test_kl_zero_for_identical(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert kl_divergence(p, dict(p)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_kl_positive_for_shifted(self):
+        p = {"a": 0.9, "b": 0.1}
+        q = {"a": 0.1, "b": 0.9}
+        assert kl_divergence(p, q) > 0.5
+
+    def test_emd_identical_zero(self):
+        xs = [1.0, 2.0, 3.0]
+        assert earth_movers_distance_1d(xs, list(xs)) == pytest.approx(0.0)
+
+    def test_emd_shift(self):
+        xs = [0.0, 0.0]
+        ys = [1.0, 1.0]
+        assert earth_movers_distance_1d(xs, ys) == pytest.approx(1.0)
+
+
+class TestKeywordPlusPlus:
+    @pytest.fixture(scope="class")
+    def kpp(self, product_db):
+        kpp = KeywordPlusPlus(
+            product_db,
+            "product",
+            categorical_attributes=["brand", "category"],
+            numerical_attributes=["screen_size", "weight", "price"],
+        )
+        log = [
+            ["ibm", "laptop"],
+            ["laptop"],
+            ["ibm", "business"],
+            ["business"],
+            ["small", "laptop"],
+            ["small", "tablet"],
+            ["tablet"],
+        ]
+        kpp.learn(log)
+        return kpp
+
+    def test_ibm_maps_to_lenovo(self, kpp):
+        mapping = kpp.mappings.get("ibm")
+        assert mapping is not None
+        assert mapping.kind == "equality"
+        assert mapping.attribute == "brand"
+        assert mapping.value == "lenovo"
+
+    def test_small_maps_to_screen_or_weight_asc(self, kpp):
+        mapping = kpp.mappings.get("small")
+        assert mapping is not None
+        assert mapping.kind == "order_by"
+        assert mapping.attribute in ("screen_size", "weight")
+        assert mapping.direction == "asc"
+
+    def test_structured_match_improves_recall(self, kpp, product_db):
+        """Slide 95: literal 'ibm laptop' misses Lenovo laptops whose
+        description lacks 'ibm'; the structured query finds them all."""
+        literal = kpp.literal_match(["ibm", "laptop"])
+        structured = kpp.structured_match(["ibm", "laptop"])
+        truth = [
+            r
+            for r in product_db.rows("product")
+            if r["brand"] == "lenovo" and r["category"] == "laptop"
+        ]
+        literal_hits = {r.rowid for r in literal} & {r.rowid for r in truth}
+        structured_hits = {r.rowid for r in structured} & {r.rowid for r in truth}
+        assert len(structured_hits) >= len(literal_hits)
+        assert len(structured_hits) == len(truth)
+
+    def test_translate_splits_residual(self, kpp):
+        predicates, residual = kpp.translate(["ibm", "gaming"])
+        assert [p.keyword for p in predicates] == ["ibm"]
+        assert residual == ["gaming"]
+
+
+class TestSynonyms:
+    def test_click_overlap_detects_synonyms(self):
+        t1, t2 = TupleId("movie", 1), TupleId("movie", 2)
+        log = [
+            ClickLogEntry(("indiana", "jones", "iv"), (t1,)),
+            ClickLogEntry(("indiana", "jones", "4"), (t1,)),
+            ClickLogEntry(("casablanca",), (t2,)),
+        ]
+        pairs = click_log_synonyms(log, min_overlap=0.9)
+        assert (
+            ("indiana", "jones", "4"),
+            ("indiana", "jones", "iv"),
+        ) in [(a, b) for a, b, _ in pairs]
+
+    def test_no_false_synonyms(self):
+        t1, t2 = TupleId("movie", 1), TupleId("movie", 2)
+        log = [
+            ClickLogEntry(("a",), (t1,)),
+            ClickLogEntry(("b",), (t2,)),
+        ]
+        assert click_log_synonyms(log, min_overlap=0.5) == []
+
+    def test_data_only_similarity_brands(self, product_db):
+        """Same-category brands look more alike than brand vs category."""
+        sim = data_only_similarity(
+            product_db, "product", "brand", "lenovo", "asus",
+            feature_attributes=["category"],
+        )
+        assert 0 < sim <= 1.0
+
+    def test_similar_values_ranked(self, product_db):
+        ranked = similar_values(
+            product_db, "product", "brand", "lenovo",
+            feature_attributes=["category", "description"], k=3,
+        )
+        assert len(ranked) == 3
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_generated_click_log_consistency(self, movie_db):
+        log = generate_click_log(movie_db, "movie", n_queries=50, seed=3)
+        assert log
+        for entry in log:
+            assert entry.clicked

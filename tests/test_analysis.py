@@ -1,0 +1,397 @@
+"""Tests for ranking, snippets, differentiation, clouds, expansion,
+facets, clustering, aggregation and text cube."""
+
+import pytest
+
+from repro.analysis.aggregation import Cell, cell_members, minimal_group_bys
+from repro.analysis.clouds import data_cloud, frequent_cooccurring_terms
+from repro.analysis.clustering import rank_clusters, result_score, xbridge_clusters
+from repro.analysis.differentiation import (
+    FeatureSet,
+    comparison_table,
+    degree_of_difference,
+    select_features_greedy,
+    select_features_random,
+    select_features_top_frequency,
+)
+from repro.analysis.expansion import expand_query_for_clusters, f_measure
+from repro.analysis.facets import (
+    NavigationModel,
+    build_navigation_tree,
+    navigation_cost,
+)
+from repro.analysis.ranking import (
+    VectorSpaceRanker,
+    authority_scores,
+    proximity_score,
+)
+from repro.analysis.snippets import (
+    generate_snippet,
+    snippet_covers_keywords,
+    snippet_text,
+)
+from repro.analysis.textcube import STAR, TextCube, top_cells
+from repro.datasets.events import TUTORIAL_EVENTS, tutorial_events_db
+from repro.datasets.logs import QueryLogEntry, generate_query_log
+from repro.datasets.xml_corpora import generate_bib_xml, slide_conf_tree
+from repro.xml_search.slca import slca_indexed_lookup_eager
+from repro.xmltree.index import XmlKeywordIndex
+
+
+class TestVectorSpace:
+    DOCS = {
+        1: "xml keyword search on databases",
+        2: "cloud computing platforms",
+        3: "keyword search in the cloud",
+    }
+
+    def test_relevant_doc_ranks_first(self):
+        ranker = VectorSpaceRanker(self.DOCS)
+        ranked = ranker.rank(["xml", "keyword"])
+        assert ranked[0][0] == 1
+
+    def test_score_zero_for_no_overlap(self):
+        ranker = VectorSpaceRanker(self.DOCS)
+        assert ranker.score(2, ["xml"]) == 0.0
+
+    def test_cosine_bounded(self):
+        ranker = VectorSpaceRanker(self.DOCS)
+        for doc_id in self.DOCS:
+            s = ranker.score(doc_id, ["keyword", "search"])
+            assert 0.0 <= s <= 1.0 + 1e-9
+
+    def test_idf_favors_rare(self):
+        ranker = VectorSpaceRanker(self.DOCS)
+        assert ranker.idf("xml") > ranker.idf("keyword")
+
+
+class TestProximityAndAuthority:
+    def test_proximity_prefers_compact(self):
+        close = proximity_score(3, [1, 1])
+        spread = proximity_score(7, [3, 4])
+        assert close > spread
+
+    def test_proximity_validates(self):
+        with pytest.raises(ValueError):
+            proximity_score(0, [])
+
+    def test_authority_sums_to_one(self, tiny_graph):
+        scores = authority_scores(tiny_graph, iterations=20)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_authority_hub_gets_more(self, tiny_graph):
+        scores = authority_scores(tiny_graph, iterations=20)
+        degrees = {n: tiny_graph.degree(n) for n in tiny_graph.nodes}
+        hub = max(degrees, key=degrees.get)
+        leaf = min(degrees, key=degrees.get)
+        assert scores[hub] > scores[leaf]
+
+
+class TestSnippets:
+    def test_snippet_covers_keywords(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        results = slca_indexed_lookup_eager(index.match_lists(["keyword", "mark"]))
+        node = tree.node_at(results[0])
+        items = generate_snippet(node, ["keyword", "mark"], max_items=4)
+        assert snippet_covers_keywords(items, ["keyword", "mark"])
+
+    def test_snippet_respects_budget(self):
+        tree = slide_conf_tree()
+        items = generate_snippet(tree, ["sigmod", "mark"], max_items=2)
+        assert len(items) <= 2
+
+    def test_snippet_text_readable(self):
+        tree = slide_conf_tree()
+        items = generate_snippet(tree, ["sigmod"], max_items=3)
+        text = snippet_text(items)
+        assert "sigmod" in text
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            generate_snippet(slide_conf_tree(), ["x"], max_items=0)
+
+
+class TestDifferentiation:
+    def _sets(self):
+        # Two ICDE conferences (slide 151): shared and distinct features.
+        r1 = FeatureSet.of(
+            "icde2000",
+            [
+                ("conf:year", "2000"),
+                ("paper:title", "olap"),
+                ("paper:title", "mining"),
+                ("paper:title", "data"),
+                ("author:country", "usa"),
+            ],
+        )
+        r2 = FeatureSet.of(
+            "icde2010",
+            [
+                ("conf:year", "2010"),
+                ("paper:title", "cloud"),
+                ("paper:title", "scalability"),
+                ("paper:title", "data"),
+                ("author:country", "usa"),
+            ],
+        )
+        return [r1, r2]
+
+    def test_dod_symmetric_difference(self):
+        a = {("t", "x"), ("t", "y")}
+        b = {("t", "y"), ("t", "z")}
+        assert degree_of_difference([a, b]) == 2
+
+    def test_greedy_beats_top_frequency(self):
+        sets = self._sets()
+        select_features_top_frequency(sets, budget=2)
+        base = degree_of_difference([fs.selected for fs in sets])
+        sets2 = self._sets()
+        select_features_greedy(sets2, budget=2)
+        improved = degree_of_difference([fs.selected for fs in sets2])
+        assert improved >= base
+        assert improved > 0
+
+    def test_greedy_selects_differentiating_features(self):
+        sets = self._sets()
+        select_features_greedy(sets, budget=2)
+        table = comparison_table(sets)
+        # Shared features ("data", "usa") should not dominate.
+        chosen = set(table["icde2000"]) | set(table["icde2010"])
+        assert ("conf:year", "2000") in chosen or ("conf:year", "2010") in chosen
+
+    def test_budget_respected(self):
+        sets = self._sets()
+        select_features_greedy(sets, budget=1)
+        for fs in sets:
+            assert len(fs.selected) <= 1
+
+    def test_random_baseline_deterministic(self):
+        a = select_features_random(self._sets(), budget=2, seed=5)
+        b = select_features_random(self._sets(), budget=2, seed=5)
+        assert [fs.selected for fs in a] == [fs.selected for fs in b]
+
+
+class TestCloudsAndExpansion:
+    def test_data_cloud_excludes_query_terms(self, biblio_db, biblio_index):
+        rows = [r for r in biblio_db.rows("paper")][:30]
+        terms = data_cloud(biblio_db, rows, ["database"], k=5)
+        assert terms
+        assert all(t != "database" for t, _ in terms)
+
+    def test_popularity_vs_relevance_modes(self, biblio_db):
+        rows = [r for r in biblio_db.rows("paper")][:30]
+        pop = data_cloud(biblio_db, rows, ["database"], k=5, mode="popularity")
+        rel = data_cloud(
+            biblio_db,
+            rows,
+            ["database"],
+            k=5,
+            mode="relevance",
+            attribute_weights={"title": 3.0, "abstract": 0.5},
+        )
+        assert pop and rel
+
+    def test_invalid_mode(self, biblio_db):
+        with pytest.raises(ValueError):
+            data_cloud(biblio_db, [], ["x"], mode="bogus")
+
+    def test_cooccurring_terms_no_result_generation(self, biblio_index):
+        terms = frequent_cooccurring_terms(biblio_index, ["database"], k=5)
+        assert terms
+        assert all(term != "database" for term, _ in terms)
+        counts = [c for _, c in terms]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_expansion_separates_clusters(self):
+        java_lang = [
+            "java language object oriented compiler",
+            "java language virtual machine bytecode",
+            "java language garbage collector",
+        ]
+        java_island = [
+            "java island indonesia volcano",
+            "java island provinces population",
+        ]
+        expanded = expand_query_for_clusters(
+            ["java"], [java_lang, java_island], max_terms=2
+        )
+        (q1, f1), (q2, f2) = expanded
+        assert "language" in q1
+        assert "island" in q2
+        assert f1 > 0.9 and f2 > 0.9
+
+    def test_f_measure(self):
+        assert f_measure(1.0, 1.0) == 1.0
+        assert f_measure(0.0, 0.0) == 0.0
+
+
+class TestFacets:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        db = tutorial_events_db()
+        rows = list(db.rows("events"))
+        log = [
+            QueryLogEntry(("pool",), (("state", "tx"),)),
+            QueryLogEntry(("food",), (("state", "mi"),)),
+            QueryLogEntry(("motorcycle",), (("state", "tx"),)),
+            QueryLogEntry(("pool",), (("month", "dec"),)),
+        ]
+        return rows, NavigationModel(log)
+
+    def test_model_probabilities(self, setup):
+        _, model = setup
+        assert model.p_expand("state") > model.p_expand("city")
+        assert model.p_relevant("state", "tx") == pytest.approx(0.5)
+        assert 0 <= model.p_show_results("state") <= 1
+
+    def test_tree_partitions_rows(self, setup):
+        rows, model = setup
+        tree = build_navigation_tree(rows, ["state", "month", "city"], model)
+        assert tree.facet is not None
+        child_total = sum(c.size() for c in tree.children)
+        assert child_total == len(rows)
+
+    def test_greedy_not_worse_than_bad_order(self, setup):
+        rows, model = setup
+        greedy = build_navigation_tree(rows, ["state", "month", "city"], model)
+        # 'city' first is a bad order: it has the most values and the
+        # least log support.
+        bad = build_navigation_tree(
+            rows,
+            ["state", "month", "city"],
+            model,
+            attribute_order=["city", "month", "state"],
+        )
+        assert navigation_cost(greedy, model) <= navigation_cost(bad, model) + 1e-9
+
+    def test_navigation_cost_leaf_is_size(self, setup):
+        rows, model = setup
+        from repro.analysis.facets import FacetNode
+
+        leaf = FacetNode(condition=None, rows=rows)
+        assert navigation_cost(leaf, model) == len(rows)
+
+    def test_partition_points(self):
+        log = [
+            QueryLogEntry(("x",), (("price", (100.0, 500.0)),)),
+            QueryLogEntry(("y",), (("price", (100.0, 900.0)),)),
+        ]
+        model = NavigationModel(log)
+        points = model.partition_points("price", k=2)
+        assert 100.0 in points
+
+
+class TestXBridgeClustering:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        tree = generate_bib_xml(n_confs=4, papers_per_conf=6, seed=5, with_journals=True)
+        index = XmlKeywordIndex(tree)
+        return tree, index
+
+    def test_clusters_by_root_path(self, setup):
+        tree, index = setup
+        lists = index.match_lists(["xml"])
+        results = slca_indexed_lookup_eager(lists)
+        clusters = xbridge_clusters(tree, results)
+        assert clusters
+        for path, members in clusters.items():
+            for member in members:
+                assert tree.node_at(member).label_path() == path
+
+    def test_conf_and_journal_papers_split(self, setup):
+        tree, index = setup
+        # keyword "keyword" is the tag of every title leaf
+        results = [n.dewey for n in tree.find_by_tag("paper")]
+        clusters = xbridge_clusters(tree, results)
+        assert "/bib/conf/paper" in clusters
+        assert "/bib/journal/paper" in clusters
+
+    def test_rank_clusters_scores_descending(self, setup):
+        tree, index = setup
+        results = [n.dewey for n in tree.find_by_tag("paper")]
+        clusters = xbridge_clusters(tree, results)
+        ranked = rank_clusters(index, clusters, ["xml"])
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_result_score_positive_when_matching(self, setup):
+        tree, index = setup
+        lists = index.match_lists(["xml"])
+        results = slca_indexed_lookup_eager(lists)
+        if results:
+            assert result_score(index, results[0], ["xml"]) > 0
+
+
+class TestAggregation:
+    def test_slide165_minimal_group_bys(self):
+        """Slide 165: keywords {pool, motorcycle, american, food} over
+        (month, state) yield 'dec tx' and '* mi'."""
+        db = tutorial_events_db()
+        rows = list(db.rows("events"))
+        cells = minimal_group_bys(
+            rows, ["month", "state"], ["pool", "motorcycle", "american", "food"]
+        )
+        labels = {c.label() for c in cells}
+        assert "dec tx" in labels
+        assert "* mi" in labels
+
+    def test_minimality_no_cover_specialization(self):
+        db = tutorial_events_db()
+        rows = list(db.rows("events"))
+        cells = minimal_group_bys(
+            rows, ["month", "state"], ["pool", "motorcycle", "american", "food"]
+        )
+        for a in cells:
+            for b in cells:
+                if a != b:
+                    assert not a.specialises(b)
+
+    def test_cell_members(self):
+        db = tutorial_events_db()
+        rows = list(db.rows("events"))
+        cell = Cell(("month", "state"), ("dec", "tx"))
+        members = cell_members(rows, cell)
+        assert len(members) == 3
+        assert all(r["state"] == "tx" for r in members)
+
+    def test_no_cover_returns_empty(self):
+        db = tutorial_events_db()
+        rows = list(db.rows("events"))
+        assert minimal_group_bys(rows, ["month"], ["pool", "zzznope"]) == []
+
+
+class TestTextCube:
+    @pytest.fixture(scope="class")
+    def cube(self):
+        """Slide 166's laptop example."""
+        rows = [
+            ({"brand": "acer", "model": "aoa110", "cpu": "1.6ghz"},
+             "lightweight powerful laptop"),
+            ({"brand": "acer", "model": "aoa110", "cpu": "1.7ghz"},
+             "powerful processor laptop"),
+            ({"brand": "asus", "model": "eee", "cpu": "1.7ghz"},
+             "large disk powerful laptop"),
+            ({"brand": "asus", "model": "eee", "cpu": "1.2ghz"},
+             "small cheap laptop"),
+        ]
+        return TextCube(["brand", "model", "cpu"], rows)
+
+    def test_slide166_cells_found(self, cube):
+        results = top_cells(cube, ["powerful", "laptop"], k=5, min_support=2)
+        labels = [cell.label() for cell, _, _ in results]
+        assert any("brand:acer" in l and "model:aoa110" in l for l in labels)
+        assert any("cpu:1.7ghz" in l for l in labels)
+
+    def test_min_support_respected(self, cube):
+        results = top_cells(cube, ["powerful"], k=10, min_support=2)
+        for cell, _, support in results:
+            assert support >= 2
+
+    def test_relevance_ordering(self, cube):
+        results = top_cells(cube, ["powerful", "laptop"], k=10, min_support=1)
+        scores = [s for _, s, _ in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_all_keywords_required(self, cube):
+        assert top_cells(cube, ["powerful", "zebra"], k=5, min_support=1) == []

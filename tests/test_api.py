@@ -1,0 +1,154 @@
+"""Public-API surface tests: every exported name resolves, the facade
+round-trips, and __all__ stays consistent with reality."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.relational",
+    "repro.xmltree",
+    "repro.graph",
+    "repro.index",
+    "repro.datasets",
+    "repro.schema_search",
+    "repro.graph_search",
+    "repro.xml_search",
+    "repro.ambiguity",
+    "repro.forms",
+    "repro.analysis",
+    "repro.eval",
+    "repro.core",
+    "repro.spatial",
+    "repro.distributed",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        assert exported, f"{module_name} should declare __all__"
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_convenience_imports(self):
+        from repro import (
+            Column,
+            Database,
+            ForeignKey,
+            KeywordSearchEngine,
+            Query,
+            Schema,
+            SearchResult,
+            TableSchema,
+            TupleId,
+            XmlResult,
+            XmlSearchEngine,
+        )
+
+        assert KeywordSearchEngine and XmlSearchEngine
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_docstrings_present(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+
+class TestSparkScoreBound:
+    def test_upper_bound_dominates_actual(self, tiny_db, tiny_index):
+        """spark_upper_bound must never underestimate spark_score —
+        the soundness precondition of skyline-sweep termination."""
+        from repro.relational.schema_graph import SchemaGraph
+        from repro.schema_search.candidate_networks import (
+            generate_candidate_networks,
+        )
+        from repro.schema_search.evaluate import all_results
+        from repro.schema_search.scoring import (
+            spark_score,
+            spark_upper_bound,
+            tuple_score,
+        )
+        from repro.schema_search.tuple_sets import TupleSets
+        from repro.relational.database import TupleId
+
+        query = ["widom", "xml"]
+        ts = TupleSets(tiny_db, tiny_index, query)
+        cns = generate_candidate_networks(SchemaGraph(tiny_db.schema), ts, max_size=5)
+        for cn, joined in all_results(cns, ts):
+            actual = spark_score(tiny_index, joined, query)
+            scores = [
+                tuple_score(tiny_index, TupleId(r.table.name, r.rowid), query)
+                for r in joined.rows
+            ]
+            bound = spark_upper_bound(tiny_index, scores, len(joined.rows))
+            assert actual <= bound + 1e-9
+
+
+class TestCanonicalCodePermutation:
+    def test_random_relabelings_share_code(self, tiny_db, tiny_index):
+        import random
+
+        from repro.relational.schema_graph import SchemaGraph
+        from repro.schema_search.candidate_networks import (
+            CandidateNetwork,
+            generate_candidate_networks,
+        )
+        from repro.schema_search.tuple_sets import TupleSets
+
+        ts = TupleSets(tiny_db, tiny_index, ["widom", "xml"])
+        cns = generate_candidate_networks(SchemaGraph(tiny_db.schema), ts, max_size=5)
+        rng = random.Random(5)
+        for cn in cns:
+            if cn.size < 2:
+                continue
+            for _ in range(3):
+                perm = list(range(cn.size))
+                rng.shuffle(perm)
+                remap = {old: new for new, old in enumerate(perm)}
+                nodes = [cn.nodes[i] for i in perm]
+                edges = [(remap[a], remap[b], e) for a, b, e in cn.edges]
+                # Keep node 0 connected first by rebuilding edge order.
+                clone = CandidateNetwork(nodes, edges)
+                assert clone.canonical_code() == cn.canonical_code()
+
+
+class TestMeshOnGeneratedDb:
+    def test_streaming_matches_batch_on_generated(self, biblio_db, biblio_index):
+        """Streaming equivalence on a non-trivial database slice."""
+        from repro.relational.schema_graph import SchemaGraph
+        from repro.schema_search.candidate_networks import (
+            generate_candidate_networks,
+        )
+        from repro.schema_search.evaluate import evaluate_cn
+        from repro.schema_search.mesh import OperatorMesh
+        from repro.schema_search.tuple_sets import TupleSets
+
+        query = ["skyline", "anna"]
+        ts = TupleSets(biblio_db, biblio_index, query)
+        if ts.covered_keywords() != set(query):
+            pytest.skip("keywords not present")
+        cns = generate_candidate_networks(
+            SchemaGraph(biblio_db.schema), ts, max_size=3
+        )
+        if not cns:
+            pytest.skip("no CNs")
+        mesh = OperatorMesh(cns, query)
+        streamed = set()
+        for tid in biblio_db.all_tuple_ids():
+            for cn_index, rows in mesh.feed(biblio_db.row(tid)):
+                streamed.add(
+                    (cn_index, tuple((r.table.name, r.rowid) for r in rows))
+                )
+        batch = set()
+        for cn_index, cn in enumerate(cns):
+            for joined in evaluate_cn(cn, ts):
+                batch.add((cn_index, joined.tuple_ids()))
+        assert streamed == batch

@@ -1,0 +1,153 @@
+"""Tests for the evaluation campaign runner, numeric facets, and the
+extended engine search methods."""
+
+import pytest
+
+from repro import KeywordSearchEngine
+from repro.analysis.facets import (
+    NavigationModel,
+    build_navigation_tree,
+    navigation_cost,
+    numeric_facet_conditions,
+)
+from repro.datasets.logs import QueryLogEntry, generate_query_log
+from repro.datasets.products import generate_product_db
+from repro.datasets.xml_corpora import generate_bib_xml
+from repro.eval.campaign import (
+    CampaignReport,
+    Topic,
+    evaluate_topic,
+    leaderboard_rows,
+    run_campaign,
+)
+from repro.xml_search.slca import lca_candidates, slca_indexed_lookup_eager
+from repro.xml_search.xrank import rank_results
+from repro.xmltree.index import XmlKeywordIndex
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return generate_bib_xml(n_confs=4, papers_per_conf=6, seed=5)
+
+    @pytest.fixture(scope="class")
+    def topics(self, document):
+        index = XmlKeywordIndex(document)
+        topics = []
+        for i, keywords in enumerate((["xml", "search"], ["paper", "john"])):
+            lists = index.match_lists(keywords)
+            if any(not l for l in lists):
+                continue
+            candidates = lca_candidates(lists)
+            relevance = {}
+            for dewey in candidates:
+                node = document.node_at(dewey)
+                relevance[dewey] = 1.0 if node is not None and node.tag == "paper" else 0.0
+            topics.append(Topic(f"T{i}", tuple(keywords), relevance))
+        return topics
+
+    def _engines(self):
+        def slca_engine(doc, keywords):
+            index = XmlKeywordIndex(doc)
+            lists = index.match_lists(keywords)
+            if any(not l for l in lists):
+                return []
+            results = slca_indexed_lookup_eager(lists)
+            return [r for r, _ in rank_results(index, results, keywords)]
+
+        def all_lca_engine(doc, keywords):
+            index = XmlKeywordIndex(doc)
+            lists = index.match_lists(keywords)
+            if any(not l for l in lists):
+                return []
+            return lca_candidates(lists)
+
+        return {"slca+xrank": slca_engine, "all-lca-docorder": all_lca_engine}
+
+    def test_run_campaign_leaderboard(self, document, topics):
+        assert topics
+        reports = run_campaign(self._engines(), document, topics)
+        assert len(reports) == 2
+        agps = [r.mean_agp for r in reports]
+        assert agps == sorted(agps, reverse=True)
+        rows = leaderboard_rows(reports)
+        assert len(rows) == 2
+        assert all(len(row) == 4 for row in rows)
+
+    def test_evaluate_topic_bounds(self, document, topics):
+        engine = self._engines()["slca+xrank"]
+        result = evaluate_topic(engine, document, topics[0])
+        assert 0.0 <= result.agp <= 1.0
+        for gp in result.gp_at.values():
+            assert 0.0 <= gp <= 1.0
+
+    def test_empty_report(self):
+        report = CampaignReport("none", [])
+        assert report.mean_agp == 0.0
+        assert report.mean_gp_at(5) == 0.0
+
+
+class TestNumericFacets:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        db = generate_product_db(n_products=120, seed=13)
+        rows = list(db.rows("product"))
+        log = generate_query_log(
+            db, "product", n_queries=100,
+            attributes=["brand", "price", "screen_size"], seed=23,
+        )
+        return rows, NavigationModel(log)
+
+    def test_numeric_conditions_cover_range(self, setup):
+        rows, model = setup
+        conditions = numeric_facet_conditions(rows, "price", model)
+        assert conditions
+        prices = [r["price"] for r in rows]
+        assert conditions[0][0] == pytest.approx(min(prices))
+        assert conditions[-1][1] >= max(prices)
+
+    def test_tree_with_numeric_facet(self, setup):
+        rows, model = setup
+        tree = build_navigation_tree(rows, ["price", "brand"], model)
+        assert tree.facet is not None
+        covered = sum(child.size() for child in tree.children)
+        # numeric buckets partition all rows with non-null values
+        non_null = sum(
+            1 for r in rows if r[tree.facet] is not None
+        )
+        assert covered == non_null
+        assert navigation_cost(tree, model) <= len(rows)
+
+    def test_range_relevance_overlap(self):
+        log = [QueryLogEntry(("x",), (("price", (100.0, 300.0)),))]
+        model = NavigationModel(log)
+        assert model.p_relevant("price", (200.0, 400.0)) == 1.0
+        assert model.p_relevant("price", (500.0, 600.0)) == 0.0
+
+
+class TestEngineExtraMethods:
+    @pytest.fixture(scope="class")
+    def engine(self, tiny_db):
+        return KeywordSearchEngine(tiny_db)
+
+    def test_distinct_root_method(self, engine):
+        results = engine.search("widom xml", method="distinct_root", k=3)
+        assert results
+        assert results[0].network.startswith("distinct-root")
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ease_method(self, engine):
+        results = engine.search("widom xml", method="ease", k=3)
+        assert results
+        assert results[0].network.startswith("ease")
+
+    def test_methods_cover_keywords(self, engine, tiny_index):
+        for method in ("distinct_root", "ease"):
+            results = engine.search("widom xml", method=method, k=2)
+            for result in results:
+                texts = " ".join(
+                    row.text() for row in result.joined.distinct_rows()
+                )
+                assert "widom" in texts
+                assert "xml" in texts

@@ -1,0 +1,157 @@
+"""Tests for the synthetic dataset generators: determinism, referential
+integrity, and the shapes the experiments rely on."""
+
+import pytest
+
+from repro.datasets.bibliographic import (
+    bibliographic_schema,
+    generate_bibliographic_db,
+    tiny_bibliographic_db,
+)
+from repro.datasets.events import TUTORIAL_EVENTS, generate_events_db, tutorial_events_db
+from repro.datasets.logs import (
+    binding_frequencies,
+    generate_click_log,
+    generate_query_log,
+)
+from repro.datasets.movies import generate_movie_db
+from repro.datasets.products import generate_product_db
+from repro.datasets.xml_corpora import (
+    generate_auctions_xml,
+    generate_bib_xml,
+    slide_auction_tree,
+    slide_conf_tree,
+)
+from repro.index.text import tokenize
+
+
+def _snapshot(db):
+    return {
+        name: [row.values for row in table.rows()]
+        for name, table in db.tables.items()
+    }
+
+
+class TestDeterminism:
+    def test_bibliographic_deterministic(self):
+        a = generate_bibliographic_db(seed=5)
+        b = generate_bibliographic_db(seed=5)
+        assert _snapshot(a) == _snapshot(b)
+
+    def test_seed_changes_output(self):
+        a = generate_bibliographic_db(seed=5)
+        b = generate_bibliographic_db(seed=6)
+        assert _snapshot(a) != _snapshot(b)
+
+    def test_movie_and_product_deterministic(self):
+        assert _snapshot(generate_movie_db(seed=3)) == _snapshot(
+            generate_movie_db(seed=3)
+        )
+        assert _snapshot(generate_product_db(seed=3)) == _snapshot(
+            generate_product_db(seed=3)
+        )
+
+    def test_xml_deterministic(self):
+        a = generate_bib_xml(seed=4)
+        b = generate_bib_xml(seed=4)
+        assert a.to_string() == b.to_string()
+
+    def test_logs_deterministic(self):
+        db = generate_product_db(seed=3)
+        a = generate_query_log(db, "product", seed=9)
+        b = generate_query_log(db, "product", seed=9)
+        assert a == b
+
+
+class TestIntegrity:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: generate_bibliographic_db(seed=5),
+            lambda: generate_movie_db(seed=5),
+            lambda: generate_product_db(seed=5),
+            lambda: generate_events_db(seed=5),
+            tiny_bibliographic_db,
+            tutorial_events_db,
+        ],
+    )
+    def test_referential_integrity(self, factory):
+        assert factory().validate() == []
+
+    def test_sizes_match_parameters(self):
+        db = generate_bibliographic_db(
+            n_authors=25, n_papers=40, n_conferences=4, seed=2
+        )
+        assert len(db.table("author")) == 25
+        assert len(db.table("paper")) == 40
+        assert len(db.table("conference")) == 4
+
+    def test_without_cite(self):
+        db = generate_bibliographic_db(seed=2, with_cite=False)
+        assert "cite" not in db.schema
+
+
+class TestShapes:
+    def test_tutorial_events_verbatim(self):
+        db = tutorial_events_db()
+        rows = list(db.rows("events"))
+        assert len(rows) == len(TUTORIAL_EVENTS)
+        assert rows[0]["city"] == "houston"
+        assert "motorcycle" in rows[3]["event"]
+
+    def test_products_plant_ibm_correlation(self):
+        db = generate_product_db(n_products=300, seed=13)
+        lenovo_with_ibm = 0
+        other_with_ibm = 0
+        for row in db.rows("product"):
+            has_ibm = "ibm" in tokenize(row["description"])
+            if row["brand"] == "lenovo":
+                lenovo_with_ibm += has_ibm
+            else:
+                other_with_ibm += has_ibm
+        assert lenovo_with_ibm > 0
+        assert other_with_ibm == 0
+
+    def test_bib_xml_has_conf_and_journal(self):
+        tree = generate_bib_xml(seed=4, with_journals=True)
+        tags = {child.tag for child in tree.children}
+        assert {"conf", "journal"} <= tags
+
+    def test_auctions_roles(self):
+        tree = generate_auctions_xml(seed=37)
+        roles = {n.tag for n in tree.descendants() if n.is_leaf}
+        assert {"seller", "buyer", "auctioneer", "price", "name"} <= roles
+
+    def test_slide_trees_shapes(self):
+        conf = slide_conf_tree()
+        assert len(conf.find_by_tag("paper")) == 2
+        auction = slide_auction_tree()
+        assert len(auction.children) == 3
+
+
+class TestLogs:
+    def test_query_log_conditions_reference_real_values(self):
+        db = generate_product_db(seed=3)
+        log = generate_query_log(db, "product", n_queries=50, seed=9)
+        assert log
+        brands = set(db.table("product").distinct("brand"))
+        for entry in log:
+            for attr, value in entry.conditions:
+                if attr == "brand":
+                    assert value in brands
+
+    def test_click_log_clicks_exist(self):
+        db = generate_movie_db(seed=3)
+        log = generate_click_log(db, "movie", n_queries=40, seed=9)
+        for entry in log:
+            for tid in entry.clicked:
+                assert tid.rowid < len(db.table("movie"))
+
+    def test_binding_frequencies(self):
+        db = generate_product_db(seed=3)
+        log = generate_query_log(db, "product", n_queries=80, seed=9)
+        frequencies = binding_frequencies(log)
+        assert frequencies
+        for (attr, token), count in frequencies.items():
+            assert count > 0
+            assert isinstance(attr, str) and isinstance(token, str)

@@ -1,0 +1,110 @@
+"""Deep-corpus stress tests, the slide-10 multiple-interpretation check,
+and arrival-order invariance of the streaming mesh."""
+
+import random
+
+import pytest
+
+from repro.datasets.xml_corpora import generate_deep_auctions_xml
+from repro.index.inverted import InvertedIndex
+from repro.relational.schema_graph import SchemaGraph
+from repro.schema_search.candidate_networks import generate_candidate_networks
+from repro.schema_search.mesh import OperatorMesh
+from repro.schema_search.tuple_sets import TupleSets
+from repro.xml_search.elca import elca_bruteforce, elca_candidates_verify
+from repro.xml_search.slca import (
+    slca_bruteforce,
+    slca_indexed_lookup_eager,
+    slca_multiway,
+    slca_scan_eager,
+)
+from repro.xmltree.index import XmlKeywordIndex
+
+
+class TestDeepCorpus:
+    @pytest.fixture(scope="class")
+    def deep(self):
+        tree = generate_deep_auctions_xml(seed=47)
+        return tree, XmlKeywordIndex(tree)
+
+    def test_depth(self, deep):
+        tree, _ = deep
+        assert max(n.depth for n in tree.descendants(include_self=True)) >= 6
+
+    def test_slca_algorithms_agree_at_depth(self, deep):
+        tree, index = deep
+        rng = random.Random(5)
+        vocab = [v for v in index.vocabulary if index.list_size(v) >= 2]
+        for _ in range(10):
+            query = rng.sample(vocab, 2)
+            lists = index.match_lists(query)
+            expected = slca_bruteforce(lists)
+            assert slca_indexed_lookup_eager(lists) == expected, query
+            assert slca_scan_eager(lists) == expected, query
+            assert slca_multiway(lists) == expected, query
+
+    def test_elca_agrees_at_depth(self, deep):
+        tree, index = deep
+        for query in (["europe", "xml"], ["keyword", "john"], ["item", "name"]):
+            lists = index.match_lists(query)
+            if any(not l for l in lists):
+                continue
+            assert elca_candidates_verify(lists) == elca_bruteforce(tree, query)
+
+    def test_slca_results_deeper_than_root(self, deep):
+        """On a nested corpus, selective queries resolve below the root
+        (the depth payoff of min-redundancy semantics)."""
+        tree, index = deep
+        rare = min(
+            (v for v in index.vocabulary if index.list_size(v) >= 1),
+            key=index.list_size,
+        )
+        lists = index.match_lists([rare, "name"])
+        slcas = slca_indexed_lookup_eager(lists)
+        assert slcas
+        assert all(len(d) > 1 for d in slcas)
+
+
+class TestSlide10Interpretations:
+    def test_multiple_structural_interpretations(self, tiny_db, tiny_index):
+        """Slide 10: 'John, SIGMOD' is structurally ambiguous — the CN
+        space must offer several distinct join interpretations, not one."""
+        ts = TupleSets(tiny_db, tiny_index, ["john", "sigmod"])
+        cns = generate_candidate_networks(
+            SchemaGraph(tiny_db.schema), ts, max_size=6
+        )
+        shapes = {cn.canonical_code() for cn in cns}
+        assert len(shapes) >= 2
+        # The canonical interpretation (author wrote a SIGMOD paper)
+        # is among them:
+        labels = {cn.label() for cn in cns}
+        assert any(
+            "author^{john}" in l and "conference^{sigmod}" in l for l in labels
+        )
+        # And at least one interpretation routes through citations
+        # ("john's paper cited by a sigmod paper" style).
+        assert any("cite" in l for l in labels)
+
+
+class TestMeshOrderInvariance:
+    def test_streamed_set_invariant_under_arrival_order(self, tiny_db, tiny_index):
+        query = ["widom", "xml"]
+        ts = TupleSets(tiny_db, tiny_index, query)
+        cns = generate_candidate_networks(
+            SchemaGraph(tiny_db.schema), ts, max_size=4
+        )
+        tids = list(tiny_db.all_tuple_ids())
+        outcomes = []
+        for seed in (1, 2, 3):
+            rng = random.Random(seed)
+            order = list(tids)
+            rng.shuffle(order)
+            mesh = OperatorMesh(cns, query)
+            produced = set()
+            for tid in order:
+                for cn_index, rows in mesh.feed(tiny_db.row(tid)):
+                    produced.add(
+                        (cn_index, tuple((r.table.name, r.rowid) for r in rows))
+                    )
+            outcomes.append(produced)
+        assert outcomes[0] == outcomes[1] == outcomes[2]

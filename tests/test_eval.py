@@ -1,0 +1,166 @@
+"""Tests for INEX metrics and the axiomatic framework."""
+
+import pytest
+
+from repro.datasets.xml_corpora import slide_query_consistency_tree
+from repro.eval.axioms import (
+    all_lca_engine,
+    axiom_matrix,
+    check_data_consistency,
+    check_data_monotonicity,
+    check_query_consistency,
+    check_query_monotonicity,
+    elca_engine,
+    slca_engine,
+    standard_engines,
+)
+from repro.eval.inex import (
+    average_generalized_precision,
+    char_precision_recall_f,
+    generalized_precision_at_k,
+    read_prefix_with_tolerance,
+    result_score_with_tolerance,
+)
+from repro.xmltree.build import element as e
+from repro.xmltree.build import text_element as t
+
+
+class TestInexMetrics:
+    def test_perfect_result(self):
+        # result exactly covers the relevant range
+        score = result_score_with_tolerance((0, 10), [(0, 10)], tolerance=5)
+        assert score == pytest.approx(1.0)
+
+    def test_precision_recall_arithmetic(self):
+        read = set(range(0, 10))
+        p, r, f = char_precision_recall_f(read, [(0, 5)])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(1.0)
+        assert f == pytest.approx(2 * 0.5 / 1.5)
+
+    def test_tolerance_stops_reading(self):
+        # relevant chars only at the start; tolerance 3 stops the user.
+        read = read_prefix_with_tolerance((0, 100), [(0, 5)], tolerance=3)
+        assert max(read) == 7  # 5 relevant + 3 irrelevant read
+        assert len(read) == 8
+
+    def test_tolerance_resets_on_relevant(self):
+        # alternating relevance keeps the user reading
+        relevant = [(i, i + 1) for i in range(0, 20, 2)]
+        read = read_prefix_with_tolerance((0, 20), relevant, tolerance=3)
+        assert len(read) == 20
+
+    def test_zero_read_zero_scores(self):
+        assert char_precision_recall_f(set(), [(0, 5)]) == (0.0, 0.0, 0.0)
+
+    def test_gp_at_k(self):
+        scores = [1.0, 0.5, 0.0]
+        assert generalized_precision_at_k(scores, 1) == 1.0
+        assert generalized_precision_at_k(scores, 2) == 0.75
+        assert generalized_precision_at_k(scores, 3) == 0.5
+        # padded beyond list length: divides by k
+        assert generalized_precision_at_k(scores, 4) == pytest.approx(1.5 / 4)
+
+    def test_agp(self):
+        scores = [1.0, 0.5]
+        expected = (1.0 + 0.75) / 2
+        assert average_generalized_precision(scores) == pytest.approx(expected)
+
+    def test_agp_empty(self):
+        assert average_generalized_precision([]) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            generalized_precision_at_k([1.0], 0)
+
+
+class TestAxioms:
+    def test_slca_violates_preserve_data_monotonicity(self):
+        """root(a(b(k1), c(k2))): SLCA = {a}; adding k2 under b moves the
+        SLCA to b — the old result a is lost."""
+        tree = e("root", e("a", e("b", t("x", "k1")), e("c", t("y", "k2"))))
+        a_dewey = (0, 0)
+        b_dewey = (0, 0, 0)
+        before = slca_engine(tree, ["k1", "k2"])
+        assert before == {a_dewey}
+        report = check_data_monotonicity(
+            slca_engine, tree, ["k1", "k2"], [b_dewey], mode="preserve"
+        )
+        assert not report.satisfied
+
+    def test_all_lca_satisfies_preserve_data_monotonicity(self):
+        tree = e("root", e("a", e("b", t("x", "k1")), e("c", t("y", "k2"))))
+        parents = [n.dewey for n in tree.descendants(include_self=True) if n.children]
+        report = check_data_monotonicity(
+            all_lca_engine, tree, ["k1", "k2"], parents, mode="preserve"
+        )
+        assert report.satisfied
+
+    def test_elca_violates_preserve_data_monotonicity(self):
+        """root(x(k1), y(k2)): ELCA = {root}; adding k1 under y makes y
+        contain everything, stealing root's k2 witness."""
+        tree = e("root", e("x", t("m", "k1")), e("y", t("n", "k2")))
+        before = elca_engine(tree, ["k1", "k2"])
+        assert before == {(0,)}
+        report = check_data_monotonicity(
+            elca_engine, tree, ["k1", "k2"], [(0, 1)], mode="preserve"
+        )
+        assert not report.satisfied
+
+    def test_slca_count_monotonicity_holds_here(self):
+        tree = e("root", e("a", e("b", t("x", "k1")), e("c", t("y", "k2"))))
+        parents = [n.dewey for n in tree.descendants(include_self=True) if n.children]
+        report = check_data_monotonicity(
+            slca_engine, tree, ["k1", "k2"], parents, mode="count"
+        )
+        assert report.satisfied
+
+    def test_all_lca_violates_query_monotonicity(self):
+        """Adding a keyword can multiply LCA combinations for all-LCA."""
+        tree = e(
+            "root",
+            e("p", t("x", "k1"), t("y", "k2")),
+            e("q", t("z", "k2")),
+        )
+        report = check_query_monotonicity(all_lca_engine, tree, ["k1"], ["k2"])
+        # |results({k1})| = 1 match node; |results({k1,k2})| = 2 LCAs.
+        assert not report.satisfied
+
+    def test_query_consistency_slide109(self):
+        """Slide 109: new results for Q2 = Q1 + {sigmod} must contain
+        'sigmod'; SLCA behaves consistently here."""
+        tree = slide_query_consistency_tree()
+        report = check_query_consistency(
+            slca_engine, tree, ["paper", "mark"], ["sigmod"]
+        )
+        assert report.satisfied
+
+    def test_data_consistency_slca(self):
+        tree = e("root", e("a", e("b", t("x", "k1")), e("c", t("y", "k2"))))
+        parents = [n.dewey for n in tree.descendants(include_self=True) if n.children]
+        report = check_data_consistency(slca_engine, tree, ["k1", "k2"], parents)
+        assert report.satisfied
+
+    def test_axiom_matrix_shape(self):
+        tree = slide_query_consistency_tree()
+        matrix = axiom_matrix(
+            standard_engines(), tree, ["paper", "mark"], ["sigmod", "xml"]
+        )
+        assert set(matrix) == {"slca", "elca", "all-lca"}
+        for reports in matrix.values():
+            assert set(reports) == {
+                "data-monotonicity",
+                "data-monotonicity-count",
+                "data-consistency",
+                "query-monotonicity",
+                "query-consistency",
+            }
+            for report in reports.values():
+                assert report.checks > 0
+
+    def test_report_rates(self):
+        tree = e("root", e("a", e("b", t("x", "k1")), e("c", t("y", "k2"))))
+        report = check_data_monotonicity(
+            slca_engine, tree, ["k1", "k2"], [(0, 0, 0)], mode="preserve"
+        )
+        assert 0 < report.violation_rate <= 1

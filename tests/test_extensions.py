@@ -1,0 +1,276 @@
+"""Tests for the extension modules: IQP, probabilistic XPath building,
+SPARK2 partition-graph pruning, the operator mesh, and interconnection
+semantics."""
+
+import pytest
+
+from repro.ambiguity.iqp import IqpModel
+from repro.datasets.logs import QueryLogEntry
+from repro.datasets.xml_corpora import slide_conf_tree, slide_imdb_tree
+from repro.relational.schema_graph import SchemaGraph
+from repro.schema_search.candidate_networks import generate_candidate_networks
+from repro.schema_search.evaluate import all_results
+from repro.schema_search.mesh import OperatorMesh
+from repro.schema_search.spark2 import (
+    PartitionGraph,
+    connected_subnetworks,
+    evaluate_with_pruning,
+    evaluate_without_pruning,
+)
+from repro.schema_search.tuple_sets import TupleSets
+from repro.xml_search.interconnection import (
+    interconnected,
+    interconnected_answers,
+)
+from repro.xml_search.probabilistic import ProbabilisticQueryBuilder
+from repro.xmltree.index import XmlKeywordIndex
+
+
+class TestIqp:
+    TEMPLATES = {
+        "author-write-paper": ["author.name", "paper.title"],
+        "paper-conference": ["paper.title", "conference.name"],
+    }
+
+    def _log(self):
+        return [
+            QueryLogEntry(
+                ("widom", "xml"),
+                (("author.name", "widom"), ("paper.title", "xml")),
+                template="author-write-paper",
+            ),
+            QueryLogEntry(
+                ("john", "cloud"),
+                (("author.name", "john"), ("paper.title", "cloud")),
+                template="author-write-paper",
+            ),
+            QueryLogEntry(
+                ("xml", "sigmod"),
+                (("paper.title", "xml"), ("conference.name", "sigmod")),
+                template="paper-conference",
+            ),
+        ]
+
+    def test_template_prior_follows_log(self, tiny_db, tiny_index):
+        model = IqpModel(tiny_db, tiny_index, self.TEMPLATES, log=self._log())
+        assert model.template_prior("author-write-paper") > model.template_prior(
+            "paper-conference"
+        )
+
+    def test_uniform_prior_without_log(self, tiny_db, tiny_index):
+        model = IqpModel(tiny_db, tiny_index, self.TEMPLATES)
+        assert model.template_prior("author-write-paper") == pytest.approx(0.5)
+
+    def test_interpretation_binds_keywords_correctly(self, tiny_db, tiny_index):
+        model = IqpModel(tiny_db, tiny_index, self.TEMPLATES, log=self._log())
+        top = model.interpret(["widom", "xml"], k=3)[0]
+        bindings = dict(top.bindings)
+        assert bindings["widom"] == "author.name"
+        assert bindings["xml"] == "paper.title"
+
+    def test_data_fallback_binds_without_log(self, tiny_db, tiny_index):
+        """Slide 46's 'what if no query log?': data statistics decide."""
+        model = IqpModel(tiny_db, tiny_index, self.TEMPLATES)
+        top = model.interpret(["widom", "xml"], k=3)[0]
+        bindings = dict(top.bindings)
+        assert bindings["widom"] == "author.name"
+
+    def test_probabilities_descending(self, tiny_db, tiny_index):
+        model = IqpModel(tiny_db, tiny_index, self.TEMPLATES, log=self._log())
+        ranked = model.interpret(["xml", "sigmod"], k=5)
+        probs = [i.probability for i in ranked]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestProbabilisticBuilder:
+    def test_binding_candidates(self):
+        builder = ProbabilisticQueryBuilder(slide_imdb_tree())
+        candidates = builder.candidate_bindings("shining")
+        assert candidates
+        assert candidates[0][0] == "/imdb/movie/name"
+
+    def test_build_combines_keywords_under_anchor(self):
+        """Slide 36/47: Q = {shining, 1980} should anchor at the movie."""
+        builder = ProbabilisticQueryBuilder(slide_imdb_tree())
+        queries = builder.build(["shining", "1980"], k=3)
+        assert queries
+        top = queries[0]
+        assert top.path.startswith("/imdb/movie")
+        predicate_keywords = {kw for _, kw in top.predicates}
+        assert predicate_keywords == {"shining", "1980"}
+
+    def test_probabilities_positive_and_sorted(self):
+        builder = ProbabilisticQueryBuilder(slide_conf_tree())
+        queries = builder.build(["keyword", "mark"], k=5)
+        probs = [q.probability for q in queries]
+        assert all(p > 0 for p in probs)
+        assert probs == sorted(probs, reverse=True)
+
+    def test_unmatchable_keyword(self):
+        builder = ProbabilisticQueryBuilder(slide_conf_tree())
+        assert builder.build(["zebra", "mark"]) == []
+
+    def test_xpath_rendering(self):
+        builder = ProbabilisticQueryBuilder(slide_conf_tree())
+        queries = builder.build(["mark"], k=1)
+        assert "~" in queries[0].xpath()
+
+
+class TestSpark2:
+    @pytest.fixture(scope="class")
+    def setup(self, tiny_db, tiny_index):
+        query = ["widom", "xml"]
+        ts = TupleSets(tiny_db, tiny_index, query)
+        graph = SchemaGraph(tiny_db.schema)
+        cns = generate_candidate_networks(graph, ts, max_size=5)
+        return cns, ts
+
+    def test_connected_subnetworks_counts(self, setup):
+        cns, _ = setup
+        for cn in cns:
+            subs = connected_subnetworks(cn)
+            codes = {s.canonical_code() for s in subs}
+            assert cn.canonical_code() in codes
+            assert len(subs) >= cn.size  # at least all single nodes
+
+    def test_partition_graph_containment(self, setup):
+        cns, _ = setup
+        graph = PartitionGraph(cns)
+        for idx, cn in enumerate(cns):
+            assert idx in graph.containing(cn.canonical_code())
+
+    def test_pruning_preserves_results(self, setup):
+        cns, ts = setup
+        pruned = evaluate_with_pruning(cns, ts)
+        baseline = evaluate_without_pruning(cns, ts)
+        pruned_keys = {
+            frozenset(row.tuple_ids()) for _, row in pruned.results
+        }
+        baseline_keys = {
+            frozenset(row.tuple_ids()) for _, row in baseline.results
+        }
+        assert pruned_keys == baseline_keys
+
+    def test_pruning_saves_evaluations(self, biblio_db, biblio_index):
+        query = ["database", "john"]
+        ts = TupleSets(biblio_db, biblio_index, query)
+        graph = SchemaGraph(biblio_db.schema)
+        cns = generate_candidate_networks(graph, ts, max_size=5)
+        outcome = evaluate_with_pruning(cns, ts)
+        assert outcome.evaluated + outcome.pruned == len(cns)
+        # pruning is sound regardless; whether it saves depends on data
+        assert outcome.evaluated <= len(cns)
+
+    def test_shared_subexpressions_exist(self, setup):
+        cns, _ = setup
+        if len(cns) < 2:
+            pytest.skip("needs several CNs")
+        graph = PartitionGraph(cns)
+        assert graph.shared_subexpressions()
+
+
+class TestOperatorMesh:
+    def _stream_setup(self, db, index, query):
+        ts = TupleSets(db, index, query)
+        graph = SchemaGraph(db.schema)
+        cns = generate_candidate_networks(graph, ts, max_size=4)
+        return cns, ts
+
+    def test_structural_sharing(self, tiny_db, tiny_index):
+        query = ["widom", "xml"]
+        ts = TupleSets(tiny_db, tiny_index, query)
+        graph = SchemaGraph(tiny_db.schema)
+        cns = generate_candidate_networks(graph, ts, max_size=5)
+        mesh = OperatorMesh(cns, query)
+        assert mesh.operator_count <= mesh.total_plan_steps()
+        if len(cns) > 1:
+            assert mesh.sharing_ratio() < 1.0
+
+    def test_streaming_matches_batch(self, tiny_db, tiny_index):
+        """Feeding the whole database through the mesh reproduces batch
+        CN evaluation exactly."""
+        query = ["widom", "xml"]
+        cns, ts = self._stream_setup(tiny_db, tiny_index, query)
+        mesh = OperatorMesh(cns, query)
+        streamed = set()
+        for tid in tiny_db.all_tuple_ids():
+            for cn_index, rows in mesh.feed(tiny_db.row(tid)):
+                streamed.add(
+                    (cn_index, tuple((r.table.name, r.rowid) for r in rows))
+                )
+        batch = set()
+        for cn_index, cn in enumerate(cns):
+            from repro.schema_search.evaluate import evaluate_cn
+
+            for joined in evaluate_cn(cn, ts):
+                batch.add((cn_index, joined.tuple_ids()))
+        assert streamed == batch
+
+    def test_no_duplicate_emissions(self, tiny_db, tiny_index):
+        query = ["widom", "xml"]
+        cns, _ = self._stream_setup(tiny_db, tiny_index, query)
+        mesh = OperatorMesh(cns, query)
+        emitted = []
+        for tid in tiny_db.all_tuple_ids():
+            for cn_index, rows in mesh.feed(tiny_db.row(tid)):
+                emitted.append(
+                    (cn_index, tuple((r.table.name, r.rowid) for r in rows))
+                )
+        assert len(emitted) == len(set(emitted))
+
+    def test_probe_count_advances(self, tiny_db, tiny_index):
+        query = ["widom", "xml"]
+        cns, _ = self._stream_setup(tiny_db, tiny_index, query)
+        mesh = OperatorMesh(cns, query)
+        for tid in tiny_db.all_tuple_ids():
+            mesh.feed(tiny_db.row(tid))
+        assert mesh.probe_count > 0
+
+
+class TestInterconnection:
+    def test_same_paper_authors_interconnected(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        mark = index.matches("mark")[0]
+        chen = index.matches("chen")[0]
+        assert interconnected(tree, mark, chen)
+
+    def test_cross_paper_authors_not_interconnected(self):
+        """Two authors of different papers: the path passes through two
+        distinct 'paper' nodes -> unrelated (XSEarch's core intuition)."""
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        chen = index.matches("chen")[0]  # paper 1 author
+        zhang = index.matches("zhang")[0]  # paper 2 author
+        assert not interconnected(tree, chen, zhang)
+
+    def test_answers_exclude_cross_paper_combos(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree, match_tags=False)
+        lists = index.match_lists(["keyword", "zhang"])
+        # "keyword" is in paper 1's title, "zhang" authors paper 2:
+        # crossing papers is not interconnected -> no answers.
+        assert interconnected_answers(tree, lists) == []
+
+    def test_answers_within_paper(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree, match_tags=False)
+        lists = index.match_lists(["keyword", "chen"])
+        answers = interconnected_answers(tree, lists)
+        assert answers
+        root, matches = answers[0]
+        node = tree.node_at(root)
+        assert node.tag == "paper"
+
+    def test_identity_interconnected(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        mark = index.matches("mark")[0]
+        assert interconnected(tree, mark, mark)
+
+    def test_combination_guard(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        lists = [index.matches("mark")] * 8
+        with pytest.raises(ValueError):
+            interconnected_answers(tree, lists, max_combinations=4)

@@ -1,0 +1,90 @@
+"""Final property-test batch: mCK optimality on random instances,
+interconnection symmetry, and result-probability bounds."""
+
+import random
+
+import pytest
+
+from repro.datasets.xml_corpora import generate_bib_xml
+from repro.spatial.mck import mck_exhaustive, mck_grid
+from repro.spatial.objects import SpatialDatabase, SpatialObject
+from repro.xml_search.interconnection import interconnected
+from repro.xmltree.index import XmlKeywordIndex
+
+
+class TestMckRandomInstances:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_grid_equals_exhaustive(self, seed):
+        rng = random.Random(seed)
+        keywords = ["a", "b", "c"]
+        objects = []
+        for oid in range(30):
+            text = " ".join(rng.sample(keywords + ["x", "y"], rng.randint(1, 2)))
+            objects.append(
+                SpatialObject(
+                    oid,
+                    round(rng.uniform(0, 10), 2),
+                    round(rng.uniform(0, 10), 2),
+                    text,
+                )
+            )
+        db = SpatialDatabase(objects, cell_size=1.5)
+        exact = mck_exhaustive(db, keywords)
+        fast = mck_grid(db, keywords)
+        if exact is None:
+            assert fast is None
+        else:
+            assert fast is not None
+            assert fast[1] == pytest.approx(exact[1])
+
+
+class TestInterconnectionProperties:
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_symmetry(self, seed):
+        rng = random.Random(seed)
+        tree = generate_bib_xml(n_confs=3, papers_per_conf=4, seed=seed)
+        index = XmlKeywordIndex(tree)
+        nodes = [n.dewey for n in tree.descendants(include_self=True)]
+        for _ in range(30):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            assert interconnected(tree, a, b) == interconnected(tree, b, a)
+
+    def test_ancestor_descendant_always_related(self):
+        tree = generate_bib_xml(n_confs=2, papers_per_conf=3, seed=5)
+        for node in tree.descendants():
+            # A node and its parent share a 2-node path: related unless
+            # the endpoints repeat an interior label (impossible here).
+            assert interconnected(tree, node.dewey, node.parent.dewey)
+
+
+class TestProbabilisticXmlBounds:
+    @pytest.mark.parametrize("seed", [11, 13])
+    def test_probabilities_in_unit_interval(self, seed):
+        from repro.xml_search.probabilistic_xml import ProbabilisticXml
+
+        rng = random.Random(seed)
+        tree = generate_bib_xml(n_confs=2, papers_per_conf=3, seed=seed)
+        probs = {}
+        for node in tree.descendants():
+            if rng.random() < 0.3:
+                probs[node.dewey] = round(rng.uniform(0.1, 1.0), 2)
+        pxml = ProbabilisticXml(tree, probs)
+        index = XmlKeywordIndex(tree)
+        vocab = [v for v in index.vocabulary if index.list_size(v) >= 1]
+        for _ in range(5):
+            query = rng.sample(vocab, 2)
+            for node, p in pxml.topk(query, k=5):
+                assert 0.0 <= p <= 1.0 + 1e-9
+
+    def test_more_uncertainty_never_raises_probability(self):
+        from repro.xml_search.probabilistic_xml import ProbabilisticXml
+        from repro.xmltree.build import element as e
+        from repro.xmltree.build import text_element as t
+
+        tree = e("r", t("a", "k1"), t("b", "k2"))
+        certain = ProbabilisticXml(tree)
+        uncertain = ProbabilisticXml(tree, {tree.children[0].dewey: 0.4})
+        q = ["k1", "k2"]
+        assert uncertain.result_probability(tree, q) <= certain.result_probability(
+            tree, q
+        )

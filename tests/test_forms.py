@@ -1,0 +1,258 @@
+"""Tests for query forms, queriability and QUnits, including the
+slide-40 participation-ratio arithmetic."""
+
+import pytest
+
+from repro.forms.generation import generate_forms, generate_skeletons
+from repro.forms.matching import FormIndex, group_forms, rank_forms
+from repro.forms.model import QueryForm, Skeleton
+from repro.forms.queriability import (
+    attribute_queriability,
+    design_forms,
+    entity_queriability,
+    operator_affinities,
+    participation_ratio,
+    related_entity_queriability,
+)
+from repro.forms.qunits import materialize_qunits, search_qunits
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, Schema, TableSchema
+from repro.relational.schema_graph import SchemaGraph
+
+
+@pytest.fixture(scope="module")
+def slide40_db():
+    """Slide 40: 6 authors, papers, editors with P(A->P)=5/6, P(P->A)=1,
+    P(E->P)=1, P(P->E)=0.5."""
+    schema = Schema(
+        [
+            TableSchema(
+                "author",
+                (Column("aid", "int"), Column("name", "str", text=True)),
+                primary_key="aid",
+            ),
+            TableSchema(
+                "editor",
+                (Column("eid", "int"), Column("name", "str", text=True)),
+                primary_key="eid",
+            ),
+            TableSchema(
+                "paper",
+                (
+                    Column("pid", "int"),
+                    Column("title", "str", text=True),
+                    Column("eid", "int", nullable=True),
+                ),
+                primary_key="pid",
+                foreign_keys=(ForeignKey("eid", "editor", "eid"),),
+            ),
+            TableSchema(
+                "write",
+                (
+                    Column("wid", "int"),
+                    Column("aid", "int"),
+                    Column("pid", "int"),
+                ),
+                primary_key="wid",
+                foreign_keys=(
+                    ForeignKey("aid", "author", "aid"),
+                    ForeignKey("pid", "paper", "pid"),
+                ),
+            ),
+        ]
+    )
+    db = Database(schema)
+    for aid in range(6):
+        db.insert("author", aid=aid, name=f"author{aid}")
+    for eid in range(2):
+        db.insert("editor", eid=eid, name=f"editor{eid}")
+    # 4 papers; papers 0,1 edited by editors 0,1; papers 2,3 unedited.
+    for pid in range(4):
+        db.insert(
+            "paper",
+            pid=pid,
+            title=f"paper{pid}",
+            eid=pid if pid < 2 else None,
+        )
+    # Authors 0..4 write papers (author 5 writes nothing): every paper
+    # has at least one author.
+    writes = [(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 3, 3), (4, 4, 0)]
+    for wid, aid, pid in writes:
+        db.insert("write", wid=wid, aid=aid, pid=pid)
+    return db
+
+
+class TestParticipation:
+    def test_slide40_author_to_paper(self, slide40_db):
+        assert participation_ratio(slide40_db, "author", "paper") == pytest.approx(5 / 6)
+
+    def test_slide40_paper_to_author(self, slide40_db):
+        assert participation_ratio(slide40_db, "paper", "author") == pytest.approx(1.0)
+
+    def test_slide40_editor_to_paper(self, slide40_db):
+        assert participation_ratio(slide40_db, "editor", "paper") == pytest.approx(1.0)
+
+    def test_slide40_paper_to_editor(self, slide40_db):
+        assert participation_ratio(slide40_db, "paper", "editor") == pytest.approx(0.5)
+
+    def test_slide40_three_way_approximation_fails(self, slide40_db):
+        """Slide 40: P(A->P)*P(P->E) = 5/6 * 0.5 != true P(A->P->E).
+
+        Authors connected to an *edited* paper: authors 0, 1, 4
+        (papers 0 and 1 are the edited ones) = 3/6 = 0.5, while the
+        product approximation gives 5/12 — the slide's point that the
+        two-step product misestimates the three-way ratio.
+        """
+        product = participation_ratio(
+            slide40_db, "author", "paper"
+        ) * participation_ratio(slide40_db, "paper", "editor")
+        assert product == pytest.approx(5 / 12)
+        assert product != pytest.approx(0.5)
+
+
+class TestQueriability:
+    def test_entity_scores_sum_to_one(self, slide40_db):
+        graph = SchemaGraph(slide40_db.schema)
+        scores = entity_queriability(slide40_db, graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(v > 0 for v in scores.values())
+
+    def test_related_queriability_author_paper_beats_editor_paper(self, slide40_db):
+        """Papers are always connected to authors but only half to
+        editors (slide 61), so (paper, author) > (paper, editor)."""
+        graph = SchemaGraph(slide40_db.schema)
+        scores = entity_queriability(slide40_db, graph)
+        # Neutralise the entity-score factor to isolate relatedness.
+        flat = {t: 1.0 for t in scores}
+        qa = related_entity_queriability(slide40_db, graph, flat, "paper", "author")
+        qe = related_entity_queriability(slide40_db, graph, flat, "paper", "editor")
+        assert qa > qe
+
+    def test_attribute_queriability_nullable(self, slide40_db):
+        assert attribute_queriability(slide40_db, "paper", "title") == 1.0
+        assert attribute_queriability(slide40_db, "paper", "eid") == 0.5
+
+    def test_operator_affinities(self, slide40_db):
+        aff_title = operator_affinities(slide40_db, "paper", "title")
+        assert aff_title["projection"] == 1.0
+        assert aff_title["aggregation"] == 0.0
+        aff_eid = operator_affinities(slide40_db, "paper", "eid")
+        assert aff_eid["aggregation"] == 1.0
+
+    def test_design_forms_budget(self, tiny_db):
+        graph = SchemaGraph(tiny_db.schema)
+        forms = design_forms(tiny_db, graph, form_budget=4)
+        assert 0 < len(forms) <= 4
+        for form in forms:
+            assert form.slots
+
+
+class TestSkeletonsAndForms:
+    def test_skeleton_enumeration_no_duplicates(self, tiny_db):
+        graph = SchemaGraph(tiny_db.schema)
+        skeletons = generate_skeletons(graph, max_size=3)
+        codes = [s.canonical() for s in skeletons]
+        assert len(codes) == len(set(codes))
+        labels = {s.label() for s in skeletons}
+        assert "author" in labels
+        assert any("write" in l and "author" in l for l in labels)
+
+    def test_skeleton_growth(self, tiny_db):
+        graph = SchemaGraph(tiny_db.schema)
+        small = generate_skeletons(graph, max_size=2)
+        large = generate_skeletons(graph, max_size=3)
+        assert len(large) > len(small)
+
+    def test_generate_forms_slots(self, tiny_db):
+        graph = SchemaGraph(tiny_db.schema)
+        skeletons = generate_skeletons(graph, max_size=2)
+        forms = generate_forms(tiny_db.schema, skeletons)
+        assert forms
+        for form in forms:
+            assert form.slots
+            for slot in form.slots:
+                assert slot.table in form.skeleton.tables
+
+    def test_query_classes(self, tiny_db):
+        graph = SchemaGraph(tiny_db.schema)
+        skeletons = generate_skeletons(graph, max_size=2)
+        forms = generate_forms(tiny_db.schema, skeletons, with_query_classes=True)
+        classes = {f.query_class for f in forms}
+        assert classes == {"SELECT", "AGGR", "GROUP", "UNION-INTERSECT"}
+
+    def test_form_evaluation(self, tiny_db):
+        graph = SchemaGraph(tiny_db.schema)
+        # author - write - paper skeleton
+        skeletons = [
+            s
+            for s in generate_skeletons(graph, max_size=3)
+            if sorted(s.tables) == ["author", "paper", "write"]
+        ]
+        assert skeletons
+        form = generate_forms(tiny_db.schema, skeletons[:1])[0]
+        results = form.evaluate(tiny_db, {"author.name": "jennifer widom"})
+        assert results
+        for joined in results:
+            author = next(r for r in joined.rows if r.table.name == "author")
+            assert author["name"] == "jennifer widom"
+
+
+class TestFormMatching:
+    @pytest.fixture(scope="class")
+    def form_index(self, tiny_db, tiny_index):
+        graph = SchemaGraph(tiny_db.schema)
+        skeletons = generate_skeletons(graph, max_size=3)
+        forms = generate_forms(tiny_db.schema, skeletons, with_query_classes=True)
+        return FormIndex(forms, tiny_index)
+
+    def test_expand_query_slide57(self, form_index):
+        """'john, xml' expands with schema terms of matching attributes."""
+        expansions = form_index.expand_query(["john", "xml"])
+        assert ["john", "xml"] in expansions
+        flat = {term for expansion in expansions for term in expansion}
+        assert "author" in flat  # john matches author.name
+        assert "paper" in flat  # xml matches paper.title
+
+    def test_rank_forms_returns_relevant(self, form_index):
+        ranked = rank_forms(form_index, ["john", "xml"], k=10)
+        assert ranked
+        top_tables = set(ranked[0][0].skeleton.tables)
+        assert top_tables & {"author", "paper"}
+
+    def test_scores_descending(self, form_index):
+        ranked = rank_forms(form_index, ["john", "xml"], k=10)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_group_forms_two_levels(self, form_index):
+        ranked = rank_forms(form_index, ["john", "xml"], k=20)
+        groups = group_forms(ranked)
+        assert groups
+        for skeleton_label, by_class in groups.items():
+            for query_class, forms in by_class.items():
+                for form in forms:
+                    assert form.skeleton.label() == skeleton_label
+                    assert form.query_class == query_class
+
+
+class TestQUnits:
+    def test_materialize_director_qunits(self, movie_db):
+        qunits = materialize_qunits(
+            movie_db, "director", include_tables=["movie"], max_hops=1
+        )
+        assert len(qunits) == len(movie_db.table("director"))
+        # Woody Allen's qunit contains his movies' text.
+        woody = next(q for q in qunits if "woody" in q.text)
+        assert any(m.table == "movie" for m in woody.members)
+
+    def test_search_qunits(self, movie_db):
+        qunits = materialize_qunits(
+            movie_db, "director", include_tables=["movie"], max_hops=1
+        )
+        results = search_qunits(qunits, ["woody", "allen"], k=3)
+        assert results
+        assert "woody allen" in results[0][0].text
+
+    def test_search_requires_all_keywords(self, movie_db):
+        qunits = materialize_qunits(movie_db, "director", max_hops=1)
+        assert search_qunits(qunits, ["woody", "zzznope"], k=3) == []

@@ -1,0 +1,227 @@
+"""Tests for graph substrate and the distance/forward/hub/reachability indexes."""
+
+import pytest
+
+from repro.graph.data_graph import DataGraph, build_data_graph
+from repro.graph.weights import BanksWeighting
+from repro.index.distance import KeywordDistanceIndex, bounded_bfs_distances
+from repro.index.forward import DeltaForwardIndex
+from repro.index.hub import HubIndex
+from repro.index.reachability import DReachabilityIndex
+from repro.index.trie import Trie
+from repro.relational.database import TupleId
+
+
+def N(i):
+    return TupleId("t", i)
+
+
+def path_graph(n, weight=1.0):
+    g = DataGraph()
+    for i in range(n - 1):
+        g.add_edge(N(i), N(i + 1), weight)
+    return g
+
+
+class TestDataGraph:
+    def test_build_from_db(self, tiny_db, tiny_graph):
+        assert len(tiny_graph) == tiny_db.size()
+        # write table rows each connect author and paper
+        w0 = TupleId("write", 0)
+        nbr_tables = {n.table for n, _ in tiny_graph.neighbors(w0)}
+        assert nbr_tables == {"author", "paper"}
+
+    def test_edges_match_fk_count(self, tiny_db, tiny_graph):
+        expected = 0
+        for table in tiny_db.tables.values():
+            for fk in table.schema.foreign_keys:
+                for row in table.rows():
+                    if row[fk.column] is not None:
+                        expected += 1
+        assert tiny_graph.edge_count() == expected
+
+    def test_dijkstra_on_path(self):
+        g = path_graph(5, weight=2.0)
+        dist = g.dijkstra(N(0))
+        assert dist[N(4)] == 8.0
+
+    def test_dijkstra_early_stop(self):
+        g = path_graph(10)
+        dist = g.dijkstra(N(0), targets={N(2)})
+        assert dist[N(2)] == 2.0
+
+    def test_dijkstra_max_distance(self):
+        g = path_graph(10)
+        dist = g.dijkstra(N(0), max_distance=3)
+        assert N(3) in dist and N(4) not in dist
+
+    def test_shortest_path(self):
+        g = path_graph(4)
+        assert g.shortest_path(N(0), N(3)) == [N(0), N(1), N(2), N(3)]
+        g2 = DataGraph()
+        g2.add_node(N(0))
+        g2.add_node(N(9))
+        assert g2.shortest_path(N(0), N(9)) is None
+
+    def test_bfs_hops(self):
+        g = path_graph(6)
+        hops = g.bfs_hops(N(0), max_hops=2)
+        assert hops == {N(0): 0, N(1): 1, N(2): 2}
+
+    def test_subgraph(self):
+        g = path_graph(5)
+        sub = g.subgraph([N(0), N(1), N(3)])
+        assert len(sub) == 3
+        assert sub.edge_weight(N(0), N(1)) == 1.0
+        assert sub.edge_weight(N(1), N(3)) is None
+
+    def test_parallel_edge_keeps_min_weight(self):
+        g = DataGraph()
+        g.add_edge(N(0), N(1), 5.0)
+        g.add_edge(N(0), N(1), 2.0)
+        assert g.edge_weight(N(0), N(1)) == 2.0
+
+    def test_banks_weights(self, tiny_db):
+        weighting = BanksWeighting()
+        graph = build_data_graph(
+            tiny_db,
+            edge_weight=weighting.edge_weight,
+            node_weight=weighting.node_prestige,
+        )
+        # Papers are referenced by writes/cites: positive prestige.
+        assert graph.node_weight(TupleId("paper", 0)) > 0
+        # All edges at least weight 1.
+        for u in graph.nodes:
+            for v, w in graph.neighbors(u):
+                assert w >= 1.0
+
+
+class TestKeywordDistanceIndex:
+    def test_distances_from_matches(self, tiny_graph, tiny_index):
+        kdi = KeywordDistanceIndex(tiny_graph, tiny_index, max_distance=4)
+        dists = kdi.distances("widom")
+        source = tiny_index.matching_tuples("widom")[0]
+        assert dists[source] == 0.0
+        assert all(d <= 4 for d in dists.values())
+
+    def test_candidate_roots_reach_all(self, tiny_graph, tiny_index):
+        kdi = KeywordDistanceIndex(tiny_graph, tiny_index, max_distance=6)
+        roots = kdi.candidate_roots(["widom", "xml"])
+        assert roots
+        for root, cost in roots.items():
+            assert cost == pytest.approx(
+                kdi.distance(root, "widom") + kdi.distance(root, "xml")
+            )
+
+    def test_sorted_list_ascending(self, tiny_graph, tiny_index):
+        kdi = KeywordDistanceIndex(tiny_graph, tiny_index)
+        lst = kdi.sorted_list("xml")
+        dists = [d for d, _ in lst]
+        assert dists == sorted(dists)
+
+    def test_bounded_bfs_multi_source(self):
+        g = path_graph(7)
+        dist = bounded_bfs_distances(g, [N(0), N(6)], max_distance=2)
+        assert dist[N(2)] == 2.0
+        assert dist[N(4)] == 2.0
+        assert N(3) not in dist
+
+
+class TestDeltaForward:
+    def test_forward_reaches_neighbors(self, tiny_graph, tiny_index):
+        trie = Trie(tiny_index.vocabulary)
+        fwd = DeltaForwardIndex(tiny_graph, tiny_index, trie, delta=1)
+        # A write tuple has no text but reaches author/paper tokens in 1 hop.
+        w0 = TupleId("write", 0)
+        tokens = {trie.token(i) for i in fwd.tokens_within_delta(w0)}
+        assert tokens  # at least the author name and paper title terms
+
+    def test_reaches_range(self, tiny_graph, tiny_index):
+        trie = Trie(tiny_index.vocabulary)
+        fwd = DeltaForwardIndex(tiny_graph, tiny_index, trie, delta=2)
+        rng = trie.prefix_range("xml")
+        paper0 = TupleId("paper", 0)
+        assert fwd.reaches_range(paper0, *rng)
+        assert not fwd.reaches_range(paper0, len(trie) + 5, len(trie) + 9)
+
+    def test_filter_candidates(self, tiny_graph, tiny_index):
+        trie = Trie(tiny_index.vocabulary)
+        fwd = DeltaForwardIndex(tiny_graph, tiny_index, trie, delta=2)
+        rng_widom = trie.prefix_range("widom")
+        candidates = list(tiny_graph.nodes)
+        kept = fwd.filter_candidates(candidates, [rng_widom])
+        assert kept
+        assert len(kept) < len(candidates)
+
+    def test_delta_zero_is_local_tokens(self, tiny_graph, tiny_index):
+        trie = Trie(tiny_index.vocabulary)
+        fwd = DeltaForwardIndex(tiny_graph, tiny_index, trie, delta=0)
+        paper0 = TupleId("paper", 0)
+        tokens = {trie.token(i) for i in fwd.tokens_within_delta(paper0)}
+        assert tokens == {
+            t for t in tiny_index.tokens_of(paper0) if t in trie
+        }
+
+
+class TestHubIndex:
+    def test_exact_distances_on_path(self):
+        g = path_graph(8)
+        hub = HubIndex(g, hub_count=2)
+        for i in range(8):
+            for j in range(8):
+                assert hub.distance(N(i), N(j)) == pytest.approx(abs(i - j))
+
+    def test_exact_on_database_graph(self, tiny_graph):
+        hub = HubIndex(tiny_graph, hub_count=4)
+        nodes = tiny_graph.nodes[:8]
+        for u in nodes:
+            exact = tiny_graph.dijkstra(u)
+            for v in nodes:
+                expected = exact.get(v, float("inf"))
+                assert hub.distance(u, v) == pytest.approx(expected)
+
+    def test_hub_selection_by_degree(self, tiny_graph):
+        hub = HubIndex(tiny_graph, hub_count=3)
+        degrees = sorted((tiny_graph.degree(n) for n in tiny_graph.nodes), reverse=True)
+        for h in hub.hubs:
+            assert tiny_graph.degree(h) >= degrees[min(5, len(degrees) - 1)]
+
+    def test_index_smaller_than_all_pairs(self, biblio_graph):
+        n = len(biblio_graph)
+        hub = HubIndex(biblio_graph, hub_count=4 * int(n ** 0.5))
+        # The hub decomposition must undercut the O(n^2) all-pairs table
+        # it replaces (Goldman et al.'s space argument, slide 122).
+        assert hub.index_entries() < n * n / 2
+
+
+class TestDReachability:
+    def test_n2n_matches_bfs(self, tiny_graph, tiny_index):
+        idx = DReachabilityIndex(tiny_graph, tiny_index, d=2)
+        node = TupleId("author", 0)
+        assert idx.nodes_within(node) == set(tiny_graph.bfs_hops(node, max_hops=2))
+
+    def test_term_reachability(self, tiny_graph, tiny_index):
+        idx = DReachabilityIndex(tiny_graph, tiny_index, d=2)
+        # author 1 (widom) writes paper 3 ("xml query optimization"):
+        # "xml" reachable within 2 hops (author -> write -> paper).
+        assert idx.can_reach_term(TupleId("author", 1), "xml")
+        assert not idx.can_reach_term(TupleId("author", 1), "zzz")
+
+    def test_prune_candidates(self, tiny_graph, tiny_index):
+        idx = DReachabilityIndex(tiny_graph, tiny_index, d=2)
+        candidates = list(tiny_graph.nodes)
+        kept = idx.prune_candidates(candidates, ["widom", "xml"])
+        assert kept
+        assert len(kept) < len(candidates)
+        for node in kept:
+            assert idx.can_reach_all(node, ["widom", "xml"])
+
+    def test_relation_term_reachable(self, tiny_graph, tiny_index):
+        idx = DReachabilityIndex(tiny_graph, tiny_index, d=2)
+        assert idx.relation_term_reachable("author", "widom", "paper")
+
+    def test_d_zero(self, tiny_graph, tiny_index):
+        idx = DReachabilityIndex(tiny_graph, tiny_index, d=0)
+        node = TupleId("paper", 0)
+        assert idx.nodes_within(node) == {node}
+        assert idx.can_reach_term(node, "xml")

@@ -1,0 +1,167 @@
+"""Unit tests for the index substrate (text, inverted, trie, q-gram)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.inverted import InvertedIndex
+from repro.index.qgram import QGramIndex, edit_distance, qgrams
+from repro.index.text import normalize_token, term_frequencies, tokenize
+from repro.index.trie import Trie
+from repro.relational.database import TupleId
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Keyword-based Search, 2011!") == [
+            "keyword", "based", "search", "2011",
+        ]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+    def test_normalize(self):
+        assert normalize_token("Hello-World") == "helloworld"
+
+    def test_term_frequencies(self):
+        assert term_frequencies("a b a") == {"a": 2, "b": 1}
+
+    @given(st.text(max_size=50))
+    @settings(max_examples=50)
+    def test_tokens_are_normalized(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+
+class TestInvertedIndex:
+    def test_postings_and_matching(self, tiny_index):
+        tuples = tiny_index.matching_tuples("xml")
+        tables = {t.table for t in tuples}
+        assert "paper" in tables
+        assert all(isinstance(t, TupleId) for t in tuples)
+
+    def test_case_insensitive(self, tiny_index):
+        assert tiny_index.matching_tuples("XML") == tiny_index.matching_tuples("xml")
+
+    def test_matching_tuples_in(self, tiny_index):
+        papers = tiny_index.matching_tuples_in("xml", "paper")
+        assert papers
+        assert all(t.table == "paper" for t in papers)
+
+    def test_tuples_matching_all(self, tiny_index):
+        both = tiny_index.tuples_matching_all(["xml", "keyword"])
+        assert TupleId("paper", 0) in both
+
+    def test_unknown_token(self, tiny_index):
+        assert tiny_index.matching_tuples("zzzzz") == []
+        assert "zzzzz" not in tiny_index
+
+    def test_document_frequency_and_idf(self, tiny_index):
+        df_xml = tiny_index.document_frequency("xml")
+        df_join = tiny_index.document_frequency("join")
+        assert df_xml >= df_join >= 1
+        assert tiny_index.idf("join") >= tiny_index.idf("xml")
+
+    def test_term_frequency(self, tiny_index):
+        tid = TupleId("paper", 0)  # "xml keyword search" + abstract
+        assert tiny_index.term_frequency(tid, "xml") >= 1
+        assert tiny_index.term_frequency(tid, "zebra") == 0
+
+    def test_tokens_of(self, tiny_index):
+        tokens = tiny_index.tokens_of(TupleId("paper", 0))
+        assert {"xml", "keyword", "search"} <= tokens
+
+    def test_document_count_counts_text_tables_only(self, tiny_db, tiny_index):
+        expected = sum(
+            len(t)
+            for t in tiny_db.tables.values()
+            if t.schema.text_columns
+        )
+        assert tiny_index.document_count == expected
+
+
+class TestTrie:
+    VOCAB = ["sig", "sigact", "sigmod", "sigweb", "srivastava", "search"]
+
+    def test_prefix_range_contiguous(self):
+        trie = Trie(self.VOCAB)
+        rng = trie.prefix_range("sig")
+        assert rng is not None
+        lo, hi = rng
+        matched = [trie.token(i) for i in range(lo, hi + 1)]
+        assert matched == ["sig", "sigact", "sigmod", "sigweb"]
+
+    def test_complete(self):
+        trie = Trie(self.VOCAB)
+        assert trie.complete("sigm") == ["sigmod"]
+        assert trie.complete("x") == []
+        assert trie.complete("s", limit=2) == ["search", "sig"]
+
+    def test_membership_and_ids(self):
+        trie = Trie(self.VOCAB)
+        assert "sigmod" in trie
+        assert trie.token(trie.token_id("sigmod")) == "sigmod"
+        assert len(trie) == len(self.VOCAB)
+
+    def test_fuzzy_prefix_exact_is_distance_zero(self):
+        trie = Trie(self.VOCAB)
+        results = dict(trie.fuzzy_prefix("sigmod", max_errors=1))
+        assert results["sigmod"] == 0
+
+    def test_fuzzy_prefix_tolerates_typo(self):
+        trie = Trie(self.VOCAB)
+        results = dict(trie.fuzzy_prefix("sogmod", max_errors=1))
+        assert "sigmod" in results
+
+    def test_fuzzy_prefix_respects_budget(self):
+        trie = Trie(self.VOCAB)
+        results = dict(trie.fuzzy_prefix("xxxxxx", max_errors=1))
+        assert "sigmod" not in results
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=6), min_size=1))
+    @settings(max_examples=50)
+    def test_prefix_range_matches_linear_scan(self, vocab):
+        trie = Trie(vocab)
+        prefix = vocab[0][:2]
+        expected = sorted({t for t in vocab if t.startswith(prefix)})
+        assert trie.complete(prefix) == expected
+
+
+class TestQGram:
+    def test_edit_distance(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("abc", "abc") == 0
+        assert edit_distance("", "abc") == 3
+
+    def test_edit_distance_cutoff(self):
+        assert edit_distance("aaaa", "bbbb", cutoff=2) == 3  # cutoff + 1
+
+    def test_qgrams(self):
+        assert qgrams("ab", 2) == ["#a", "ab", "b$"]
+
+    def test_lookup_finds_close_tokens(self):
+        index = QGramIndex(["database", "datbase", "databases", "query"])
+        matches = dict(index.lookup("datbase", max_distance=1))
+        assert matches["datbase"] == 0
+        assert matches["database"] == 1
+        assert "query" not in matches
+
+    def test_candidates_superset_of_matches(self):
+        vocab = ["ipad", "ipod", "apple", "nano", "att"]
+        index = QGramIndex(vocab)
+        verified = {t for t, _ in index.lookup("ipd", max_distance=1)}
+        assert verified == {"ipad", "ipod"}
+        assert verified <= set(index.candidates("ipd", max_distance=1))
+
+    @given(
+        st.lists(st.text(alphabet="abcd", min_size=1, max_size=8), min_size=1, max_size=30),
+        st.text(alphabet="abcd", min_size=1, max_size=8),
+    )
+    @settings(max_examples=50)
+    def test_lookup_agrees_with_bruteforce(self, vocab, query):
+        index = QGramIndex(vocab)
+        got = {t for t, _ in index.lookup(query, max_distance=1)}
+        expected = {t for t in set(vocab) if edit_distance(query, t) <= 1}
+        assert got == expected

@@ -1,0 +1,96 @@
+"""NTC total-correlation tests reproducing slides 42-43 verbatim."""
+
+import pytest
+
+from repro.xml_search.ntc import (
+    entropy,
+    joint_entropy,
+    normalized_total_correlation,
+    rank_structures,
+    total_correlation,
+)
+
+# Slide 42's author-paper joint sample: six equally likely (A, P) links;
+# authors A1..A4 appear once, A5 twice; papers P3 and P4 twice.
+AUTHOR_PAPER = [
+    ("A1", "P1"),
+    ("A2", "P2"),
+    ("A3", "P3"),
+    ("A4", "P4"),
+    ("A5", "P3"),
+    ("A5", "P4"),
+]
+
+# Slide 43's editor-paper sample: two equally likely (E, P) links with
+# perfectly correlated values.
+EDITOR_PAPER = [
+    ("E1", "P1"),
+    ("E2", "P2"),
+]
+
+
+class TestSlide42:
+    def test_author_marginal_entropy(self):
+        authors = [a for a, _ in AUTHOR_PAPER]
+        assert entropy(authors) == pytest.approx(2.25, abs=0.01)
+
+    def test_paper_marginal_entropy(self):
+        papers = [p for _, p in AUTHOR_PAPER]
+        assert entropy(papers) == pytest.approx(1.92, abs=0.01)
+
+    def test_joint_entropy(self):
+        assert joint_entropy(AUTHOR_PAPER) == pytest.approx(2.58, abs=0.01)
+
+    def test_total_correlation_159(self):
+        """Slide 42: I(A, P) = 2.25 + 1.92 - 2.58 = 1.59."""
+        assert total_correlation(AUTHOR_PAPER) == pytest.approx(1.59, abs=0.01)
+
+
+class TestSlide43:
+    def test_editor_entropies(self):
+        assert entropy([e for e, _ in EDITOR_PAPER]) == pytest.approx(1.0)
+        assert entropy([p for _, p in EDITOR_PAPER]) == pytest.approx(1.0)
+        assert joint_entropy(EDITOR_PAPER) == pytest.approx(1.0)
+
+    def test_total_correlation_10(self):
+        """Slide 43: I(E, P) = 1.0 + 1.0 - 1.0 = 1.0."""
+        assert total_correlation(EDITOR_PAPER) == pytest.approx(1.0)
+
+    def test_editor_structure_more_cohesive(self):
+        """Editor-paper is perfectly correlated (knowing one determines
+        the other); normalised I* ranks it above author-paper."""
+        istar_editor = normalized_total_correlation(EDITOR_PAPER)
+        istar_author = normalized_total_correlation(AUTHOR_PAPER)
+        assert istar_editor > istar_author
+
+    def test_rank_structures(self):
+        ranked = rank_structures(
+            {"author-paper": AUTHOR_PAPER, "editor-paper": EDITOR_PAPER}
+        )
+        assert ranked[0][0] == "editor-paper"
+
+
+class TestNtcProperties:
+    def test_independent_variables_near_zero(self):
+        """Slide 42: I(P) ~= 0 means statistically completely unrelated."""
+        rows = [(a, p) for a in "AB" for p in "XY"]  # full product
+        assert total_correlation(rows) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_and_unary(self):
+        assert total_correlation([]) == 0.0
+        assert normalized_total_correlation([("x",)]) == 0.0
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            total_correlation([("a", "b"), ("c",)])
+
+    def test_nonnegative(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            rows = [
+                (rng.randrange(3), rng.randrange(3), rng.randrange(2))
+                for _ in range(12)
+            ]
+            assert total_correlation(rows) >= -1e-9

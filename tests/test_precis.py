@@ -1,0 +1,72 @@
+"""Précis return-node selection tests, including slide 52 verbatim."""
+
+import pytest
+
+from repro.analysis.precis import PrecisGraph, slide52_graph
+
+
+class TestSlide52:
+    def test_sponsor_path_weight(self):
+        graph = slide52_graph()
+        paths = graph.best_path_weights("person")
+        weight, path = paths["conference"]
+        assert weight == pytest.approx(0.8 * 0.9)
+        assert path == ("person", "review", "conference")
+
+    def test_sponsor_dropped_at_threshold_04(self):
+        """Slide 52: person->review->conference->sponsor has weight
+        0.8*0.9*0.5 = 0.36 < 0.4, so sponsor is not returned."""
+        graph = slide52_graph()
+        selected = graph.select_attributes("person", min_weight=0.4)
+        labels = {a.label() for a in selected}
+        assert "conference.sponsor" not in labels
+        assert "conference.year" in labels  # 0.72 >= 0.4
+        assert "person.pname" in labels
+
+    def test_sponsor_kept_at_lower_threshold(self):
+        graph = slide52_graph()
+        selected = graph.select_attributes("person", min_weight=0.3)
+        labels = {a.label() for a in selected}
+        assert "conference.sponsor" in labels
+        sponsor = next(a for a in selected if a.attribute == "sponsor")
+        assert sponsor.weight == pytest.approx(0.36)
+
+
+class TestPrecisGeneral:
+    def test_budget(self):
+        graph = slide52_graph()
+        selected = graph.select_attributes("person", max_attributes=2)
+        assert len(selected) == 2
+        weights = [a.weight for a in selected]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_anchor_attributes_have_full_weight(self):
+        graph = slide52_graph()
+        selected = graph.select_attributes("person")
+        pname = next(a for a in selected if a.attribute == "pname")
+        assert pname.weight == 1.0
+        assert pname.path == ("person",)
+
+    def test_max_product_path_chosen(self):
+        graph = PrecisGraph()
+        graph.add_edge("a", "b", 0.5)
+        graph.add_edge("b", "c", 0.5)  # a-b-c = 0.25
+        graph.add_edge("a", "c", 0.3)  # direct = 0.3 wins
+        graph.add_attribute("c", "x", 1.0)
+        paths = graph.best_path_weights("a")
+        assert paths["c"][0] == pytest.approx(0.3)
+        assert paths["c"][1] == ("a", "c")
+
+    def test_unreachable_tables_excluded(self):
+        graph = PrecisGraph()
+        graph.add_edge("a", "b", 0.9)
+        graph.add_attribute("z", "lonely", 1.0)
+        selected = graph.select_attributes("a")
+        assert all(a.table != "z" for a in selected)
+
+    def test_invalid_weights(self):
+        graph = PrecisGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "b", 1.5)
+        with pytest.raises(ValueError):
+            graph.add_attribute("a", "x", 0.0)

@@ -1,0 +1,303 @@
+"""Tests for tuple sets, CN generation, evaluation, top-k and SPARK."""
+
+import pytest
+
+from repro.relational.executor import JoinStats
+from repro.relational.schema_graph import SchemaGraph
+from repro.schema_search.candidate_networks import (
+    CandidateNetwork,
+    generate_candidate_networks,
+)
+from repro.schema_search.evaluate import all_results, cn_results
+from repro.schema_search.parallel import (
+    SharedExecutionGraph,
+    partition_greedy,
+    partition_round_robin,
+    partition_sharing_aware,
+    simulate_makespan,
+)
+from repro.schema_search.scoring import (
+    monotonic_result_score,
+    spark_score,
+    tuple_score,
+)
+from repro.schema_search.spark import (
+    SparkStats,
+    block_pipeline,
+    naive_enumerate,
+    skyline_sweep,
+)
+from repro.schema_search.topk import (
+    topk_global_pipeline,
+    topk_naive,
+    topk_single_pipeline,
+    topk_sparse,
+)
+from repro.schema_search.tuple_sets import TupleSetKey, TupleSets
+
+
+@pytest.fixture(scope="module")
+def widom_setup(tiny_db, tiny_index):
+    """Slide 28: Q = {widom, xml} on the author-write-paper schema."""
+    ts = TupleSets(tiny_db, tiny_index, ["widom", "xml"])
+    graph = SchemaGraph(tiny_db.schema)
+    return tiny_db, tiny_index, graph, ts
+
+
+class TestTupleSets:
+    def test_exact_partition(self, widom_setup):
+        _, _, _, ts = widom_setup
+        keys = ts.non_free_keys()
+        labels = {k.label() for k in keys}
+        assert "author^{widom}" in labels
+        assert any(l.startswith("paper^{xml}") for l in labels)
+
+    def test_free_set_excludes_matches(self, widom_setup, tiny_db):
+        _, _, _, ts = widom_setup
+        free_papers = ts.tuple_ids(TupleSetKey("paper", frozenset()))
+        nonfree = ts.tuple_ids(TupleSetKey("paper", frozenset(["xml"])))
+        assert set(free_papers).isdisjoint(set(nonfree))
+        assert len(free_papers) + sum(
+            ts.size(k) for k in ts.keys_for_table("paper")
+        ) == len(tiny_db.table("paper"))
+
+    def test_covered_keywords(self, widom_setup):
+        _, _, _, ts = widom_setup
+        assert ts.covered_keywords() == {"widom", "xml"}
+
+    def test_sizes(self, widom_setup):
+        _, _, _, ts = widom_setup
+        for key in ts.non_free_keys():
+            assert ts.size(key) == len(ts.tuple_ids(key)) > 0
+
+
+class TestCNGeneration:
+    def test_slide28_shapes_present(self, widom_setup):
+        """Slide 28 enumerates AQ, PQ, AQ-W-PQ, AQ-W-PQ-W-AQ, PQ-W-AQ-W-PQ."""
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=5)
+        labels = {cn.label() for cn in cns}
+        # Single-node CNs exist only if one tuple contains both keywords;
+        # the 2-keyword path CN must exist:
+        assert any(
+            "author^{widom}" in l and "paper^{xml}" in l and "write" in l
+            for l in labels
+        )
+        # The two-authors-one-paper CN (size 5):
+        assert any(
+            l.count("author^{widom}") == 2 and "paper^{xml}" in l for l in labels
+        )
+
+    def test_all_valid(self, widom_setup):
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=5)
+        for cn in cns:
+            assert cn.is_valid(["widom", "xml"])
+            assert not cn.has_degenerate_join()
+
+    def test_no_duplicates(self, widom_setup):
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=5)
+        codes = [cn.canonical_code() for cn in cns]
+        assert len(codes) == len(set(codes))
+
+    def test_canonical_code_invariant_under_relabeling(self, widom_setup):
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=4)
+        # Rebuild each CN with node order reversed; codes must match.
+        for cn in cns:
+            if cn.size < 2:
+                continue
+            n = cn.size
+            perm = list(reversed(range(n)))
+            remap = {old: new for new, old in enumerate(perm)}
+            nodes = [cn.nodes[i] for i in perm]
+            edges = [(remap[a], remap[b], e) for a, b, e in cn.edges]
+            clone = CandidateNetwork(nodes, edges)
+            assert clone.canonical_code() == cn.canonical_code()
+
+    def test_missing_keyword_yields_nothing(self, tiny_db, tiny_index):
+        ts = TupleSets(tiny_db, tiny_index, ["widom", "zebra"])
+        graph = SchemaGraph(tiny_db.schema)
+        assert generate_candidate_networks(graph, ts, max_size=5) == []
+
+    def test_growth_with_max_size(self, widom_setup):
+        _, _, graph, ts = widom_setup
+        counts = [
+            len(generate_candidate_networks(graph, ts, max_size=m))
+            for m in (1, 2, 3, 4, 5)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_max_networks_cap(self, widom_setup):
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=5, max_networks=3)
+        assert len(cns) == 3
+
+
+class TestEvaluation:
+    def test_widom_xml_join_result(self, widom_setup):
+        """The tiny DB has widom writing 'xml query optimization':
+        the A-W-P CN must produce that joining network."""
+        tiny_db, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=3)
+        path_cns = [c for c in cns if c.size == 3]
+        found = False
+        for cn in path_cns:
+            for joined in cn_results(cn, ts):
+                names = [r.table.name for r in joined.rows]
+                if sorted(names) == ["author", "paper", "write"]:
+                    author = next(r for r in joined.rows if r.table.name == "author")
+                    paper = next(r for r in joined.rows if r.table.name == "paper")
+                    if "widom" in author["name"] and "xml" in paper["title"]:
+                        found = True
+        assert found
+
+    def test_results_across_cns_disjoint(self, widom_setup):
+        """DISCOVER's exact-partition guarantee: no result appears twice."""
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=4)
+        seen = set()
+        for cn, joined in all_results(cns, ts):
+            key = frozenset(joined.tuple_ids())
+            assert key not in seen, (cn.label(), key)
+            seen.add(key)
+
+    def test_no_repeated_tuple_in_result(self, widom_setup):
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=5)
+        for cn, joined in all_results(cns, ts):
+            tids = joined.tuple_ids()
+            assert len(set(tids)) == len(tids)
+
+    def test_stats_counted(self, widom_setup):
+        _, _, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=3)
+        stats = JoinStats()
+        all_results(cns, ts, stats=stats)
+        assert stats.tuples_read > 0
+        assert stats.joins_executed > 0
+
+
+class TestScoring:
+    def test_tuple_score_positive_for_match(self, widom_setup):
+        tiny_db, index, _, ts = widom_setup
+        tid = ts.tuple_ids(TupleSetKey("author", frozenset(["widom"])))[0]
+        assert tuple_score(index, tid, ["widom", "xml"]) > 0
+        assert tuple_score(index, tid, ["zebra"]) == 0
+
+    def test_spark_completeness_rewards_coverage(self, widom_setup):
+        tiny_db, index, graph, ts = widom_setup
+        cns = generate_candidate_networks(graph, ts, max_size=3)
+        results = all_results(cns, ts)
+        # Any full result (covers both keywords) must outscore a
+        # hypothetical half coverage: check score > 0 for all results.
+        for cn, joined in results:
+            assert spark_score(index, joined, ["widom", "xml"]) > 0
+
+
+class TestTopK:
+    QUERIES = [["widom", "xml"], ["john", "sigmod"], ["cloud", "john"]]
+
+    def _setup(self, db, index, query):
+        ts = TupleSets(db, index, query)
+        graph = SchemaGraph(db.schema)
+        cns = generate_candidate_networks(graph, ts, max_size=4)
+        return cns, ts
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_all_strategies_agree(self, tiny_db, tiny_index, query):
+        cns, ts = self._setup(tiny_db, tiny_index, query)
+        if not cns:
+            pytest.skip("no CNs for query")
+        k = 5
+        naive = topk_naive(cns, ts, tiny_index, query, k=k)
+        sparse = topk_sparse(cns, ts, tiny_index, query, k=k)
+        single = topk_single_pipeline(cns, ts, tiny_index, query, k=k)
+        global_ = topk_global_pipeline(cns, ts, tiny_index, query, k=k)
+        assert sparse.scores() == naive.scores()
+        assert single.scores() == naive.scores()
+        assert global_.scores() == naive.scores()
+
+    def test_pipelines_touch_less_data_on_generated_db(self, biblio_db, biblio_index):
+        query = ["database", "john"]
+        cns, ts = self._setup(biblio_db, biblio_index, query)
+        if not cns:
+            pytest.skip("no CNs for query")
+        k = 3
+        naive = topk_naive(cns, ts, biblio_index, query, k=k)
+        sparse = topk_sparse(cns, ts, biblio_index, query, k=k)
+        global_ = topk_global_pipeline(cns, ts, biblio_index, query, k=k)
+        assert global_.scores() == naive.scores()
+        assert sparse.stats.tuples_read <= naive.stats.tuples_read
+        assert global_.batches <= naive.batches
+
+    def test_topk_returns_at_most_k(self, tiny_db, tiny_index):
+        cns, ts = self._setup(tiny_db, tiny_index, ["widom", "xml"])
+        result = topk_naive(cns, ts, tiny_index, ["widom", "xml"], k=2)
+        assert len(result.results) <= 2
+        scores = result.scores()
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSpark:
+    def test_spark_algorithms_agree(self, tiny_db, tiny_index):
+        query = ["widom", "xml"]
+        ts = TupleSets(tiny_db, tiny_index, query)
+        graph = SchemaGraph(tiny_db.schema)
+        cns = generate_candidate_networks(graph, ts, max_size=4)
+        k = 5
+        naive = naive_enumerate(cns, ts, tiny_index, query, k=k)
+        sweep = skyline_sweep(cns, ts, tiny_index, query, k=k)
+        blocks = block_pipeline(cns, ts, tiny_index, query, k=k, block_size=2)
+        naive_scores = [round(s, 9) for s, _ in naive]
+        assert [round(s, 9) for s, _ in sweep] == naive_scores
+        assert [round(s, 9) for s, _ in blocks] == naive_scores
+
+    def test_sweep_verifies_fewer_combinations(self, biblio_db, biblio_index):
+        query = ["database", "john"]
+        ts = TupleSets(biblio_db, biblio_index, query)
+        graph = SchemaGraph(biblio_db.schema)
+        cns = generate_candidate_networks(graph, ts, max_size=3)
+        if not cns:
+            pytest.skip("no CNs")
+        naive_stats, sweep_stats = SparkStats(), SparkStats()
+        naive = naive_enumerate(cns, ts, biblio_index, query, k=3, stats=naive_stats)
+        sweep = skyline_sweep(cns, ts, biblio_index, query, k=3, stats=sweep_stats)
+        assert [round(s, 9) for s, _ in sweep] == [round(s, 9) for s, _ in naive]
+        assert sweep_stats.combinations_verified <= naive_stats.combinations_verified
+
+
+class TestParallel:
+    def _graph(self, db, index, query):
+        ts = TupleSets(db, index, query)
+        schema_graph = SchemaGraph(db.schema)
+        cns = generate_candidate_networks(schema_graph, ts, max_size=5)
+        return SharedExecutionGraph(cns, ts)
+
+    def test_sharing_exists(self, tiny_db, tiny_index):
+        graph = self._graph(tiny_db, tiny_index, ["widom", "xml"])
+        assert graph.total_shared_cost() < graph.total_unshared_cost()
+
+    def test_policies_cover_all_cns(self, tiny_db, tiny_index):
+        graph = self._graph(tiny_db, tiny_index, ["widom", "xml"])
+        n = len(graph.cns)
+        for policy in (partition_round_robin, partition_greedy, partition_sharing_aware):
+            assignment = policy(graph, 3)
+            assigned = sorted(i for core in assignment for i in core)
+            assert assigned == list(range(n))
+
+    def test_sharing_aware_not_worse_than_round_robin(self, biblio_db, biblio_index):
+        graph = self._graph(biblio_db, biblio_index, ["database", "john"])
+        if len(graph.cns) < 4:
+            pytest.skip("too few CNs")
+        cores = 4
+        rr = simulate_makespan(graph, partition_round_robin(graph, cores))
+        aware = simulate_makespan(graph, partition_sharing_aware(graph, cores))
+        assert aware <= rr + 1e-9
+
+    def test_makespan_positive(self, tiny_db, tiny_index):
+        graph = self._graph(tiny_db, tiny_index, ["widom", "xml"])
+        assignment = partition_greedy(graph, 2)
+        assert simulate_makespan(graph, assignment) > 0

@@ -1,0 +1,111 @@
+"""Slide 7's 'expected surprise': Q = {Seltzer, Berkeley}.
+
+University(12, 'UC Berkeley'), Student(6055, 'Margo Seltzer', uid=12)?
+No — the tutorial's point is that Seltzer is NOT a student at UC
+Berkeley; the correct connection runs through Project(5, 'Berkeley DB')
+and Participation(5, 6055).  Keyword search must assemble the scattered
+but collectively relevant pieces automatically.
+"""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, Schema, TableSchema
+from repro.relational.schema_graph import SchemaGraph
+from repro.schema_search.candidate_networks import generate_candidate_networks
+from repro.schema_search.evaluate import all_results
+from repro.schema_search.tuple_sets import TupleSets
+
+
+@pytest.fixture(scope="module")
+def slide7_db():
+    schema = Schema(
+        [
+            TableSchema(
+                "university",
+                (Column("uid", "int"), Column("uname", "str", text=True)),
+                primary_key="uid",
+            ),
+            TableSchema(
+                "student",
+                (
+                    Column("sid", "int"),
+                    Column("sname", "str", text=True),
+                    Column("uid", "int", nullable=True),
+                ),
+                primary_key="sid",
+                foreign_keys=(ForeignKey("uid", "university", "uid"),),
+            ),
+            TableSchema(
+                "project",
+                (Column("pid", "int"), Column("pname", "str", text=True)),
+                primary_key="pid",
+            ),
+            TableSchema(
+                "participation",
+                (
+                    Column("paid", "int"),
+                    Column("pid", "int"),
+                    Column("sid", "int"),
+                ),
+                primary_key="paid",
+                foreign_keys=(
+                    ForeignKey("pid", "project", "pid"),
+                    ForeignKey("sid", "student", "sid"),
+                ),
+            ),
+        ]
+    )
+    db = Database(schema)
+    db.insert("university", uid=12, uname="uc berkeley")
+    db.insert("university", uid=13, uname="harvard")
+    # Seltzer is affiliated with Harvard, not Berkeley.
+    db.insert("student", sid=6055, sname="margo seltzer", uid=13)
+    db.insert("project", pid=5, pname="berkeley db")
+    db.insert("participation", paid=0, pid=5, sid=6055)
+    return db
+
+
+class TestSlide7:
+    def test_scattered_pieces_assembled(self, slide7_db):
+        index = InvertedIndex(slide7_db)
+        ts = TupleSets(slide7_db, index, ["seltzer", "berkeley"])
+        cns = generate_candidate_networks(
+            SchemaGraph(slide7_db.schema), ts, max_size=4
+        )
+        results = all_results(cns, ts)
+        assert results
+        # The project interpretation must be among the answers:
+        found_project = False
+        for cn, joined in results:
+            tables = {row.table.name for row in joined.rows}
+            texts = " ".join(row.text() for row in joined.rows)
+            if "project" in tables and "berkeley db" in texts:
+                found_project = True
+        assert found_project
+
+    def test_no_false_student_at_berkeley(self, slide7_db):
+        """No answer may claim Seltzer studies at UC Berkeley: the only
+        student-university joining network binds her to Harvard, so any
+        result containing both the student and a university must contain
+        Harvard, never UC Berkeley."""
+        index = InvertedIndex(slide7_db)
+        ts = TupleSets(slide7_db, index, ["seltzer", "berkeley"])
+        cns = generate_candidate_networks(
+            SchemaGraph(slide7_db.schema), ts, max_size=4
+        )
+        for cn, joined in all_results(cns, ts):
+            tables = {row.table.name for row in joined.rows}
+            if {"student", "university"} <= tables:
+                university = next(
+                    row for row in joined.rows if row.table.name == "university"
+                )
+                assert university["uname"] != "uc berkeley"
+
+    def test_flat_single_tuple_search_finds_nothing(self, slide7_db):
+        """The text-search strawman: no single tuple contains both
+        keywords, so non-joining search returns nothing — the slide's
+        argument for assembling results across tuples."""
+        index = InvertedIndex(slide7_db)
+        assert index.tuples_matching_all(["seltzer", "berkeley"]) == []

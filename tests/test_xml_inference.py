@@ -1,0 +1,106 @@
+"""Tests for XSeek / XReal / sketch-based return-type inference."""
+
+import pytest
+
+from repro.datasets.xml_corpora import (
+    generate_bib_xml,
+    slide_conf_tree,
+    slide_imdb_tree,
+    slide_scientist_tree,
+)
+from repro.xml_search.xbridge_sketch import PathSketch
+from repro.xml_search.xreal import XReal
+from repro.xml_search.xseek import NodeCategory, XSeek
+
+
+class TestXSeek:
+    def test_entity_classification(self):
+        xseek = XSeek(slide_conf_tree())
+        assert xseek.category("paper") is NodeCategory.ENTITY
+        assert xseek.category("author") is NodeCategory.ENTITY  # repeats
+        assert xseek.category("name") is NodeCategory.ATTRIBUTE
+        assert xseek.category("year") is NodeCategory.ATTRIBUTE
+
+    def test_keyword_classification(self):
+        xseek = XSeek(slide_conf_tree())
+        labels, predicates = xseek.classify_keywords(["paper", "mark"])
+        assert labels == ["paper"]
+        assert predicates == ["mark"]
+
+    def test_explicit_return_nodes(self):
+        """Q1-style (slide 51): a label keyword names the output."""
+        tree = slide_conf_tree()
+        xseek = XSeek(tree)
+        nodes = xseek.return_nodes(tree, ["mark", "title"])
+        assert nodes
+        assert all(n.tag == "title" for n in nodes)
+
+    def test_implicit_return_entity(self):
+        """Q2-style: all-predicate query returns the master entity."""
+        tree = slide_conf_tree()
+        xseek = XSeek(tree)
+        nodes = xseek.return_nodes(tree, ["mark", "chen"])
+        assert len(nodes) == 1
+        assert nodes[0].tag == "paper"
+
+    def test_fallback_to_result_root(self):
+        tree = slide_scientist_tree()
+        xseek = XSeek(tree)
+        nodes = xseek.return_nodes(tree, ["nonexistent"])
+        assert nodes == [tree]
+
+
+class TestXReal:
+    def test_slide37_return_type(self):
+        """Q = {widom-ish author, xml}: /conf-level paper type wins over
+        attribute types."""
+        tree = generate_bib_xml(n_confs=4, papers_per_conf=6, seed=5)
+        xreal = XReal(tree)
+        ranked = xreal.infer_return_type(["xml", "john"])
+        assert ranked
+        assert ranked[0][0].endswith("/paper")
+
+    def test_type_requires_all_keywords(self):
+        tree = slide_imdb_tree()
+        xreal = XReal(tree)
+        # "shining" and "1935" never co-occur under one movie.
+        assert xreal.type_score("/imdb/movie", ["shining", "1935"]) == 0.0
+
+    def test_instances_scored(self):
+        tree = slide_imdb_tree()
+        xreal = XReal(tree)
+        instances = xreal.instances("/imdb/movie", ["shining"])
+        assert len(instances) == 1
+        node, score = instances[0]
+        assert node.child_by_tag("name").value == "shining"
+        assert score > 0
+
+
+class TestPathSketch:
+    def test_lossless_sketch_matches_xreal(self):
+        tree = generate_bib_xml(n_confs=4, papers_per_conf=6, seed=5)
+        xreal = XReal(tree)
+        sketch = PathSketch(tree)
+        for query in (["xml", "john"], ["search"], ["paper", "widom"]):
+            exact = xreal.infer_return_type(query)
+            estimated = sketch.infer_return_type(query)
+            assert [p for p, _ in estimated] == [p for p, _ in exact]
+            for (pa, sa), (pb, sb) in zip(exact, estimated):
+                assert sa == pytest.approx(sb)
+
+    def test_lossy_sketch_smaller(self):
+        tree = generate_bib_xml(n_confs=4, papers_per_conf=6, seed=5)
+        full = PathSketch(tree)
+        lossy = PathSketch(tree, top_terms_only=5)
+        assert lossy.sketch_size() < full.sketch_size()
+
+    def test_lossy_sketch_keeps_frequent_types(self):
+        tree = generate_bib_xml(n_confs=4, papers_per_conf=6, seed=5)
+        lossy = PathSketch(tree, top_terms_only=10)
+        ranked = lossy.infer_return_type(["paper"])
+        assert ranked
+        assert ranked[0][0].endswith("/paper")
+
+    def test_estimated_frequency_zero_for_missing(self):
+        sketch = PathSketch(slide_conf_tree())
+        assert sketch.estimated_frequency("/conf/paper", "zebra") == 0

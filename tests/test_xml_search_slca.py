@@ -1,0 +1,164 @@
+"""SLCA / ELCA algorithm tests, including slide examples and
+property-based equivalence of all SLCA implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.xml_corpora import (
+    generate_bib_xml,
+    slide_conf_tree,
+    slide_query_consistency_tree,
+)
+from repro.xml_search.elca import elca_bruteforce, elca_candidates_verify
+from repro.xml_search.slca import (
+    contains_all,
+    lca_candidates,
+    slca_bruteforce,
+    slca_indexed_lookup_eager,
+    slca_multiway,
+    slca_scan_eager,
+)
+from repro.xmltree.index import XmlKeywordIndex
+
+
+ALGORITHMS = [slca_indexed_lookup_eager, slca_scan_eager, slca_multiway]
+
+
+def deweys_strategy():
+    """Random sorted lists of abstract Dewey labels."""
+    label = st.lists(st.integers(0, 2), min_size=1, max_size=4).map(
+        lambda xs: (0,) + tuple(xs)
+    )
+    one_list = st.lists(label, min_size=1, max_size=8).map(
+        lambda ls: sorted(set(ls))
+    )
+    return st.lists(one_list, min_size=1, max_size=3)
+
+
+class TestSlcaSlideExample:
+    """Slide 33: Q = {Keyword, Mark} on the two-paper conf tree."""
+
+    def test_slca_is_first_paper(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        lists = index.match_lists(["keyword", "mark"])
+        slcas = slca_indexed_lookup_eager(lists)
+        assert len(slcas) == 1
+        node = tree.node_at(slcas[0])
+        assert node.tag == "paper"
+        assert node.dewey == (0, 2)  # first paper, after name and year
+
+    def test_conf_root_is_lca_but_not_slca(self):
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        lists = index.match_lists(["keyword", "mark"])
+        all_lcas = lca_candidates(lists)
+        assert (0,) in all_lcas  # conf root is an LCA...
+        assert (0,) not in slca_indexed_lookup_eager(lists)  # ...but redundant
+
+    def test_single_keyword_slca_is_match_set(self):
+        index = XmlKeywordIndex(slide_conf_tree())
+        lists = index.match_lists(["mark"])
+        assert slca_indexed_lookup_eager(lists) == index.matches("mark")
+
+    def test_missing_keyword_gives_empty(self):
+        index = XmlKeywordIndex(slide_conf_tree())
+        lists = index.match_lists(["mark", "zebra"])
+        for algo in ALGORITHMS:
+            assert algo(lists) == []
+
+
+class TestSlcaProperties:
+    @given(deweys_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_all_algorithms_agree_with_bruteforce(self, lists):
+        expected = slca_bruteforce(lists)
+        for algo in ALGORITHMS:
+            assert algo(lists) == expected, algo.__name__
+
+    @given(deweys_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_no_ancestor_descendant_pairs_in_output(self, lists):
+        slcas = slca_indexed_lookup_eager(lists)
+        for a in slcas:
+            for b in slcas:
+                if a != b:
+                    assert b[: len(a)] != a  # a is not an ancestor of b
+
+    @given(deweys_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_every_slca_contains_all_keywords(self, lists):
+        for slca in slca_indexed_lookup_eager(lists):
+            assert contains_all(lists, slca)
+
+    def test_generated_corpus_agreement(self):
+        tree = generate_bib_xml(n_confs=4, papers_per_conf=6, seed=5)
+        index = XmlKeywordIndex(tree)
+        for query in [["xml", "john"], ["keyword", "search"], ["paper", "widom"]]:
+            lists = index.match_lists(query)
+            if any(not l for l in lists):
+                continue
+            expected = slca_indexed_lookup_eager(lists)
+            assert slca_scan_eager(lists) == expected
+            assert slca_multiway(lists) == expected
+
+
+class TestElca:
+    def test_elca_superset_of_slca(self):
+        tree = slide_query_consistency_tree()
+        index = XmlKeywordIndex(tree)
+        lists = index.match_lists(["paper", "mark"])
+        slcas = set(slca_indexed_lookup_eager(lists))
+        elcas = set(elca_candidates_verify(lists))
+        assert slcas <= elcas
+
+    def test_elca_slide_style_exclusivity(self):
+        # conf contains "sigmod" in name and papers with authors:
+        # query {sigmod, mark}: the conf node is the only node containing
+        # both, so it is both SLCA and ELCA.
+        tree = slide_conf_tree()
+        index = XmlKeywordIndex(tree)
+        lists = index.match_lists(["sigmod", "mark"])
+        assert elca_candidates_verify(lists) == [(0,)]
+
+    def test_elca_with_witness_exclusion(self):
+        # Classic case: root has its own keyword occurrences plus a child
+        # that is itself contains-all; both are ELCAs.
+        from repro.xmltree.build import element as e, text_element as t
+
+        tree = e(
+            "root",
+            t("x", "alpha"),
+            t("y", "beta"),
+            e("inner", t("a", "alpha"), t("b", "beta")),
+        )
+        index = XmlKeywordIndex(tree, match_tags=False)
+        lists = index.match_lists(["alpha", "beta"])
+        elcas = elca_candidates_verify(lists)
+        assert (0,) in elcas  # root has exclusive witnesses
+        assert (0, 2) in elcas  # inner is contains-all on its own
+
+    def test_elca_root_excluded_when_no_exclusive_witness(self):
+        from repro.xmltree.build import element as e, text_element as t
+
+        tree = e(
+            "root",
+            e("inner", t("a", "alpha"), t("b", "beta")),
+            t("z", "gamma"),
+        )
+        index = XmlKeywordIndex(tree, match_tags=False)
+        lists = index.match_lists(["alpha", "beta"])
+        elcas = elca_candidates_verify(lists)
+        assert elcas == [(0, 0)]  # root's witnesses all live inside inner
+
+    def test_bruteforce_agrees_on_corpora(self):
+        for seed in [3, 5, 9]:
+            tree = generate_bib_xml(n_confs=3, papers_per_conf=5, seed=seed)
+            index = XmlKeywordIndex(tree)
+            for query in [["xml", "search"], ["paper", "john"], ["conf", "xml"]]:
+                lists = index.match_lists(query)
+                if any(not l for l in lists):
+                    continue
+                expected = elca_bruteforce(tree, query)
+                assert elca_candidates_verify(lists) == expected, (seed, query)

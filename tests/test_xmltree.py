@@ -1,0 +1,155 @@
+"""Tests for the XML tree substrate (nodes, Dewey labels, index)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.xml_corpora import slide_conf_tree, slide_imdb_tree
+from repro.xmltree.build import element as e
+from repro.xmltree.build import parse_xml, text_element as t
+from repro.xmltree.index import XmlKeywordIndex
+from repro.xmltree.node import (
+    XmlNode,
+    common_prefix,
+    is_ancestor,
+    lca_dewey,
+)
+
+
+class TestNode:
+    def test_dewey_assignment(self):
+        tree = e("a", e("b", t("c", "x")), t("d", "y"))
+        assert tree.dewey == (0,)
+        b = tree.children[0]
+        assert b.dewey == (0, 0)
+        assert b.children[0].dewey == (0, 0, 0)
+        assert tree.children[1].dewey == (0, 1)
+
+    def test_label_path(self):
+        tree = slide_conf_tree()
+        title = tree.children[2].children[0]
+        assert title.label_path() == "/conf/paper/title"
+
+    def test_document_order_is_dewey_order(self):
+        tree = slide_conf_tree()
+        nodes = list(tree.descendants(include_self=True))
+        deweys = [n.dewey for n in nodes]
+        assert deweys == sorted(deweys)
+
+    def test_ancestors_and_is_ancestor(self):
+        tree = slide_conf_tree()
+        author = tree.children[2].children[1]  # first paper's first author
+        chain = [n.tag for n in author.ancestors()]
+        assert chain == ["paper", "conf"]
+        assert tree.is_ancestor_of(author)
+        assert not author.is_ancestor_of(tree)
+
+    def test_text_concatenation(self):
+        tree = e("x", t("a", "hello"), t("b", "world"))
+        assert tree.text() == "hello world"
+
+    def test_node_at(self):
+        tree = slide_conf_tree()
+        node = tree.node_at((0, 2, 1))
+        assert node is not None
+        assert node.tag == "author"
+        assert tree.node_at((0, 99)) is None
+
+    def test_subtree_size(self):
+        tree = e("a", e("b", t("c", "x")), t("d", "y"))
+        assert tree.subtree_size() == 4
+
+    def test_find_by_tag(self):
+        tree = slide_conf_tree()
+        assert len(tree.find_by_tag("paper")) == 2
+        assert len(tree.find_by_tag("author")) == 4
+
+
+class TestDeweyMath:
+    def test_common_prefix(self):
+        assert common_prefix((0, 1, 2), (0, 1, 3)) == (0, 1)
+        assert common_prefix((0,), (0, 1)) == (0,)
+        assert common_prefix((1,), (2,)) == ()
+
+    def test_lca_dewey(self):
+        assert lca_dewey([(0, 1, 2), (0, 1, 3), (0, 2)]) == (0,)
+        assert lca_dewey([(0, 1), (0, 1)]) == (0, 1)
+
+    def test_is_ancestor(self):
+        assert is_ancestor((0,), (0, 1))
+        assert not is_ancestor((0, 1), (0, 1))
+        assert not is_ancestor((0, 1), (0, 2))
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=5),
+        st.lists(st.integers(0, 3), min_size=1, max_size=5),
+    )
+    @settings(max_examples=100)
+    def test_common_prefix_is_ancestor_or_self_of_both(self, a, b):
+        a, b = tuple(a), tuple(b)
+        prefix = common_prefix(a, b)
+        assert a[: len(prefix)] == prefix
+        assert b[: len(prefix)] == prefix
+
+
+class TestParse:
+    def test_parse_roundtrip_structure(self):
+        markup = "<conf><name>sigmod</name><paper><title>xml</title></paper></conf>"
+        tree = parse_xml(markup)
+        assert tree.tag == "conf"
+        assert tree.children[0].value == "sigmod"
+        assert tree.children[1].children[0].value == "xml"
+
+    def test_element_string_shorthand(self):
+        node = e("name", "sigmod")
+        assert node.value == "sigmod"
+
+
+class TestXmlKeywordIndex:
+    def test_value_matches_sorted(self):
+        index = XmlKeywordIndex(slide_conf_tree())
+        marks = index.matches("mark")
+        assert marks == sorted(marks)
+        assert len(marks) == 2  # one author per paper
+
+    def test_tag_matches(self):
+        index = XmlKeywordIndex(slide_conf_tree())
+        papers = index.matches("paper")
+        assert len(papers) == 2
+
+    def test_tag_matching_disabled(self):
+        index = XmlKeywordIndex(slide_conf_tree(), match_tags=False)
+        assert index.matches("paper") == []
+        assert len(index.matches("mark")) == 2
+
+    def test_unknown_keyword(self):
+        index = XmlKeywordIndex(slide_conf_tree())
+        assert index.matches("zebra") == []
+        assert not index.has_all(["mark", "zebra"])
+
+    def test_path_counts(self):
+        index = XmlKeywordIndex(slide_conf_tree())
+        assert index.path_count("/conf/paper") == 2
+        assert index.path_count("/conf/paper/author") == 4
+
+    def test_ief(self):
+        index = XmlKeywordIndex(slide_conf_tree())
+        assert index.inverse_element_frequency("mark") == index.node_count / 2
+
+    def test_left_right_closest_match(self):
+        deweys = [(0, 1), (0, 3), (0, 5)]
+        assert XmlKeywordIndex.left_match(deweys, (0, 2)) == (0, 1)
+        assert XmlKeywordIndex.right_match(deweys, (0, 2)) == (0, 3)
+        assert XmlKeywordIndex.left_match(deweys, (0, 0)) is None
+        assert XmlKeywordIndex.right_match(deweys, (0, 9)) is None
+
+    def test_closest_match_prefers_deeper_lca(self):
+        deweys = [(0, 0, 5), (0, 2)]
+        # For (0, 0, 9): left match (0,0,5) shares prefix (0,0);
+        # right match (0,2) shares only (0,).
+        assert XmlKeywordIndex.closest_match(deweys, (0, 0, 9)) == (0, 0, 5)
+
+    def test_imdb_label_paths(self):
+        index = XmlKeywordIndex(slide_imdb_tree())
+        assert "/imdb/movie" in index.label_paths()
+        assert "/imdb/director/name" in index.label_paths()
