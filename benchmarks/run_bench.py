@@ -1,0 +1,60 @@
+"""Record the perf trajectory: run the serving benchmark, emit JSON.
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_serving.json]
+
+Future PRs re-run this entry point and compare against the committed
+``BENCH_serving.json`` to keep the serving path from regressing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from benchmarks.bench_serving import run_serving_benchmark  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_serving.json"),
+        help="output JSON path (default: repo root BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--workload-size", type=int, default=50, help="mixed workload size"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_serving_benchmark(workload_size=args.workload_size)
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    report["python"] = sys.version.split()[0]
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    acceptance = report["acceptance"]
+    print(f"wrote {args.out}")
+    print(
+        f"warm speedup (biblio): {acceptance['warm_speedup_biblio']}x "
+        f"(min {acceptance['warm_speedup_min']}x)"
+    )
+    print(
+        f"batch speedup (biblio): {acceptance['batch_speedup_biblio']}x "
+        f"(min {acceptance['batch_speedup_min']}x)"
+    )
+    print(f"acceptance pass: {acceptance['pass']}")
+    return 0 if acceptance["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,8 @@ datasets without writing code:
 
     python -m repro search "john database" --method schema -k 5
     python -m repro search "widom xml" --dataset tiny --method steiner
+    python -m repro batch "john database" "widom xml" --workers 8 --stats
+    python -m repro batch --file queries.txt --method banks
     python -m repro xml "keyword mark" --semantics elca --snippets
     python -m repro suggest "dat"
     python -m repro facets --dataset events
@@ -81,6 +83,50 @@ def _cmd_search(args: argparse.Namespace) -> int:
     for rank, result in enumerate(results, start=1):
         print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
         print(f"      {result.describe()}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    factory = DATASETS.get(args.dataset)
+    if factory is None:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    queries: List[str] = list(args.queries)
+    if args.file:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                queries.extend(
+                    line.strip() for line in handle if line.strip()
+                )
+        except OSError as exc:
+            print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+    if not queries:
+        print("no queries given (positional args or --file)", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    engine = KeywordSearchEngine(factory())
+    batches = engine.search_many(
+        queries, k=args.k, method=args.method, max_workers=args.workers
+    )
+    for query, results in zip(queries, batches):
+        print(f"== {query!r} ({len(results)} results)")
+        for rank, result in enumerate(results, start=1):
+            print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
+            print(f"      {result.describe()}")
+    if args.stats:
+        stats = engine.cache_stats()
+        results_stats = stats["results"]
+        substrates = stats["substrates"]
+        print(
+            f"-- result cache: {results_stats['hits']} hits / "
+            f"{results_stats['misses']} misses "
+            f"(hit rate {results_stats['hit_rate']:.0%}), "
+            f"{results_stats['evictions']} evictions"
+        )
+        print(f"-- substrate builds: {substrates['builds']}")
     return 0
 
 
@@ -173,6 +219,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-k", type=int, default=5)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("batch", help="concurrent batch keyword search")
+    p.add_argument("queries", nargs="*", help="query strings")
+    p.add_argument("--file", default=None, help="file with one query per line")
+    p.add_argument("--dataset", default="biblio", help="dataset name")
+    p.add_argument(
+        "--method",
+        default="schema",
+        choices=["schema", "banks", "banks2", "steiner", "distinct_root", "ease"],
+    )
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--workers", type=int, default=8, help="thread pool size")
+    p.add_argument(
+        "--stats", action="store_true", help="print cache statistics after the batch"
+    )
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("suggest", help="type-ahead completions")
     p.add_argument("prefix")

@@ -9,6 +9,13 @@ Wires the full tutorial pipeline over one database:
                            differentiation, form suggestions)
 
 Substructures (indexes, graphs, tuple sets) are built lazily and cached.
+The serving path layers three caches on top (see :mod:`repro.perf`):
+an LRU cache over final results keyed by (normalized query, method, k),
+a :class:`~repro.perf.substrates.SubstrateCache` memoising tuple sets /
+candidate networks / keyword groups / the form pipeline, and a
+:class:`~repro.perf.batch.BatchSearchExecutor` behind
+:meth:`KeywordSearchEngine.search_many`.  All caches invalidate when
+:attr:`Database.data_version` moves, so mutations are always visible.
 """
 
 from __future__ import annotations
@@ -25,18 +32,23 @@ from repro.analysis.differentiation import (
 )
 from repro.core.query import Query
 from repro.core.results import SearchResult
-from repro.forms.generation import generate_forms, generate_skeletons
-from repro.forms.matching import FormIndex, rank_forms
+from repro.forms.matching import rank_forms
 from repro.graph.data_graph import DataGraph, build_data_graph
 from repro.graph_search.banks import banks_backward, banks_bidirectional
 from repro.graph_search.steiner import group_steiner_dp
 from repro.index.distance import KeywordDistanceIndex
 from repro.index.inverted import InvertedIndex
+from repro.index.text import tokenize
+from repro.perf.batch import BatchSearchExecutor
+from repro.perf.lru import LRUCache
+from repro.perf.substrates import SubstrateCache
 from repro.relational.database import Database, TupleId
 from repro.relational.schema_graph import SchemaGraph
-from repro.schema_search.candidate_networks import generate_candidate_networks
 from repro.schema_search.topk import topk_global_pipeline
-from repro.schema_search.tuple_sets import TupleSets
+
+#: cached_property-backed structures derived from database *contents*
+#: (the schema graph only depends on the schema, which is immutable).
+_DATA_DERIVED = ("index", "data_graph", "cleaner", "distance_index", "tastier")
 
 
 class KeywordSearchEngine:
@@ -47,10 +59,20 @@ class KeywordSearchEngine:
         db: Database,
         max_cn_size: int = 4,
         clean_queries: bool = True,
+        result_cache_size: int = 512,
+        enable_caches: bool = True,
     ):
         self.db = db
         self.max_cn_size = max_cn_size
         self.clean_queries = clean_queries
+        self.enable_caches = enable_caches
+        self.substrates = SubstrateCache(
+            db, lambda: self.index, lambda: self.schema_graph
+        )
+        self._result_cache = LRUCache(result_cache_size)
+        self._refine_cache = LRUCache(max(64, result_cache_size // 4))
+        self._forms_cache = LRUCache(64)
+        self._served_version = db.data_version
 
     # ------------------------------------------------------------------
     # Lazily built shared structures
@@ -80,6 +102,44 @@ class KeywordSearchEngine:
         return Tastier(self.data_graph, self.index)
 
     # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def _sync_version(self) -> None:
+        """Drop every derived structure if the database has mutated."""
+        version = self.db.data_version
+        if version != self._served_version:
+            self._served_version = version
+            self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Explicitly drop all derived structures and query caches."""
+        for attr in _DATA_DERIVED:
+            self.__dict__.pop(attr, None)
+        self.substrates.clear()
+        self._result_cache.clear()
+        self._refine_cache.clear()
+        self._forms_cache.clear()
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters for dashboards and benchmarks."""
+        return {
+            "results": self._result_cache.stats.as_dict(),
+            "refine": self._refine_cache.stats.as_dict(),
+            "forms": self._forms_cache.stats.as_dict(),
+            "substrates": self.substrates.stats(),
+        }
+
+    @staticmethod
+    def _query_key(text: str, method: str, k: int) -> Tuple:
+        """Cache key: normalized token stream + method + k.
+
+        Tokenisation (not full cleaning) keys the cache: it is cheap,
+        and any two texts that tokenize identically are handled
+        identically by :meth:`parse` downstream.
+        """
+        return (tuple(tokenize(text)), method, k)
+
+    # ------------------------------------------------------------------
     # Query handling
     # ------------------------------------------------------------------
     def parse(self, text: str) -> Query:
@@ -105,6 +165,7 @@ class KeywordSearchEngine:
         text: str,
         k: int = 10,
         method: str = "schema",
+        use_cache: bool = True,
     ) -> List[SearchResult]:
         """Top-k search.
 
@@ -114,7 +175,23 @@ class KeywordSearchEngine:
         prioritised), ``"steiner"`` (exact group Steiner tree, top-1),
         ``"distinct_root"`` (index-assisted distinct-root semantics),
         ``"ease"`` (r-radius Steiner subgraphs).
+
+        ``use_cache=False`` bypasses the result LRU (substrate memos
+        still apply); results are identical either way.
         """
+        self._sync_version()
+        if not (use_cache and self.enable_caches):
+            return self._search_uncached(text, k, method)
+        key = self._query_key(text, method, k)
+        cached = self._result_cache.get_or_compute(
+            key, lambda: self._search_uncached(text, k, method)
+        )
+        # Shallow copy so callers can sort/slice without poisoning the cache.
+        return list(cached)
+
+    def _search_uncached(
+        self, text: str, k: int, method: str
+    ) -> List[SearchResult]:
         query = self.parse(text)
         if not query.keywords:
             return []
@@ -130,12 +207,27 @@ class KeywordSearchEngine:
             return self._search_ease(query, k)
         raise ValueError(f"unknown method {method!r}")
 
+    def search_many(
+        self,
+        queries: Sequence,
+        k: int = 10,
+        method: str = "schema",
+        max_workers: int = 8,
+    ) -> List[List[SearchResult]]:
+        """Concurrent batch search (slides 129-133: shared execution).
+
+        *queries* may mix plain strings, ``(text, method[, k])`` tuples
+        and :class:`~repro.perf.batch.BatchQuery` objects.  Duplicate
+        requests are computed once; results come back in request order
+        and are identical to sequential :meth:`search` calls.
+        """
+        executor = BatchSearchExecutor(self, max_workers=max_workers)
+        return executor.run(queries, k=k, method=method)
+
     def _search_schema(self, query: Query, k: int) -> List[SearchResult]:
         keywords = list(query.keywords)
-        tuple_sets = TupleSets(self.db, self.index, keywords)
-        cns = generate_candidate_networks(
-            self.schema_graph, tuple_sets, max_size=self.max_cn_size
-        )
+        tuple_sets = self.substrates.tuple_sets(keywords)
+        cns = self.substrates.candidate_networks(keywords, self.max_cn_size)
         if not cns:
             return []
         result = topk_global_pipeline(cns, tuple_sets, self.index, keywords, k=k)
@@ -145,10 +237,7 @@ class KeywordSearchEngine:
         ]
 
     def _groups(self, keywords: Sequence[str]) -> Optional[List[List[TupleId]]]:
-        groups = [self.index.matching_tuples(k) for k in keywords]
-        if any(not g for g in groups):
-            return None
-        return groups
+        return self.substrates.keyword_groups(keywords)
 
     def _search_banks(
         self, query: Query, k: int, bidirectional: bool
@@ -235,9 +324,25 @@ class KeywordSearchEngine:
     # Analysis helpers
     # ------------------------------------------------------------------
     def refine_terms(
-        self, text: str, k: int = 8, mode: str = "cooccurrence"
+        self,
+        text: str,
+        k: int = 8,
+        mode: str = "cooccurrence",
+        use_cache: bool = True,
     ) -> List[Tuple[str, float]]:
         """Suggested refinement terms for a query (slides 76-78)."""
+        self._sync_version()
+        if use_cache and self.enable_caches:
+            key = (tuple(tokenize(text)), k, mode)
+            cached = self._refine_cache.get_or_compute(
+                key, lambda: self._refine_terms_uncached(text, k, mode)
+            )
+            return list(cached)
+        return self._refine_terms_uncached(text, k, mode)
+
+    def _refine_terms_uncached(
+        self, text: str, k: int, mode: str
+    ) -> List[Tuple[str, float]]:
         query = self.parse(text)
         if mode == "cooccurrence":
             return [
@@ -267,9 +372,21 @@ class KeywordSearchEngine:
         return {fs.result_id: sorted(fs.selected) for fs in sets}
 
     def suggest_forms(self, text: str, k: int = 5):
-        """Ranked query forms for the keyword query (slides 54-58)."""
+        """Ranked query forms for the keyword query (slides 54-58).
+
+        The skeleton → form → :class:`FormIndex` pipeline only depends
+        on the schema and database contents, so it is memoised in the
+        substrate cache and reused across calls; only ranking runs per
+        query.
+        """
+        self._sync_version()
         query = self.parse(text)
-        skeletons = generate_skeletons(self.schema_graph, max_size=3)
-        forms = generate_forms(self.db.schema, skeletons)
-        form_index = FormIndex(forms, self.index)
-        return rank_forms(form_index, list(query.keywords), k=k)
+        key = (tuple(query.keywords), k)
+        cached = self._forms_cache.get(key) if self.enable_caches else None
+        if cached is not None:
+            return list(cached)
+        _, _, form_index = self.substrates.form_pipeline(max_skeleton_size=3)
+        ranked = rank_forms(form_index, list(query.keywords), k=k)
+        if self.enable_caches:
+            self._forms_cache.put(key, ranked)
+        return list(ranked)

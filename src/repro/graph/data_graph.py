@@ -83,10 +83,18 @@ class DataGraph:
         """Single-source shortest distances, optionally bounded.
 
         Stops early once every node in *targets* has been settled.
+        Targets that are not in the graph at all are discarded up front,
+        and targets beyond ``max_distance`` simply never enter the heap,
+        so the scan ends as soon as the frontier drains — it never keeps
+        exploring on behalf of unreachable targets.
         """
         dist: Dict[TupleId, float] = {source: 0.0}
         settled: Set[TupleId] = set()
-        pending = set(targets) if targets else None
+        pending: Optional[Set[TupleId]] = None
+        if targets is not None:
+            pending = {t for t in targets if t in self._adj}
+            if not pending:
+                return {source: 0.0} if source in self._adj else {}
         heap: List[Tuple[float, TupleId]] = [(0.0, source)]
         while heap:
             d, node = heapq.heappop(heap)

@@ -11,6 +11,7 @@ all do).
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.data_graph import DataGraph
@@ -62,25 +63,47 @@ class KeywordDistanceIndex:
         self.index = index
         self.max_distance = max_distance
         self._by_keyword: Dict[str, Dict[TupleId, float]] = {}
+        self._sorted: Dict[str, List[Tuple[float, TupleId]]] = {}
+        # Lazy per-keyword builds may race under concurrent batch
+        # search; double-checked locking makes the first build shared.
+        self._lock = threading.Lock()
 
     def distances(self, keyword: str) -> Dict[TupleId, float]:
         """All nodes within ``max_distance`` of a tuple matching *keyword*."""
         keyword = keyword.lower()
         cached = self._by_keyword.get(keyword)
         if cached is None:
-            sources = self.index.matching_tuples(keyword)
-            cached = bounded_bfs_distances(self.graph, sources, self.max_distance)
-            self._by_keyword[keyword] = cached
+            with self._lock:
+                cached = self._by_keyword.get(keyword)
+                if cached is None:
+                    sources = self.index.matching_tuples_view(keyword)
+                    cached = bounded_bfs_distances(
+                        self.graph, sources, self.max_distance
+                    )
+                    self._by_keyword[keyword] = cached
         return cached
 
     def distance(self, node: TupleId, keyword: str) -> Optional[float]:
         return self.distances(keyword).get(node)
 
     def sorted_list(self, keyword: str) -> List[Tuple[float, TupleId]]:
-        """(distance, node) pairs ascending — the lists TA iterates over."""
-        pairs = [(d, n) for n, d in self.distances(keyword).items()]
-        pairs.sort()
-        return pairs
+        """(distance, node) pairs ascending — the lists TA iterates over.
+
+        Memoised: TA restarts over the same lists, so the sort is paid
+        once per keyword.  Returns a copy; callers may consume it.
+        """
+        keyword = keyword.lower()
+        cached = self._sorted.get(keyword)
+        if cached is None:
+            distances = self.distances(keyword)
+            with self._lock:
+                cached = self._sorted.get(keyword)
+                if cached is None:
+                    pairs = [(d, n) for n, d in distances.items()]
+                    pairs.sort()
+                    self._sorted[keyword] = pairs
+                    cached = pairs
+        return list(cached)
 
     def candidate_roots(self, keywords: Iterable[str]) -> Dict[TupleId, float]:
         """Nodes reaching *every* keyword, scored by summed distance.

@@ -5,16 +5,26 @@ tuples containing it, together with per-(tuple, column) term frequencies.
 This is the index behind tuple-set construction in DISCOVER-style search
 (slide 28: the "query tuple sets" :math:`R^Q`) and behind TF·IDF scoring
 (slides 144, 158).
+
+All statistics the scorers consult in their inner loops — document
+frequency, smoothed IDF, per-(tuple, token) term frequency and the
+deduplicated tuple posting list — are precomputed once at build time
+(slide 120's materialised-index discussion), so the online lookups are
+O(1) dict probes / O(result) copies instead of O(postings) scans.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.index.text import tokenize
 from repro.relational.database import Database, TupleId
+
+_EMPTY_POSTINGS: Tuple["Posting", ...] = ()
+_EMPTY_TUPLES: Tuple[TupleId, ...] = ()
+_EMPTY_TF: Dict[TupleId, int] = {}
 
 
 @dataclass(frozen=True)
@@ -31,12 +41,20 @@ class InvertedIndex:
 
     def __init__(self, db: Database):
         self.db = db
-        self._postings: Dict[str, List[Posting]] = {}
+        self._postings: Dict[str, Tuple[Posting, ...]] = {}
         self._doc_count = 0
         self._tuple_tokens: Dict[TupleId, Set[str]] = {}
+        # Precomputed fast paths (see module docstring).
+        self._matching: Dict[str, Tuple[TupleId, ...]] = {}
+        self._df: Dict[str, int] = {}
+        self._idf: Dict[str, float] = {}
+        self._tf: Dict[str, Dict[TupleId, int]] = {}
         self._build()
 
     def _build(self) -> None:
+        postings: Dict[str, List[Posting]] = {}
+        matching: Dict[str, Dict[TupleId, None]] = {}
+        tf: Dict[str, Dict[TupleId, int]] = {}
         for table in self.db.tables.values():
             text_cols = table.schema.text_columns
             if not text_cols:
@@ -53,34 +71,48 @@ class InvertedIndex:
                     for token in tokenize(str(value)):
                         counts[token] = counts.get(token, 0) + 1
                     for token, freq in counts.items():
-                        self._postings.setdefault(token, []).append(
+                        postings.setdefault(token, []).append(
                             Posting(tid, column, freq)
                         )
+                        matching.setdefault(token, {}).setdefault(tid)
+                        token_tf = tf.setdefault(token, {})
+                        token_tf[tid] = token_tf.get(tid, 0) + freq
                         seen.add(token)
                 if seen:
                     self._tuple_tokens[tid] = seen
+        n_plus_1 = self._doc_count + 1
+        for token, plist in postings.items():
+            self._postings[token] = tuple(plist)
+            tids = tuple(matching[token])
+            self._matching[token] = tids
+            df = len(tids)
+            self._df[token] = df
+            self._idf[token] = math.log(n_plus_1 / (df + 1)) + 1.0
+        self._tf = tf
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def postings(self, token: str) -> List[Posting]:
-        return list(self._postings.get(token.lower(), ()))
+    def postings(self, token: str) -> Sequence[Posting]:
+        """Immutable view of the posting list for *token* (zero-copy)."""
+        return self._postings.get(token.lower(), _EMPTY_POSTINGS)
 
     def matching_tuples(self, token: str) -> List[TupleId]:
         """Distinct tuples containing *token*, in posting order."""
-        seen: Dict[TupleId, None] = {}
-        for posting in self._postings.get(token.lower(), ()):
-            seen.setdefault(posting.tid)
-        return list(seen)
+        return list(self._matching.get(token.lower(), _EMPTY_TUPLES))
+
+    def matching_tuples_view(self, token: str) -> Tuple[TupleId, ...]:
+        """Zero-copy variant of :meth:`matching_tuples` for hot paths."""
+        return self._matching.get(token.lower(), _EMPTY_TUPLES)
 
     def matching_tuples_in(self, token: str, table: str) -> List[TupleId]:
-        return [t for t in self.matching_tuples(token) if t.table == table]
+        return [t for t in self.matching_tuples_view(token) if t.table == table]
 
     def tuples_matching_all(self, tokens: Iterable[str]) -> List[TupleId]:
         """Tuples whose text contains every token (single-tuple AND)."""
         sets: List[Set[TupleId]] = []
         for token in tokens:
-            sets.append(set(self.matching_tuples(token)))
+            sets.append(set(self.matching_tuples_view(token)))
         if not sets:
             return []
         common = set.intersection(*sets)
@@ -105,20 +137,17 @@ class InvertedIndex:
         return self._doc_count
 
     def document_frequency(self, token: str) -> int:
-        return len({p.tid for p in self._postings.get(token.lower(), ())})
+        return self._df.get(token.lower(), 0)
 
     def idf(self, token: str) -> float:
         """Smoothed inverse document frequency (ln((N+1)/(df+1)) + 1)."""
-        df = self.document_frequency(token)
-        return math.log((self._doc_count + 1) / (df + 1)) + 1.0
+        cached = self._idf.get(token.lower())
+        if cached is not None:
+            return cached
+        return math.log(float(self._doc_count + 1)) + 1.0
 
     def term_frequency(self, tid: TupleId, token: str) -> int:
-        token = token.lower()
-        return sum(
-            p.frequency
-            for p in self._postings.get(token, ())
-            if p.tid == tid
-        )
+        return self._tf.get(token.lower(), _EMPTY_TF).get(tid, 0)
 
     def __contains__(self, token: str) -> bool:
         return token.lower() in self._postings

@@ -1,0 +1,27 @@
+"""Hot-path query serving layer.
+
+The tutorial's scaling section (slides 120-130) argues that a keyword
+search system serving real traffic must (a) materialise the statistics
+its scorers consult, (b) share work across queries, and (c) overlap
+independent queries.  This package supplies the engine-side pieces:
+
+- :class:`~repro.perf.lru.LRUCache` — bounded, thread-safe result cache
+  with hit/miss/eviction counters.
+- :class:`~repro.perf.substrates.SubstrateCache` — memoised query
+  substrates (tuple sets, candidate networks, keyword groups, form
+  pipeline) with mutation-counter invalidation.
+- :class:`~repro.perf.batch.BatchSearchExecutor` — concurrent batch
+  search over a thread pool with duplicate-query coalescing.
+"""
+
+from repro.perf.batch import BatchQuery, BatchSearchExecutor
+from repro.perf.lru import CacheStats, LRUCache
+from repro.perf.substrates import SubstrateCache
+
+__all__ = [
+    "BatchQuery",
+    "BatchSearchExecutor",
+    "CacheStats",
+    "LRUCache",
+    "SubstrateCache",
+]

@@ -1,0 +1,124 @@
+"""Bounded LRU cache with observability counters.
+
+A deliberately small, dependency-free implementation: an
+:class:`collections.OrderedDict` under a lock, with hit / miss /
+eviction / invalidation counters exposed for benchmarks and the CLI
+``--stats`` flag.  Values are stored as-is; callers that hand out
+mutable values should copy on the way out (the engine's result cache
+does).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache; cheap enough to read on every request."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, invalidations={self.invalidations})"
+        )
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Thread-safe least-recently-used cache of bounded capacity."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch *key*, promoting it to most-recently-used on a hit."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh *key*, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """``get`` with fallback: compute outside the lock, then insert.
+
+        Concurrent misses on the same key may compute twice (last write
+        wins); the batch executor coalesces duplicate queries upstream
+        so this stays rare in practice.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._data:
+                self.stats.invalidations += 1
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Snapshot of keys, LRU first."""
+        with self._lock:
+            return tuple(self._data)
+
+    def __repr__(self) -> str:
+        return f"LRUCache({len(self)}/{self.capacity}, {self.stats!r})"

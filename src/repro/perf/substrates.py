@@ -1,0 +1,187 @@
+"""Memoised query substrates with mutation-counter invalidation.
+
+``KeywordSearchEngine.search`` used to rebuild the same intermediate
+structures on every call: the query's tuple sets, the candidate networks
+enumerated from them, the per-keyword tuple groups the graph algorithms
+start from, and (for ``suggest_forms``) the entire skeleton → form →
+:class:`~repro.forms.matching.FormIndex` pipeline.  All of these depend
+only on (database contents, keyword set, a couple of size knobs), so a
+serving engine can compute each once and reuse it across requests — the
+shared-execution argument of slides 129-133.
+
+:class:`SubstrateCache` memoises all four families.  Every public
+accessor first compares the database's :attr:`Database.data_version`
+against the version the cache was filled under and drops everything on
+mismatch, so a mutated database can never serve stale substrates.
+Builds take a lock (double-checked) so concurrent batch workers share
+one build instead of racing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.forms.generation import generate_forms, generate_skeletons
+from repro.forms.matching import FormIndex
+from repro.index.inverted import InvertedIndex
+from repro.relational.database import Database, TupleId
+from repro.relational.schema_graph import SchemaGraph
+from repro.schema_search.candidate_networks import (
+    CandidateNetwork,
+    generate_candidate_networks,
+)
+from repro.schema_search.tuple_sets import TupleSets
+
+
+def normalize_keywords(keywords: Sequence[str]) -> Tuple[str, ...]:
+    """Canonical cache key for a keyword multiset: sorted, lowered, unique."""
+    return tuple(sorted({k.lower() for k in keywords}))
+
+
+class SubstrateCache:
+    """Per-engine memo of query substrates, invalidated by data version."""
+
+    def __init__(
+        self,
+        db: Database,
+        index_supplier: Callable[[], InvertedIndex],
+        schema_graph_supplier: Callable[[], SchemaGraph],
+    ):
+        self.db = db
+        self._index = index_supplier
+        self._schema_graph = schema_graph_supplier
+        self._lock = threading.RLock()
+        self._version = db.data_version
+        self._tuple_sets: Dict[Tuple[str, ...], TupleSets] = {}
+        self._networks: Dict[Tuple[Tuple[str, ...], int], List[CandidateNetwork]] = {}
+        self._keyword_matches: Dict[str, Tuple[TupleId, ...]] = {}
+        self._form_pipeline: Dict[int, Tuple[tuple, tuple, FormIndex]] = {}
+        self.builds: Dict[str, int] = {
+            "tuple_sets": 0,
+            "candidate_networks": 0,
+            "keyword_groups": 0,
+            "form_pipeline": 0,
+        }
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def check_version(self) -> bool:
+        """Drop everything if the database has mutated; True if it had."""
+        with self._lock:
+            version = self.db.data_version
+            if version == self._version:
+                return False
+            self._version = version
+            self._clear_locked()
+            self.invalidations += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._clear_locked()
+
+    def _clear_locked(self) -> None:
+        self._tuple_sets.clear()
+        self._networks.clear()
+        self._keyword_matches.clear()
+        self._form_pipeline.clear()
+
+    # ------------------------------------------------------------------
+    # Substrates
+    # ------------------------------------------------------------------
+    def tuple_sets(self, keywords: Sequence[str]) -> TupleSets:
+        """The query's tuple sets, shared across identical keyword sets."""
+        self.check_version()
+        key = normalize_keywords(keywords)
+        with self._lock:
+            cached = self._tuple_sets.get(key)
+            if cached is None:
+                cached = TupleSets(self.db, self._index(), key)
+                self._tuple_sets[key] = cached
+                self.builds["tuple_sets"] += 1
+            return cached
+
+    def candidate_networks(
+        self, keywords: Sequence[str], max_size: int
+    ) -> List[CandidateNetwork]:
+        """Duplicate-free CNs for (keyword set, max size), memoised."""
+        self.check_version()
+        key = (normalize_keywords(keywords), max_size)
+        with self._lock:
+            cached = self._networks.get(key)
+            if cached is None:
+                cached = generate_candidate_networks(
+                    self._schema_graph(), self.tuple_sets(keywords), max_size=max_size
+                )
+                self._networks[key] = cached
+                self.builds["candidate_networks"] += 1
+            return cached
+
+    def keyword_groups(
+        self, keywords: Sequence[str]
+    ) -> Optional[List[List[TupleId]]]:
+        """Per-keyword matching-tuple groups (graph-search seeds).
+
+        Returns ``None`` when any keyword matches nothing (AND
+        semantics).  Inner lists are fresh copies — the graph algorithms
+        are free to mutate them.
+        """
+        self.check_version()
+        index = self._index()
+        groups: List[List[TupleId]] = []
+        for keyword in keywords:
+            keyword = keyword.lower()
+            with self._lock:
+                match = self._keyword_matches.get(keyword)
+                if match is None:
+                    match = index.matching_tuples_view(keyword)
+                    self._keyword_matches[keyword] = match
+                    self.builds["keyword_groups"] += 1
+            if not match:
+                return None
+            groups.append(list(match))
+        return groups
+
+    def form_pipeline(
+        self, max_skeleton_size: int = 3
+    ) -> Tuple[tuple, tuple, FormIndex]:
+        """(skeletons, forms, FormIndex) — built once per skeleton size."""
+        self.check_version()
+        with self._lock:
+            cached = self._form_pipeline.get(max_skeleton_size)
+            if cached is None:
+                skeletons = tuple(
+                    generate_skeletons(self._schema_graph(), max_size=max_skeleton_size)
+                )
+                forms = tuple(generate_forms(self.db.schema, skeletons))
+                cached = (skeletons, forms, FormIndex(forms, self._index()))
+                self._form_pipeline[max_skeleton_size] = cached
+                self.builds["form_pipeline"] += 1
+            return cached
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "version": self._version,
+                "invalidations": self.invalidations,
+                "builds": dict(self.builds),
+                "entries": {
+                    "tuple_sets": len(self._tuple_sets),
+                    "candidate_networks": len(self._networks),
+                    "keyword_groups": len(self._keyword_matches),
+                    "form_pipeline": len(self._form_pipeline),
+                },
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SubstrateCache(v{self._version}, "
+            f"{len(self._tuple_sets)} tuple-sets, "
+            f"{len(self._networks)} CN sets)"
+        )

@@ -87,6 +87,17 @@ class Database:
         """Total number of tuples across all tables."""
         return sum(len(t) for t in self.tables.values())
 
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter over all tables.
+
+        Derived structures (inverted index, data graph, query caches)
+        record the version they were built against and invalidate when
+        it moves.  Summing per-table counters also catches inserts that
+        bypass :meth:`insert` and go through :class:`Table` directly.
+        """
+        return sum(t.version for t in self.tables.values())
+
     # ------------------------------------------------------------------
     # Foreign-key navigation (the joins keyword search traverses)
     # ------------------------------------------------------------------

@@ -79,6 +79,9 @@ class Table:
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
+        #: Monotonic mutation counter; bumped on every insert so derived
+        #: structures (indexes, caches) can detect staleness cheaply.
+        self.version = 0
         self._rows: List[Tuple[object, ...]] = []
         self._col_index: Dict[str, int] = {
             c.name: i for i, c in enumerate(schema.columns)
@@ -130,6 +133,7 @@ class Table:
         for column, index in self._indexes.items():
             value = record[self._col_index[column]]
             index.setdefault(value, []).append(rowid)
+        self.version += 1
         return rowid
 
     # ------------------------------------------------------------------

@@ -49,9 +49,11 @@ class TupleSets:
     def _build(self) -> None:
         query = set(self.keywords)
         # Tuples matching at least one keyword, with their exact subset.
+        # The zero-copy posting view keeps this one pass over the
+        # (already deduplicated) per-keyword tuple lists.
         by_tuple: Dict[TupleId, Set[str]] = {}
         for keyword in query:
-            for tid in self.index.matching_tuples(keyword):
+            for tid in self.index.matching_tuples_view(keyword):
                 by_tuple.setdefault(tid, set()).add(keyword)
         for tid, subset in by_tuple.items():
             key = TupleSetKey(tid.table, frozenset(subset))

@@ -32,6 +32,44 @@ class TestCli:
         assert main(["search", "zzzz qqqq", "--dataset", "tiny"]) == 0
         assert "no results" in capsys.readouterr().out
 
+    def test_batch(self, capsys):
+        assert main(
+            [
+                "batch",
+                "widom xml",
+                "john sigmod",
+                "widom xml",
+                "--dataset",
+                "tiny",
+                "--workers",
+                "4",
+                "--stats",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("== 'widom xml'") == 2
+        assert "result cache" in out
+        assert "substrate builds" in out
+
+    def test_batch_from_file(self, capsys, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("widom xml\n\njohn sigmod\n", encoding="utf-8")
+        assert main(
+            ["batch", "--file", str(queries), "--dataset", "tiny", "-k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== 'widom xml'" in out and "== 'john sigmod'" in out
+
+    def test_batch_no_queries(self, capsys):
+        assert main(["batch", "--dataset", "tiny"]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_batch_missing_file(self, capsys):
+        assert main(
+            ["batch", "--file", "/nonexistent/queries.txt", "--dataset", "tiny"]
+        ) == 2
+        assert "cannot read" in capsys.readouterr().err
+
     def test_suggest(self, capsys):
         assert main(["suggest", "sig", "--dataset", "tiny"]) == 0
         assert "sigmod" in capsys.readouterr().out

@@ -55,6 +55,37 @@ class TestDataGraph:
         dist = g.dijkstra(N(0), max_distance=3)
         assert N(3) in dist and N(4) not in dist
 
+    def test_dijkstra_early_stop_settles_minimum(self):
+        # Settling the near target must not settle the rest of the path.
+        g = path_graph(10)
+        dist = g.dijkstra(N(0), targets={N(1)})
+        assert dist[N(1)] == 1.0
+        assert N(5) not in dist and N(9) not in dist
+
+    def test_dijkstra_bounded_with_unreachable_target(self):
+        # Target beyond max_distance: terminate when the frontier
+        # drains instead of chasing the unreachable target.
+        g = path_graph(10)
+        dist = g.dijkstra(N(0), max_distance=3, targets={N(9)})
+        assert N(9) not in dist
+        assert dist[N(3)] == 3.0
+        assert N(4) not in dist
+
+    def test_dijkstra_targets_outside_graph(self):
+        # Targets not in the graph are discarded up front; the scan
+        # stops immediately rather than exploring everything.
+        g = path_graph(10)
+        dist = g.dijkstra(N(0), targets={TupleId("zzz", 0)})
+        assert dist == {N(0): 0.0}
+
+    def test_dijkstra_mixed_targets(self):
+        # One reachable + one absent target: stop once the reachable
+        # one settles.
+        g = path_graph(10)
+        dist = g.dijkstra(N(0), targets={N(2), TupleId("zzz", 0)})
+        assert dist[N(2)] == 2.0
+        assert N(8) not in dist
+
     def test_shortest_path(self):
         g = path_graph(4)
         assert g.shortest_path(N(0), N(3)) == [N(0), N(1), N(2), N(3)]
