@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.engine import KeywordSearchEngine
 from repro.core.xml_engine import XmlSearchEngine
+from repro.resilience.degradation import KNOWN_METHODS
+from repro.resilience.errors import QueryParseError
 
 DATASETS: Dict[str, Callable] = {}
 XML_CORPORA: Dict[str, Callable] = {}
@@ -76,7 +78,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
     parsed = engine.parse(args.query)
     if parsed.was_cleaned:
         print(f"(query cleaned to: {' '.join(parsed.keywords)})")
-    results = engine.search(args.query, k=args.k, method=args.method)
+    try:
+        results = engine.search(
+            args.query,
+            k=args.k,
+            method=args.method,
+            timeout_ms=args.timeout_ms,
+            max_expansions=args.max_expansions,
+            fallback=args.fallback,
+        )
+    except QueryParseError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    _print_degraded_banner(results)
     if not results:
         print("no results")
         return 0
@@ -84,6 +98,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
         print(f"      {result.describe()}")
     return 0
+
+
+def _print_degraded_banner(results) -> None:
+    """One-line label for partial / fallback answers."""
+    if not getattr(results, "degraded", False):
+        return
+    parts = [f"degraded: {results.degraded_reason or 'budget exhausted'}"]
+    if getattr(results, "fallback_from", None):
+        parts.append(f"fell back to {results.method}")
+    print(f"({'; '.join(parts)})")
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -108,11 +132,30 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     engine = KeywordSearchEngine(factory())
-    batches = engine.search_many(
-        queries, k=args.k, method=args.method, max_workers=args.workers
-    )
-    for query, results in zip(queries, batches):
+    try:
+        outcomes = engine.search_many(
+            queries,
+            k=args.k,
+            method=args.method,
+            max_workers=args.workers,
+            timeout_ms=args.timeout_ms,
+            max_expansions=args.max_expansions,
+            fallback=args.fallback,
+            detailed=True,
+        )
+    except QueryParseError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    failures = 0
+    for query, outcome in zip(queries, outcomes):
+        results = outcome.results
+        if outcome.status == "error":
+            failures += 1
+            err = outcome.error
+            print(f"== {query!r} ERROR {type(err).__name__}: {err}")
+            continue
         print(f"== {query!r} ({len(results)} results)")
+        _print_degraded_banner(results)
         for rank, result in enumerate(results, start=1):
             print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
             print(f"      {result.describe()}")
@@ -127,7 +170,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{results_stats['evictions']} evictions"
         )
         print(f"-- substrate builds: {substrates['builds']}")
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_suggest(args: argparse.Namespace) -> int:
@@ -209,31 +252,46 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("datasets", help="list bundled datasets")
     p.set_defaults(func=_cmd_datasets)
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--timeout-ms",
+            type=float,
+            default=None,
+            help="per-query deadline; exhaustion returns partial "
+            "results labeled degraded",
+        )
+        p.add_argument(
+            "--max-expansions",
+            type=int,
+            default=None,
+            help="per-query work cap (node expansions / CNs / candidates)",
+        )
+        p.add_argument(
+            "--fallback",
+            action="store_true",
+            help="descend the degradation ladder (e.g. steiner -> banks "
+            "-> index_only) when the budget exhausts with no results",
+        )
+
     p = sub.add_parser("search", help="relational keyword search")
     p.add_argument("query")
     p.add_argument("--dataset", default="biblio", help="dataset name")
-    p.add_argument(
-        "--method",
-        default="schema",
-        choices=["schema", "banks", "banks2", "steiner", "distinct_root", "ease"],
-    )
+    p.add_argument("--method", default="schema", choices=list(KNOWN_METHODS))
     p.add_argument("-k", type=int, default=5)
+    add_resilience_flags(p)
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("batch", help="concurrent batch keyword search")
     p.add_argument("queries", nargs="*", help="query strings")
     p.add_argument("--file", default=None, help="file with one query per line")
     p.add_argument("--dataset", default="biblio", help="dataset name")
-    p.add_argument(
-        "--method",
-        default="schema",
-        choices=["schema", "banks", "banks2", "steiner", "distinct_root", "ease"],
-    )
+    p.add_argument("--method", default="schema", choices=list(KNOWN_METHODS))
     p.add_argument("-k", type=int, default=5)
     p.add_argument("--workers", type=int, default=8, help="thread pool size")
     p.add_argument(
         "--stats", action="store_true", help="print cache statistics after the batch"
     )
+    add_resilience_flags(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("suggest", help="type-ahead completions")

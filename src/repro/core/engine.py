@@ -31,7 +31,7 @@ from repro.analysis.differentiation import (
     select_features_greedy,
 )
 from repro.core.query import Query
-from repro.core.results import SearchResult
+from repro.core.results import ResultSet, SearchResult
 from repro.forms.matching import rank_forms
 from repro.graph.data_graph import DataGraph, build_data_graph
 from repro.graph_search.banks import banks_backward, banks_bidirectional
@@ -44,6 +44,17 @@ from repro.perf.lru import LRUCache
 from repro.perf.substrates import SubstrateCache
 from repro.relational.database import Database, TupleId
 from repro.relational.schema_graph import SchemaGraph
+from repro.resilience.budget import QueryBudget, make_budget
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.degradation import KNOWN_METHODS, fallback_chain
+from repro.resilience.errors import (
+    BudgetExceededError,
+    QueryParseError,
+    ReproError,
+    SubstrateBuildError,
+)
+from repro.resilience.failpoints import fail_point
+from repro.schema_search.candidate_networks import generate_candidate_networks
 from repro.schema_search.topk import topk_global_pipeline
 
 #: cached_property-backed structures derived from database *contents*
@@ -73,13 +84,23 @@ class KeywordSearchEngine:
         self._refine_cache = LRUCache(max(64, result_cache_size // 4))
         self._forms_cache = LRUCache(64)
         self._served_version = db.data_version
+        # Shared by every batch executor created against this engine, so
+        # repeated substrate-build failures keep tripping it across
+        # batches (see repro.resilience.circuit).
+        self.circuit_breaker = CircuitBreaker()
 
     # ------------------------------------------------------------------
     # Lazily built shared structures
     # ------------------------------------------------------------------
     @cached_property
     def index(self) -> InvertedIndex:
-        return InvertedIndex(self.db)
+        try:
+            fail_point("engine.index_build")
+            return InvertedIndex(self.db)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise SubstrateBuildError("index", exc) from exc
 
     @cached_property
     def schema_graph(self) -> SchemaGraph:
@@ -87,7 +108,13 @@ class KeywordSearchEngine:
 
     @cached_property
     def data_graph(self) -> DataGraph:
-        return build_data_graph(self.db)
+        try:
+            fail_point("engine.data_graph_build")
+            return build_data_graph(self.db)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise SubstrateBuildError("data_graph", exc) from exc
 
     @cached_property
     def cleaner(self) -> QueryCleaner:
@@ -166,7 +193,11 @@ class KeywordSearchEngine:
         k: int = 10,
         method: str = "schema",
         use_cache: bool = True,
-    ) -> List[SearchResult]:
+        budget: Optional[QueryBudget] = None,
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        fallback: bool = False,
+    ) -> ResultSet:
         """Top-k search.
 
         ``method`` selects the algorithm family the tutorial contrasts:
@@ -174,38 +205,132 @@ class KeywordSearchEngine:
         ``"banks"`` (backward expansion), ``"banks2"`` (frontier
         prioritised), ``"steiner"`` (exact group Steiner tree, top-1),
         ``"distinct_root"`` (index-assisted distinct-root semantics),
-        ``"ease"`` (r-radius Steiner subgraphs).
+        ``"ease"`` (r-radius Steiner subgraphs), ``"index_only"``
+        (single-tuple TF·IDF scoring straight off the inverted index).
 
         ``use_cache=False`` bypasses the result LRU (substrate memos
         still apply); results are identical either way.
+
+        Resilience knobs: a :class:`QueryBudget` (or the ``timeout_ms``
+        / ``max_expansions`` shorthands) bounds the query; exhaustion
+        returns the best partial results with ``degraded`` set instead
+        of raising.  ``fallback=True`` additionally descends the
+        degradation ladder (e.g. steiner → banks → index_only) when a
+        rung exhausts with nothing to show.  Budgeted or ladder queries
+        bypass the result LRU so partial answers are never cached.
         """
         self._sync_version()
+        if method not in KNOWN_METHODS:
+            raise QueryParseError(
+                f"unknown method {method!r} (choices: {', '.join(KNOWN_METHODS)})"
+            )
+        if budget is None:
+            budget = make_budget(timeout_ms, max_expansions)
+        if budget is not None or fallback:
+            return self._run_search(text, k, method, budget, fallback)
         if not (use_cache and self.enable_caches):
-            return self._search_uncached(text, k, method)
+            return self._run_search(text, k, method, None, False)
         key = self._query_key(text, method, k)
-        cached = self._result_cache.get_or_compute(
-            key, lambda: self._search_uncached(text, k, method)
-        )
-        # Shallow copy so callers can sort/slice without poisoning the cache.
-        return list(cached)
 
-    def _search_uncached(
-        self, text: str, k: int, method: str
-    ) -> List[SearchResult]:
+        def compute() -> ResultSet:
+            results = self._run_search(text, k, method, None, False)
+            # Chaos hook: delay between computing and publishing to the
+            # LRU, to widen the race window against concurrent mutation.
+            fail_point("cache.result_put", key=text)
+            return results
+
+        cached = self._result_cache.get_or_compute(key, compute)
+        # Shallow copy so callers can sort/slice without poisoning the cache.
+        return cached.clone()
+
+    def _run_search(
+        self,
+        text: str,
+        k: int,
+        method: str,
+        budget: Optional[QueryBudget],
+        fallback: bool,
+    ) -> ResultSet:
+        """One search, walking the degradation ladder when asked to.
+
+        On the default path this never raises for budget exhaustion:
+        the algorithms return partials and the budget's ``exhausted``
+        flag marks the result set degraded.  Structural errors (e.g.
+        too many groups for the exact Steiner DP) propagate unless
+        ``fallback`` is on, in which case they demote to the next rung.
+        """
+        fail_point("engine.search", key=text)
         query = self.parse(text)
         if not query.keywords:
-            return []
+            return ResultSet(method=method)
+        chain = fallback_chain(method) if fallback else (method,)
+        last_reason: Optional[str] = None
+        for i, rung in enumerate(chain):
+            if i > 0 and budget is not None:
+                budget.renew()
+            is_last = i == len(chain) - 1
+            try:
+                results = self._dispatch(query, k, rung, budget)
+            except BudgetExceededError as exc:
+                # Exhaustion escaped an algorithm with no partial answer.
+                last_reason = str(exc)
+                if is_last:
+                    break
+                continue
+            except QueryParseError:
+                raise
+            except ValueError as exc:
+                # Structurally infeasible rung (e.g. steiner group cap).
+                if not fallback:
+                    raise
+                last_reason = str(exc)
+                if is_last:
+                    break
+                continue
+            exhausted = budget is not None and budget.exhausted
+            if results or not exhausted or is_last:
+                fell_back = rung != method
+                reason = (
+                    budget.reason
+                    if exhausted and budget is not None
+                    else (last_reason if fell_back else None)
+                )
+                return ResultSet(
+                    results,
+                    method=rung,
+                    degraded=exhausted or fell_back,
+                    degraded_reason=reason,
+                    fallback_from=method if fell_back else None,
+                )
+            # Exhausted with nothing to show: descend the ladder.
+            last_reason = budget.reason if budget is not None else None
+        return ResultSet(
+            [],
+            method=chain[-1],
+            degraded=True,
+            degraded_reason=last_reason or "budget exhausted",
+            fallback_from=method if chain[-1] != method else None,
+        )
+
+    def _dispatch(
+        self, query: Query, k: int, method: str, budget: Optional[QueryBudget]
+    ) -> List[SearchResult]:
+        fail_point("engine.method", key=method)
         if method == "schema":
-            return self._search_schema(query, k)
+            return self._search_schema(query, k, budget)
         if method in ("banks", "banks2"):
-            return self._search_banks(query, k, bidirectional=method == "banks2")
+            return self._search_banks(
+                query, k, bidirectional=method == "banks2", budget=budget
+            )
         if method == "steiner":
-            return self._search_steiner(query)
+            return self._search_steiner(query, budget)
         if method == "distinct_root":
             return self._search_distinct_root(query, k)
         if method == "ease":
-            return self._search_ease(query, k)
-        raise ValueError(f"unknown method {method!r}")
+            return self._search_ease(query, k, budget)
+        if method == "index_only":
+            return self._search_index_only(query, k, budget)
+        raise QueryParseError(f"unknown method {method!r}")
 
     def search_many(
         self,
@@ -213,40 +338,125 @@ class KeywordSearchEngine:
         k: int = 10,
         method: str = "schema",
         max_workers: int = 8,
-    ) -> List[List[SearchResult]]:
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        fallback: bool = False,
+        raise_on_error: bool = False,
+        detailed: bool = False,
+    ):
         """Concurrent batch search (slides 129-133: shared execution).
 
         *queries* may mix plain strings, ``(text, method[, k])`` tuples
         and :class:`~repro.perf.batch.BatchQuery` objects.  Duplicate
         requests are computed once; results come back in request order
         and are identical to sequential :meth:`search` calls.
+
+        Failures are isolated per query: an erroring query yields an
+        empty :class:`ResultSet` with ``error`` set (or, with
+        ``detailed=True``, a full
+        :class:`~repro.perf.batch.BatchOutcome`) while its neighbours
+        complete normally.  ``raise_on_error=True`` restores the old
+        fail-the-batch behavior.
         """
         executor = BatchSearchExecutor(self, max_workers=max_workers)
-        return executor.run(queries, k=k, method=method)
+        if detailed:
+            return executor.run_outcomes(
+                queries,
+                k=k,
+                method=method,
+                timeout_ms=timeout_ms,
+                max_expansions=max_expansions,
+                fallback=fallback,
+            )
+        return executor.run(
+            queries,
+            k=k,
+            method=method,
+            timeout_ms=timeout_ms,
+            max_expansions=max_expansions,
+            fallback=fallback,
+            raise_on_error=raise_on_error,
+        )
 
-    def _search_schema(self, query: Query, k: int) -> List[SearchResult]:
+    def _search_schema(
+        self, query: Query, k: int, budget: Optional[QueryBudget] = None
+    ) -> List[SearchResult]:
         keywords = list(query.keywords)
         tuple_sets = self.substrates.tuple_sets(keywords)
-        cns = self.substrates.candidate_networks(keywords, self.max_cn_size)
+        if budget is None:
+            cns = self.substrates.candidate_networks(keywords, self.max_cn_size)
+        else:
+            # Budgeted enumeration may truncate; build outside the memo
+            # so a partial CN list is never cached as if complete.
+            cns = generate_candidate_networks(
+                self.schema_graph,
+                tuple_sets,
+                max_size=self.max_cn_size,
+                budget=budget,
+            )
         if not cns:
             return []
-        result = topk_global_pipeline(cns, tuple_sets, self.index, keywords, k=k)
+        result = topk_global_pipeline(
+            cns, tuple_sets, self.index, keywords, k=k, budget=budget
+        )
         return [
             SearchResult(score=score, network=label, joined=joined)
             for score, label, joined in result.results
         ]
 
+    def _search_index_only(
+        self, query: Query, k: int, budget: Optional[QueryBudget] = None
+    ) -> List[SearchResult]:
+        """Terminal ladder rung: score single tuples, no joins, no graph.
+
+        Every tuple matching any keyword is scored with the same
+        monotonic TF·IDF the CN pipeline uses; the top-k single-tuple
+        answers come back.  Cheap enough to finish under any budget
+        that permits k candidate scorings.
+        """
+        from repro.schema_search.scoring import tuple_score
+
+        keywords = list(query.keywords)
+        index = self.index
+        scored: Dict[TupleId, float] = {}
+        try:
+            for keyword in keywords:
+                for tid in index.matching_tuples_view(keyword.lower()):
+                    if tid in scored:
+                        continue
+                    if budget is not None:
+                        budget.tick_candidates()
+                    scored[tid] = tuple_score(index, tid, keywords)
+        except BudgetExceededError:
+            pass  # partial scoring; caller sees budget.exhausted
+        top = sorted(scored.items(), key=lambda item: (-item[1], item[0]))[:k]
+        out = []
+        for tid, score in top:
+            joined = self._tree_to_joined({tid})
+            out.append(
+                SearchResult(
+                    score=score,
+                    network=f"index-only({tid.table})",
+                    joined=joined,
+                )
+            )
+        return out
+
     def _groups(self, keywords: Sequence[str]) -> Optional[List[List[TupleId]]]:
         return self.substrates.keyword_groups(keywords)
 
     def _search_banks(
-        self, query: Query, k: int, bidirectional: bool
+        self,
+        query: Query,
+        k: int,
+        bidirectional: bool,
+        budget: Optional[QueryBudget] = None,
     ) -> List[SearchResult]:
         groups = self._groups(query.keywords)
         if groups is None:
             return []
         algo = banks_bidirectional if bidirectional else banks_backward
-        result = algo(self.data_graph, groups, k=k)
+        result = algo(self.data_graph, groups, k=k, budget=budget)
         out = []
         for tree in result.trees:
             joined = self._tree_to_joined(tree.nodes)
@@ -259,11 +469,13 @@ class KeywordSearchEngine:
             )
         return out
 
-    def _search_steiner(self, query: Query) -> List[SearchResult]:
+    def _search_steiner(
+        self, query: Query, budget: Optional[QueryBudget] = None
+    ) -> List[SearchResult]:
         groups = self._groups(query.keywords)
         if groups is None:
             return []
-        tree = group_steiner_dp(self.data_graph, groups)
+        tree = group_steiner_dp(self.data_graph, groups, budget=budget)
         if tree is None:
             return []
         joined = self._tree_to_joined(tree.nodes)
@@ -296,13 +508,17 @@ class KeywordSearchEngine:
             )
         return out
 
-    def _search_ease(self, query: Query, k: int) -> List[SearchResult]:
+    def _search_ease(
+        self, query: Query, k: int, budget: Optional[QueryBudget] = None
+    ) -> List[SearchResult]:
         from repro.graph_search.ease import r_radius_steiner_graphs
 
         groups = self._groups(query.keywords)
         if groups is None:
             return []
-        answers = r_radius_steiner_graphs(self.data_graph, groups, r=2, k=k)
+        answers = r_radius_steiner_graphs(
+            self.data_graph, groups, r=2, k=k, budget=budget
+        )
         return [
             SearchResult(
                 score=1.0 / answer.size(),

@@ -34,6 +34,64 @@ class SearchResult:
         return f"SearchResult({self.score:.3f}, {self.network})"
 
 
+class ResultSet(list):
+    """A list of results plus resilience metadata.
+
+    Subclasses ``list`` so every pre-existing caller (iteration, ``==``
+    against plain lists, slicing) keeps working, while the serving path
+    can report *how* the answer was produced:
+
+    * ``degraded`` / ``degraded_reason`` — the query exhausted its
+      budget (or fell down the method ladder) and the results are the
+      best partial answer, not a complete one;
+    * ``method`` — the method that actually produced the results;
+    * ``fallback_from`` — the originally requested method, when the
+      degradation ladder descended;
+    * ``error`` — for batch outcomes: the structured error that made
+      this result set empty.
+    """
+
+    __slots__ = ("degraded", "degraded_reason", "method", "fallback_from", "error")
+
+    def __init__(
+        self,
+        items: Sequence = (),
+        *,
+        method: Optional[str] = None,
+        degraded: bool = False,
+        degraded_reason: Optional[str] = None,
+        fallback_from: Optional[str] = None,
+        error: Optional[BaseException] = None,
+    ):
+        super().__init__(items)
+        self.method = method
+        self.degraded = degraded
+        self.degraded_reason = degraded_reason
+        self.fallback_from = fallback_from
+        self.error = error
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return "error"
+        return "degraded" if self.degraded else "ok"
+
+    def clone(self) -> "ResultSet":
+        """Shallow copy sharing items but not list identity or metadata."""
+        return ResultSet(
+            self,
+            method=self.method,
+            degraded=self.degraded,
+            degraded_reason=self.degraded_reason,
+            fallback_from=self.fallback_from,
+            error=self.error,
+        )
+
+    def __repr__(self) -> str:
+        extra = "" if self.status == "ok" else f", {self.status}"
+        return f"ResultSet({len(self)} results, method={self.method}{extra})"
+
+
 @dataclass
 class XmlResult:
     """One XML answer: a result subtree root."""

@@ -13,7 +13,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.clustering import rank_clusters, xbridge_clusters
 from repro.analysis.snippets import SnippetItem, generate_snippet
 from repro.core.query import Query
-from repro.core.results import XmlResult
+from repro.core.results import ResultSet, XmlResult
+from repro.resilience.budget import QueryBudget, make_budget
+from repro.resilience.errors import QueryParseError
 from repro.xml_search.describable import describable_clusters
 from repro.xml_search.elca import elca_candidates_verify
 from repro.xml_search.slca import slca_indexed_lookup_eager, slca_multiway
@@ -51,22 +53,35 @@ class XmlSearchEngine:
         text: str,
         k: Optional[int] = None,
         semantics: str = "slca",
-    ) -> List[XmlResult]:
-        """Ranked ?LCA search; ``semantics`` in slca | elca | multiway."""
+        budget: Optional[QueryBudget] = None,
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+    ) -> ResultSet:
+        """Ranked ?LCA search; ``semantics`` in slca | elca | multiway.
+
+        An exhausted budget (``timeout_ms`` / ``max_expansions``) stops
+        the anchor scan early; the SLCAs/ELCAs found so far come back
+        ranked, with the result set marked ``degraded``.
+        """
         algorithms = {
             "slca": slca_indexed_lookup_eager,
             "multiway": slca_multiway,
             "elca": elca_candidates_verify,
         }
         if semantics not in algorithms:
-            raise ValueError(f"unknown semantics {semantics!r}")
+            raise QueryParseError(
+                f"unknown semantics {semantics!r} "
+                f"(choices: {', '.join(algorithms)})"
+            )
+        if budget is None:
+            budget = make_budget(timeout_ms, max_expansions)
         query = Query.parse(text)
         if not query.keywords:
-            return []
+            return ResultSet(method=semantics)
         lists = self.index.match_lists(list(query.keywords))
         if any(not lst for lst in lists):
-            return []
-        roots = algorithms[semantics](lists)
+            return ResultSet(method=semantics)
+        roots = algorithms[semantics](lists, budget=budget)
         scores = xrank_scores(self.index, roots, list(query.keywords))
         results = []
         for dewey in roots:
@@ -82,7 +97,13 @@ class XmlSearchEngine:
                 )
             )
         results.sort(key=lambda r: (-r.score, r.root))
-        return results[:k] if k is not None else results
+        exhausted = budget is not None and budget.exhausted
+        return ResultSet(
+            results[:k] if k is not None else results,
+            method=semantics,
+            degraded=exhausted,
+            degraded_reason=budget.reason if exhausted else None,
+        )
 
     # ------------------------------------------------------------------
     # Structure inference

@@ -30,6 +30,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.graph.data_graph import DataGraph
 from repro.graph_search.steiner import SteinerTree
 from repro.relational.database import TupleId
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 
 INF = float("inf")
 
@@ -66,6 +68,7 @@ def _expand(
     groups: Sequence[Sequence[TupleId]],
     k: int,
     priority: Callable[[float, int, TupleId], float],
+    budget: Optional[QueryBudget] = None,
 ) -> BanksResult:
     g = len(groups)
     if g == 0 or any(not group for group in groups):
@@ -83,12 +86,42 @@ def _expand(
     nodes_expanded = 0
     confirmed: Dict[TupleId, float] = {}
 
+    try:
+        nodes_expanded = _expand_loop(
+            graph, groups, k, priority, budget, dists, parents, settled, heap, confirmed
+        )
+    except BudgetExceededError:
+        # Out of budget: fall through with whatever roots are confirmed
+        # so far (the engine flags the result set as degraded).
+        nodes_expanded = budget.nodes_expanded if budget is not None else 0
+
+    roots = sorted(confirmed.items(), key=lambda item: (item[1], item[0]))[:k]
+    trees = [_result_tree(graph, root, parents, dists) for root, _ in roots]
+    return BanksResult(trees, nodes_expanded)
+
+
+def _expand_loop(
+    graph: DataGraph,
+    groups: Sequence[Sequence[TupleId]],
+    k: int,
+    priority: Callable[[float, int, TupleId], float],
+    budget: Optional[QueryBudget],
+    dists: List[Dict[TupleId, float]],
+    parents: List[Dict[TupleId, Optional[TupleId]]],
+    settled: List[Set[TupleId]],
+    heap: List[Tuple[float, float, int, TupleId]],
+    confirmed: Dict[TupleId, float],
+) -> int:
+    g = len(groups)
+    nodes_expanded = 0
     while heap:
         prio, dist, i, node = heapq.heappop(heap)
         if node in settled[i]:
             continue
         settled[i].add(node)
         nodes_expanded += 1
+        if budget is not None:
+            budget.tick_nodes()
         if all(node in s for s in settled):
             confirmed[node] = sum(d[node] for d in dists)
         # Termination: k confirmed roots whose cost beats the optimistic
@@ -110,24 +143,24 @@ def _expand(
                 parents[i][nbr] = node
                 heapq.heappush(heap, (priority(nd, i, nbr), nd, i, nbr))
 
-    roots = sorted(confirmed.items(), key=lambda item: (item[1], item[0]))[:k]
-    trees = [_result_tree(graph, root, parents, dists) for root, _ in roots]
-    return BanksResult(trees, nodes_expanded)
+    return nodes_expanded
 
 
 def banks_backward(
     graph: DataGraph,
     groups: Sequence[Sequence[TupleId]],
     k: int = 10,
+    budget: Optional[QueryBudget] = None,
 ) -> BanksResult:
     """BANKS I: equi-distance backward expansion."""
-    return _expand(graph, groups, k, priority=lambda d, i, n: d)
+    return _expand(graph, groups, k, priority=lambda d, i, n: d, budget=budget)
 
 
 def banks_bidirectional(
     graph: DataGraph,
     groups: Sequence[Sequence[TupleId]],
     k: int = 10,
+    budget: Optional[QueryBudget] = None,
 ) -> BanksResult:
     """BANKS II: activation-prioritised expansion (see module docstring)."""
     sizes = [max(1, len(group)) for group in groups]
@@ -136,4 +169,4 @@ def banks_bidirectional(
         activation = math.log(2 + sizes[i]) * math.log(2 + graph.degree(node))
         return dist * activation
 
-    return _expand(graph, groups, k, priority=priority)
+    return _expand(graph, groups, k, priority=priority, budget=budget)

@@ -15,6 +15,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.data_graph import DataGraph
 from repro.relational.database import TupleId
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 
 
 @dataclass(frozen=True)
@@ -34,34 +36,42 @@ def r_radius_steiner_graphs(
     groups: Sequence[Sequence[TupleId]],
     r: int = 2,
     k: Optional[int] = None,
+    budget: Optional[QueryBudget] = None,
 ) -> List[RadiusSteinerGraph]:
     """Enumerate r-radius Steiner subgraphs covering all keyword groups.
 
     Results are ordered by (size, center) — smaller (more compact)
     subgraphs first, matching EASE's compactness-oriented ranking.
+    An exhausted *budget* stops center enumeration early and returns
+    the answers found so far.
     """
     if not groups or any(not g for g in groups):
         return []
     group_sets = [set(g) for g in groups]
     all_matches: Set[TupleId] = set().union(*group_sets)
     answers: Dict[FrozenSet[TupleId], RadiusSteinerGraph] = {}
-    for center in graph.nodes:
-        ball = graph.bfs_hops(center, max_hops=r)
-        members = set(ball)
-        matched = [members & gs for gs in group_sets]
-        if not all(matched):
-            continue
-        keyword_nodes = set().union(*matched)
-        steiner = _steiner_reduce(graph, members, keyword_nodes, center)
-        key = frozenset(steiner)
-        existing = answers.get(key)
-        candidate = RadiusSteinerGraph(
-            center=center,
-            nodes=frozenset(steiner),
-            keyword_nodes=frozenset(keyword_nodes),
-        )
-        if existing is None or candidate.center < existing.center:
-            answers[key] = candidate
+    try:
+        for center in graph.nodes:
+            ball = graph.bfs_hops(center, max_hops=r)
+            members = set(ball)
+            if budget is not None:
+                budget.tick_nodes(max(1, len(members)))
+            matched = [members & gs for gs in group_sets]
+            if not all(matched):
+                continue
+            keyword_nodes = set().union(*matched)
+            steiner = _steiner_reduce(graph, members, keyword_nodes, center)
+            key = frozenset(steiner)
+            existing = answers.get(key)
+            candidate = RadiusSteinerGraph(
+                center=center,
+                nodes=frozenset(steiner),
+                keyword_nodes=frozenset(keyword_nodes),
+            )
+            if existing is None or candidate.center < existing.center:
+                answers[key] = candidate
+    except BudgetExceededError:
+        pass  # partial enumeration; caller sees budget.exhausted
     out = sorted(answers.values(), key=lambda a: (a.size(), a.center))
     return out[:k] if k is not None else out
 

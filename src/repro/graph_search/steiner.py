@@ -21,6 +21,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.data_graph import DataGraph
 from repro.relational.database import TupleId
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 
 INF = float("inf")
 
@@ -59,12 +61,16 @@ def group_steiner_dp(
     graph: DataGraph,
     groups: Sequence[Sequence[TupleId]],
     max_groups: int = 10,
+    budget: Optional[QueryBudget] = None,
 ) -> Optional[SteinerTree]:
     """Minimum-weight group Steiner tree, or None if no tree connects all.
 
     *groups* are the keyword match sets; a tree must touch at least one
     node from each group.  Raises for more than *max_groups* groups (the
-    DP is exponential in the group count).
+    DP is exponential in the group count).  An exhausted *budget* stops
+    the DP early and returns the best tree covering all groups found so
+    far (None if no mask reached full coverage yet); the budget's
+    ``exhausted`` flag tells the caller the answer may be suboptimal.
     """
     g = len(groups)
     if g == 0:
@@ -87,35 +93,42 @@ def group_steiner_dp(
                 dp[mask][node] = 0.0
                 back[mask][node] = ("leaf",)
 
-    for mask in range(1, full + 1):
-        # Merge: combine proper submasks at the same root.
-        sub = (mask - 1) & mask
-        while sub:
-            other = mask ^ sub
-            if sub < other:  # each unordered pair once
-                for node, w1 in dp[sub].items():
-                    w2 = dp[other].get(node)
-                    if w2 is None:
-                        continue
-                    if w1 + w2 < dp[mask].get(node, INF):
-                        dp[mask][node] = w1 + w2
-                        back[mask][node] = ("merge", sub, other)
-            sub = (sub - 1) & mask
-        # Grow: Dijkstra over dp[mask].
-        heap = [(w, n) for n, w in dp[mask].items()]
-        heapq.heapify(heap)
-        settled: Set[TupleId] = set()
-        while heap:
-            w, node = heapq.heappop(heap)
-            if node in settled or w > dp[mask].get(node, INF):
-                continue
-            settled.add(node)
-            for nbr, edge_w in graph.neighbors(node):
-                nw = w + edge_w
-                if nw < dp[mask].get(nbr, INF):
-                    dp[mask][nbr] = nw
-                    back[mask][nbr] = ("edge", node)
-                    heapq.heappush(heap, (nw, nbr))
+    try:
+        for mask in range(1, full + 1):
+            # Merge: combine proper submasks at the same root.
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:  # each unordered pair once
+                    for node, w1 in dp[sub].items():
+                        w2 = dp[other].get(node)
+                        if w2 is None:
+                            continue
+                        if w1 + w2 < dp[mask].get(node, INF):
+                            dp[mask][node] = w1 + w2
+                            back[mask][node] = ("merge", sub, other)
+                sub = (sub - 1) & mask
+            # Grow: Dijkstra over dp[mask].
+            heap = [(w, n) for n, w in dp[mask].items()]
+            heapq.heapify(heap)
+            settled: Set[TupleId] = set()
+            while heap:
+                w, node = heapq.heappop(heap)
+                if node in settled or w > dp[mask].get(node, INF):
+                    continue
+                settled.add(node)
+                if budget is not None:
+                    budget.tick_nodes()
+                for nbr, edge_w in graph.neighbors(node):
+                    nw = w + edge_w
+                    if nw < dp[mask].get(nbr, INF):
+                        dp[mask][nbr] = nw
+                        back[mask][nbr] = ("edge", node)
+                        heapq.heappush(heap, (nw, nbr))
+    except BudgetExceededError:
+        # Out of budget mid-DP: fall through and reconstruct from
+        # whatever full-coverage entries exist (possibly none).
+        pass
 
     if not dp[full]:
         return None

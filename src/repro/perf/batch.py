@@ -8,15 +8,33 @@ dispatch, pre-warms the engine substrates the batch will need (so the
 pool never races the lazy first build), then fans the distinct requests
 out over a :class:`concurrent.futures.ThreadPoolExecutor`.  Workers
 share the engine's substrate and result caches, which are lock-guarded.
+
+Failures are isolated per query: one poisoned query yields an error
+:class:`BatchOutcome` while its neighbours complete normally.  Transient
+errors (substrate build races, injected faults) are retried with capped
+exponential backoff, and repeated substrate-build failures trip the
+engine's :class:`~repro.resilience.circuit.CircuitBreaker` so the rest
+of the batch fails fast instead of hammering a broken build.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.results import SearchResult
+from repro.core.results import ResultSet, SearchResult
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.degradation import KNOWN_METHODS
+from repro.resilience.errors import (
+    CircuitOpenError,
+    QueryParseError,
+    ReproError,
+    SubstrateBuildError,
+    classify_error,
+)
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 
 #: Search methods that run over the tuple-level data graph.
 _GRAPH_METHODS = {"banks", "banks2", "steiner", "distinct_root", "ease"}
@@ -37,27 +55,104 @@ QueryLike = Union[str, Tuple, BatchQuery]
 def as_batch_query(
     query: QueryLike, k: int = 10, method: str = "schema"
 ) -> BatchQuery:
-    """Coerce a str / (text, method[, k]) tuple / BatchQuery to BatchQuery."""
+    """Coerce a str / (text, method[, k]) tuple / BatchQuery to BatchQuery.
+
+    Malformed requests are rejected here, at submission time, with a
+    structured :class:`QueryParseError` — before any pool worker runs —
+    so a bad request can never cost a thread or poison the batch.
+    """
     if isinstance(query, BatchQuery):
-        return query
+        return _validated(query)
     if isinstance(query, str):
-        return BatchQuery(query, k=k, method=method)
-    text = query[0]
-    q_method = query[1] if len(query) > 1 else method
-    q_k = query[2] if len(query) > 2 else k
-    return BatchQuery(str(text), k=int(q_k), method=str(q_method))
+        return _validated(BatchQuery(query, k=k, method=method))
+    try:
+        text = query[0]
+        q_method = query[1] if len(query) > 1 else method
+        q_k = query[2] if len(query) > 2 else k
+    except (TypeError, IndexError, KeyError) as exc:
+        raise QueryParseError(
+            f"cannot interpret {query!r} as a batch query", cause=exc
+        ) from exc
+    try:
+        q_k = int(q_k)
+    except (TypeError, ValueError) as exc:
+        raise QueryParseError(f"k must be an integer, got {q_k!r}") from exc
+    return _validated(BatchQuery(str(text), k=q_k, method=str(q_method)))
+
+
+def _validated(query: BatchQuery) -> BatchQuery:
+    if not isinstance(query.k, int) or isinstance(query.k, bool) or query.k < 1:
+        raise QueryParseError(f"k must be a positive integer, got {query.k!r}")
+    if query.method not in KNOWN_METHODS:
+        raise QueryParseError(
+            f"unknown method {query.method!r} "
+            f"(choices: {', '.join(KNOWN_METHODS)})"
+        )
+    return query
+
+
+@dataclass
+class BatchOutcome:
+    """Per-query verdict from a batch run.
+
+    ``status`` is ``"ok"``, ``"degraded"`` (budget exhausted / ladder
+    descent — ``results`` holds the best partial answer) or ``"error"``
+    (``results`` is empty and ``error`` holds the structured exception).
+    """
+
+    query: BatchQuery
+    status: str
+    results: ResultSet
+    error: Optional[ReproError] = None
+    attempts: int = 1
+    duration_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "error"
+
+    def __repr__(self) -> str:
+        tail = f", error={type(self.error).__name__}" if self.error else ""
+        return (
+            f"BatchOutcome({self.query.text!r}, {self.status}, "
+            f"{len(self.results)} results, attempts={self.attempts}{tail})"
+        )
 
 
 class BatchSearchExecutor:
-    """Runs independent queries concurrently against one engine."""
+    """Runs independent queries concurrently against one engine.
 
-    def __init__(self, engine, max_workers: int = 8):
+    Each query is executed inside a fault-isolation boundary: errors are
+    captured as :class:`BatchOutcome` objects, transient errors retried
+    per *retry* (capped exponential backoff, no jitter — deterministic),
+    and substrate-build failures counted against *breaker* (defaults to
+    the engine's own persistent ``circuit_breaker``).
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_workers: int = 8,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.engine = engine
         self.max_workers = max_workers
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else getattr(engine, "circuit_breaker", None)
+        )
+        self._sleep = sleep
         self.queries_served = 0
         self.queries_computed = 0
+        self.queries_failed = 0
+        self.queries_degraded = 0
+        self.retries = 0
 
     # ------------------------------------------------------------------
     def warm(self, queries: Sequence[BatchQuery]) -> None:
@@ -65,30 +160,43 @@ class BatchSearchExecutor:
 
         ``cached_property`` builds are idempotent but expensive; doing
         them once up front keeps pool workers from stacking up behind
-        the first build.
+        the first build.  A build failure here is swallowed: each query
+        retries the build itself inside its own isolation boundary, so
+        one broken substrate degrades the affected queries instead of
+        killing the whole batch.
         """
+        if self.breaker is not None and self.breaker.state != "closed":
+            return  # open circuit: don't re-attempt the broken build here
         engine = self.engine
-        engine.index  # inverted index: every method needs it
         methods = {q.method for q in queries}
-        if "schema" in methods:
-            engine.schema_graph
-        if methods & _GRAPH_METHODS:
-            engine.data_graph
-        if "distinct_root" in methods:
-            engine.distance_index
+        try:
+            engine.index  # inverted index: every method needs it
+            if "schema" in methods:
+                engine.schema_graph
+            if methods & _GRAPH_METHODS:
+                engine.data_graph
+            if "distinct_root" in methods:
+                engine.distance_index
+        except Exception:
+            pass  # surfaced per-query by _execute_one
 
     # ------------------------------------------------------------------
-    def run(
+    def run_outcomes(
         self,
         queries: Sequence[QueryLike],
         k: int = 10,
         method: str = "schema",
-    ) -> List[List[SearchResult]]:
-        """Execute *queries*, returning result lists in request order.
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        fallback: bool = False,
+    ) -> List[BatchOutcome]:
+        """Execute *queries*, returning a :class:`BatchOutcome` each.
 
-        Duplicate requests are computed once and fanned back out; the
-        outcome is identical to calling ``engine.search`` sequentially
-        for each query.
+        Outcomes come back in request order.  Duplicate requests are
+        computed once; each duplicate receives its own result-set clone
+        so callers cannot alias each other.  Submission-time validation
+        errors (bad ``k``, unknown method) raise immediately — nothing
+        has been dispatched yet.
         """
         batch = [as_batch_query(q, k=k, method=method) for q in queries]
         if not batch:
@@ -103,29 +211,175 @@ class BatchSearchExecutor:
 
         self.warm(order)
 
-        def one(query: BatchQuery) -> List[SearchResult]:
-            return self.engine.search(query.text, k=query.k, method=query.method)
+        def one(query: BatchQuery) -> BatchOutcome:
+            return self._execute_one(
+                query,
+                timeout_ms=timeout_ms,
+                max_expansions=max_expansions,
+                fallback=fallback,
+            )
 
         if self.max_workers == 1 or len(order) == 1:
             computed = [one(q) for q in order]
         else:
             workers = min(self.max_workers, len(order))
+            computed = [None] * len(order)  # type: ignore[list-item]
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                computed = list(pool.map(one, order))
+                futures = {
+                    pool.submit(one, q): i for i, q in enumerate(order)
+                }
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        # _execute_one never raises; .result() only
+                        # re-raises catastrophic (e.g. interpreter
+                        # shutdown) conditions.
+                        computed[futures[future]] = future.result()
 
         by_query = dict(zip(order, computed))
-        # Distinct copies per request so callers can't alias each other.
-        return [list(by_query[q]) for q in batch]
+        for outcome in computed:
+            if outcome.status == "error":
+                self.queries_failed += 1
+            elif outcome.status == "degraded":
+                self.queries_degraded += 1
+            self.retries += outcome.attempts - 1
+
+        out: List[BatchOutcome] = []
+        for query in batch:
+            outcome = by_query[query]
+            out.append(
+                BatchOutcome(
+                    query=query,
+                    status=outcome.status,
+                    results=outcome.results.clone(),
+                    error=outcome.error,
+                    attempts=outcome.attempts,
+                    duration_ms=outcome.duration_ms,
+                )
+            )
+        return out
+
+    def run(
+        self,
+        queries: Sequence[QueryLike],
+        k: int = 10,
+        method: str = "schema",
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        fallback: bool = False,
+        raise_on_error: bool = False,
+    ) -> List[ResultSet]:
+        """Execute *queries*, returning result lists in request order.
+
+        Duplicate requests are computed once and fanned back out; the
+        outcome is identical to calling ``engine.search`` sequentially
+        for each query.  By default a failing query yields an *empty*
+        :class:`ResultSet` with its ``error`` attribute set while every
+        other query completes; ``raise_on_error=True`` restores the old
+        fail-the-batch behavior by re-raising the first error in
+        request order.
+        """
+        outcomes = self.run_outcomes(
+            queries,
+            k=k,
+            method=method,
+            timeout_ms=timeout_ms,
+            max_expansions=max_expansions,
+            fallback=fallback,
+        )
+        if raise_on_error:
+            for outcome in outcomes:
+                if outcome.error is not None:
+                    raise outcome.error
+        return [outcome.results for outcome in outcomes]
+
+    # ------------------------------------------------------------------
+    def _execute_one(
+        self,
+        query: BatchQuery,
+        timeout_ms: Optional[float],
+        max_expansions: Optional[int],
+        fallback: bool,
+    ) -> BatchOutcome:
+        """Fault-isolation boundary around one query.
+
+        Never raises: every exception is classified into the
+        :class:`ReproError` taxonomy and returned as an error outcome.
+        Transient errors retry with backoff; substrate-build failures
+        feed the circuit breaker, and an open breaker fails fast.
+        """
+        start = time.perf_counter()
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            err = CircuitOpenError(
+                "circuit open after repeated substrate failures; failing fast"
+            )
+            return BatchOutcome(
+                query=query,
+                status="error",
+                results=ResultSet(method=query.method, error=err),
+                error=err,
+                attempts=0,
+                duration_ms=(time.perf_counter() - start) * 1000.0,
+            )
+        attempt = 1
+        while True:
+            try:
+                results = self.engine.search(
+                    query.text,
+                    k=query.k,
+                    method=query.method,
+                    timeout_ms=timeout_ms,
+                    max_expansions=max_expansions,
+                    fallback=fallback,
+                )
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                err = classify_error(exc)
+                if breaker is not None and isinstance(err, SubstrateBuildError):
+                    breaker.record_failure()
+                retryable = (
+                    err.transient
+                    and attempt < self.retry.max_attempts
+                    and (breaker is None or breaker.allow())
+                )
+                if retryable:
+                    self._sleep(self.retry.delay(attempt))
+                    attempt += 1
+                    continue
+                return BatchOutcome(
+                    query=query,
+                    status="error",
+                    results=ResultSet(method=query.method, error=err),
+                    error=err,
+                    attempts=attempt,
+                    duration_ms=(time.perf_counter() - start) * 1000.0,
+                )
+            if breaker is not None:
+                breaker.record_success()
+            if not isinstance(results, ResultSet):
+                results = ResultSet(results, method=query.method)
+            return BatchOutcome(
+                query=query,
+                status=results.status,
+                results=results,
+                attempts=attempt,
+                duration_ms=(time.perf_counter() - start) * 1000.0,
+            )
 
     def stats(self) -> Dict[str, int]:
         return {
             "queries_served": self.queries_served,
             "queries_computed": self.queries_computed,
+            "queries_failed": self.queries_failed,
+            "queries_degraded": self.queries_degraded,
+            "retries": self.retries,
             "max_workers": self.max_workers,
         }
 
     def __repr__(self) -> str:
         return (
             f"BatchSearchExecutor(workers={self.max_workers}, "
-            f"served={self.queries_served}, computed={self.queries_computed})"
+            f"served={self.queries_served}, computed={self.queries_computed}, "
+            f"failed={self.queries_failed})"
         )

@@ -27,6 +27,8 @@ from repro.forms.matching import FormIndex
 from repro.index.inverted import InvertedIndex
 from repro.relational.database import Database, TupleId
 from repro.relational.schema_graph import SchemaGraph
+from repro.resilience.errors import ReproError, SubstrateBuildError
+from repro.resilience.failpoints import fail_point
 from repro.schema_search.candidate_networks import (
     CandidateNetwork,
     generate_candidate_networks,
@@ -99,7 +101,11 @@ class SubstrateCache:
         with self._lock:
             cached = self._tuple_sets.get(key)
             if cached is None:
-                cached = TupleSets(self.db, self._index(), key)
+                cached = self._build(
+                    "tuple_sets",
+                    lambda: TupleSets(self.db, self._index(), key),
+                    key=" ".join(key),
+                )
                 self._tuple_sets[key] = cached
                 self.builds["tuple_sets"] += 1
             return cached
@@ -113,8 +119,14 @@ class SubstrateCache:
         with self._lock:
             cached = self._networks.get(key)
             if cached is None:
-                cached = generate_candidate_networks(
-                    self._schema_graph(), self.tuple_sets(keywords), max_size=max_size
+                cached = self._build(
+                    "candidate_networks",
+                    lambda: generate_candidate_networks(
+                        self._schema_graph(),
+                        self.tuple_sets(keywords),
+                        max_size=max_size,
+                    ),
+                    key=" ".join(key[0]),
                 )
                 self._networks[key] = cached
                 self.builds["candidate_networks"] += 1
@@ -137,7 +149,12 @@ class SubstrateCache:
             with self._lock:
                 match = self._keyword_matches.get(keyword)
                 if match is None:
-                    match = index.matching_tuples_view(keyword)
+                    kw = keyword
+                    match = self._build(
+                        "keyword_groups",
+                        lambda: index.matching_tuples_view(kw),
+                        key=kw,
+                    )
                     self._keyword_matches[keyword] = match
                     self.builds["keyword_groups"] += 1
             if not match:
@@ -153,14 +170,40 @@ class SubstrateCache:
         with self._lock:
             cached = self._form_pipeline.get(max_skeleton_size)
             if cached is None:
-                skeletons = tuple(
-                    generate_skeletons(self._schema_graph(), max_size=max_skeleton_size)
-                )
-                forms = tuple(generate_forms(self.db.schema, skeletons))
-                cached = (skeletons, forms, FormIndex(forms, self._index()))
+
+                def build() -> Tuple[tuple, tuple, FormIndex]:
+                    skeletons = tuple(
+                        generate_skeletons(
+                            self._schema_graph(), max_size=max_skeleton_size
+                        )
+                    )
+                    forms = tuple(generate_forms(self.db.schema, skeletons))
+                    return (skeletons, forms, FormIndex(forms, self._index()))
+
+                cached = self._build("form_pipeline", build)
                 self._form_pipeline[max_skeleton_size] = cached
                 self.builds["form_pipeline"] += 1
             return cached
+
+    # ------------------------------------------------------------------
+    # Fault isolation
+    # ------------------------------------------------------------------
+    def _build(self, site: str, builder: Callable, key: Optional[str] = None):
+        """Run a substrate build inside the fault boundary.
+
+        Hits the ``substrates.<site>`` failpoint first (so chaos tests
+        can inject faults or delays per keyword), then converts any
+        build exception into a transient :class:`SubstrateBuildError`
+        that the batch executor retries and counts against the circuit
+        breaker.  Nothing is memoised on failure.
+        """
+        try:
+            fail_point(f"substrates.{site}", key=key)
+            return builder()
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise SubstrateBuildError(site, exc) from exc
 
     # ------------------------------------------------------------------
     # Observability

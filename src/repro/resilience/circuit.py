@@ -1,0 +1,113 @@
+"""Circuit breaker over substrate builds.
+
+A broken index (corrupt data, injected fault, resource exhaustion)
+would otherwise make *every* request in every batch pay the full cost
+of attempting — and failing — the same build.  The breaker counts
+consecutive substrate-build failures; past a threshold it *opens* and
+requests fail fast with
+:class:`~repro.resilience.errors.CircuitOpenError` until a reset
+timeout elapses, after which a single half-open probe is let through.
+A successful probe closes the breaker; a failed one re-opens it.
+
+The clock is injectable so tests can drive state transitions
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open → closed state machine."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.opens = 0  # lifetime count, for observability
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In half-open state exactly one probe is admitted; concurrent
+        requests fail fast until the probe reports back.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = CLOSED
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            state = self._state_locked()
+            if state == HALF_OPEN or self._failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self.opens += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def reset(self) -> None:
+        """Force-close (operator override / tests)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "failures": self._failures,
+                "threshold": self.failure_threshold,
+                "opens": self.opens,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state}, failures={self._failures})"

@@ -1,0 +1,53 @@
+"""The degradation ladder: which cheaper method replaces an exhausted one.
+
+When a query exhausts its budget (or its method is structurally
+infeasible, e.g. the exact Steiner DP with too many keyword groups),
+the engine can descend a ladder of progressively cheaper methods
+instead of failing:
+
+    steiner ──┐
+    ease ─────┤
+    banks2 ───┼──> banks ──> index_only
+    distinct_root ┘
+    schema ─────────────────> index_only
+
+``index_only`` is the terminal rung: score individual matching tuples
+straight off the inverted index with no joins or graph traversal — it
+always completes within any reasonable budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Every method the relational engine dispatches.
+KNOWN_METHODS: Tuple[str, ...] = (
+    "schema",
+    "banks",
+    "banks2",
+    "steiner",
+    "distinct_root",
+    "ease",
+    "index_only",
+)
+
+#: method -> the next-cheaper method (None terminates the ladder).
+FALLBACKS: Dict[str, Optional[str]] = {
+    "steiner": "banks",
+    "ease": "banks",
+    "banks2": "banks",
+    "distinct_root": "banks",
+    "banks": "index_only",
+    "schema": "index_only",
+    "index_only": None,
+}
+
+
+def fallback_chain(method: str) -> Tuple[str, ...]:
+    """The full ladder starting at *method* (inclusive)."""
+    chain = [method]
+    current = method
+    while FALLBACKS.get(current):
+        current = FALLBACKS[current]
+        chain.append(current)
+    return tuple(chain)

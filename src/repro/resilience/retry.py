@@ -1,0 +1,58 @@
+"""Capped exponential backoff for transient failures."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Tuple, TypeVar
+
+from repro.resilience.errors import ReproError, classify_error
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic capped exponential backoff.
+
+    ``delay(1)`` is the sleep after the first failed attempt:
+    ``base_delay * multiplier**(attempt-1)``, capped at ``max_delay``.
+    No jitter — batches coalesce duplicates upstream, so synchronized
+    retries are not a thundering-herd concern here, and determinism
+    keeps the chaos tests reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 0.25
+    multiplier: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        return min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+
+
+#: Default policy used by the batch executor.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy = DEFAULT_RETRY,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Tuple[T, int]:
+    """Run *fn*, retrying transient :class:`ReproError` failures.
+
+    Returns ``(result, attempts)``.  Non-transient errors and the final
+    failed attempt re-raise the original exception.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(), attempt
+        except Exception as exc:
+            err = classify_error(exc)
+            if attempt >= policy.max_attempts or not err.transient:
+                raise
+            sleep(policy.delay(attempt))

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.relational.schema_graph import SchemaEdge, SchemaGraph
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 from repro.schema_search.tuple_sets import TupleSetKey, TupleSets
 
 
@@ -226,11 +228,14 @@ def generate_candidate_networks(
     tuple_sets: TupleSets,
     max_size: int = 5,
     max_networks: Optional[int] = None,
+    budget: Optional[QueryBudget] = None,
 ) -> List[CandidateNetwork]:
     """Breadth-first, duplicate-free CN enumeration.
 
     Returns valid CNs ordered by (size, label).  ``max_networks`` caps
-    the output (enumeration order makes the cap deterministic).
+    the output (enumeration order makes the cap deterministic).  An
+    exhausted *budget* truncates enumeration the same way — the CNs
+    found so far are returned and the budget records why.
     """
     query = list(tuple_sets.keywords)
     if not query:
@@ -250,32 +255,37 @@ def generate_candidate_networks(
             seen.add(code)
             queue.append(cn)
 
-    while queue:
-        cn = queue.popleft()
-        if cn.is_valid(query):
-            results.append(cn)
-            if max_networks is not None and len(results) >= max_networks:
-                break
-        if cn.size >= max_size:
-            continue
-        for i, node in enumerate(cn.nodes):
-            for nbr_table, edge in schema_graph.neighbors(node.table):
-                # Candidate keyword sets for the new node: free, or any
-                # non-empty exact subset available in the target table.
-                options: List[TupleSetKey] = [TupleSetKey(nbr_table, frozenset())]
-                options.extend(
-                    TupleSetKey(nbr_table, subset)
-                    for subset in tuple_sets.keyword_subsets(nbr_table)
-                )
-                for new_key in options:
-                    extended = cn.extend(i, edge, new_key)
-                    if extended.has_degenerate_join():
-                        continue
-                    code = extended.canonical_code()
-                    if code in seen:
-                        continue
-                    seen.add(code)
-                    queue.append(extended)
+    try:
+        while queue:
+            cn = queue.popleft()
+            if budget is not None:
+                budget.tick_cns()
+            if cn.is_valid(query):
+                results.append(cn)
+                if max_networks is not None and len(results) >= max_networks:
+                    break
+            if cn.size >= max_size:
+                continue
+            for i, node in enumerate(cn.nodes):
+                for nbr_table, edge in schema_graph.neighbors(node.table):
+                    # Candidate keyword sets for the new node: free, or any
+                    # non-empty exact subset available in the target table.
+                    options: List[TupleSetKey] = [TupleSetKey(nbr_table, frozenset())]
+                    options.extend(
+                        TupleSetKey(nbr_table, subset)
+                        for subset in tuple_sets.keyword_subsets(nbr_table)
+                    )
+                    for new_key in options:
+                        extended = cn.extend(i, edge, new_key)
+                        if extended.has_degenerate_join():
+                            continue
+                        code = extended.canonical_code()
+                        if code in seen:
+                            continue
+                        seen.add(code)
+                        queue.append(extended)
+    except BudgetExceededError:
+        pass  # partial enumeration; caller sees budget.exhausted
 
     results.sort(key=lambda c: (c.size, c.label()))
     return results

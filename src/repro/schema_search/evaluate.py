@@ -13,6 +13,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.relational.database import TupleId
 from repro.relational.executor import JoinedRow, JoinStats, hash_join
 from repro.relational.table import Row
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 from repro.schema_search.candidate_networks import CandidateNetwork
 from repro.schema_search.tuple_sets import TupleSets
 
@@ -44,12 +46,16 @@ def evaluate_cn(
     tuple_sets: TupleSets,
     stats: Optional[JoinStats] = None,
     require_distinct: bool = True,
+    budget: Optional[QueryBudget] = None,
 ) -> Iterator[JoinedRow]:
     """Stream the joining networks of tuples for *cn*.
 
     Joins are executed left-deep in BFS order with hash joins; the
     optional ``stats`` accumulates tuples read / joins executed (these
-    counters are the cost proxy the E2/E3 benchmarks report).
+    counters are the cost proxy the E2/E3 benchmarks report).  Each
+    emitted result charges *budget* one scored candidate; consumers
+    that want partial-on-exhaustion semantics should use
+    :func:`cn_results` / :func:`all_results`, which catch the raise.
     """
     adj = cn.adjacency()
     order = _join_order(cn)
@@ -77,6 +83,8 @@ def evaluate_cn(
     for joined in current:
         if require_distinct and _has_repeated_tuple(joined):
             continue
+        if budget is not None:
+            budget.tick_candidates()
         yield joined
 
 
@@ -94,9 +102,16 @@ def cn_results(
     cn: CandidateNetwork,
     tuple_sets: TupleSets,
     stats: Optional[JoinStats] = None,
+    budget: Optional[QueryBudget] = None,
 ) -> List[JoinedRow]:
-    """Materialised results of one CN."""
-    return list(evaluate_cn(cn, tuple_sets, stats=stats))
+    """Materialised results of one CN (partial if the budget runs out)."""
+    out: List[JoinedRow] = []
+    try:
+        for joined in evaluate_cn(cn, tuple_sets, stats=stats, budget=budget):
+            out.append(joined)
+    except BudgetExceededError:
+        pass
+    return out
 
 
 def result_tuple_ids(joined: JoinedRow) -> List[TupleId]:
@@ -107,10 +122,14 @@ def all_results(
     cns: Sequence[CandidateNetwork],
     tuple_sets: TupleSets,
     stats: Optional[JoinStats] = None,
+    budget: Optional[QueryBudget] = None,
 ) -> List[Tuple[CandidateNetwork, JoinedRow]]:
-    """Evaluate every CN; returns (cn, result) pairs."""
+    """Evaluate every CN; returns (cn, result) pairs (partial on budget)."""
     out: List[Tuple[CandidateNetwork, JoinedRow]] = []
-    for cn in cns:
-        for joined in evaluate_cn(cn, tuple_sets, stats=stats):
-            out.append((cn, joined))
+    try:
+        for cn in cns:
+            for joined in evaluate_cn(cn, tuple_sets, stats=stats, budget=budget):
+                out.append((cn, joined))
+    except BudgetExceededError:
+        pass
     return out

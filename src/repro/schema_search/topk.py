@@ -30,6 +30,8 @@ from repro.index.inverted import InvertedIndex
 from repro.relational.database import TupleId
 from repro.relational.executor import JoinedRow, JoinStats
 from repro.relational.table import Row
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 from repro.schema_search.candidate_networks import CandidateNetwork
 from repro.schema_search.scoring import monotonic_result_score, tuple_score
 from repro.schema_search.tuple_sets import TupleSets
@@ -294,8 +296,15 @@ def topk_global_pipeline(
     index: InvertedIndex,
     keywords: Sequence[str],
     k: int = 10,
+    budget: Optional[QueryBudget] = None,
 ) -> TopKResult:
-    """Always advance the CN with the highest remaining bound."""
+    """Always advance the CN with the highest remaining bound.
+
+    Each produced result charges *budget* one scored candidate, each
+    batch one node expansion; on exhaustion the current heap contents
+    are returned (a valid but possibly incomplete top-k — the budget's
+    ``exhausted`` flag says so).
+    """
     stats = JoinStats()
     heap = _TopKHeap(k)
     executors = _executors(cns, tuple_sets, index, keywords)
@@ -305,16 +314,23 @@ def topk_global_pipeline(
         if not executor.exhausted():
             heapq.heappush(pq, (-executor.bound(), i, executor))
     batches = 0
-    while pq:
-        neg_bound, i, executor = heapq.heappop(pq)
-        if -neg_bound <= heap.kth_score() + EPS:
-            break
-        touched.add(i)
-        for score, joined in executor.next_batch(stats):
-            heap.offer(score, executor.cn.label(), joined)
-        batches += 1
-        if not executor.exhausted():
-            heapq.heappush(pq, (-executor.bound(), i, executor))
+    try:
+        while pq:
+            neg_bound, i, executor = heapq.heappop(pq)
+            if -neg_bound <= heap.kth_score() + EPS:
+                break
+            touched.add(i)
+            for score, joined in executor.next_batch(stats):
+                if budget is not None:
+                    budget.tick_candidates()
+                heap.offer(score, executor.cn.label(), joined)
+            batches += 1
+            if budget is not None:
+                budget.tick_nodes()
+            if not executor.exhausted():
+                heapq.heappush(pq, (-executor.bound(), i, executor))
+    except BudgetExceededError:
+        pass  # return what the heap holds; caller sees budget.exhausted
     return TopKResult(
         heap.sorted_results(), stats, cns_executed=len(touched), batches=batches
     )

@@ -23,6 +23,8 @@ from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.index.text import tokenize
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 from repro.xml_search.slca import _anchor_candidate, _dedup_keep_deepest
 from repro.xmltree.node import Dewey, XmlNode
 
@@ -87,14 +89,18 @@ def elca_bruteforce(root: XmlNode, keywords: Sequence[str]) -> List[Dewey]:
     return sorted(results)
 
 
-def elca_candidates_verify(lists: Sequence[List[Dewey]]) -> List[Dewey]:
+def elca_candidates_verify(
+    lists: Sequence[List[Dewey]],
+    budget: Optional[QueryBudget] = None,
+) -> List[Dewey]:
     """Candidate generation + range-count verification (slide 140).
 
     Candidates come from anchoring each element of the smallest list
     against the others (exactly the ELCA_candidates superset of Xu &
     Papakonstantinou).  A candidate u is verified by checking that for
     every keyword some witness under u survives after subtracting the
-    matches claimed by u's contains-all children.
+    matches claimed by u's contains-all children.  An exhausted *budget*
+    truncates either phase and returns the ELCAs verified so far.
     """
     lists = [lst for lst in lists]
     if not lists or any(not lst for lst in lists):
@@ -104,25 +110,32 @@ def elca_candidates_verify(lists: Sequence[List[Dewey]]) -> List[Dewey]:
     others = [lst for i, lst in enumerate(lists) if i != smallest_idx]
 
     candidates: Set[Dewey] = set()
-    for anchor in anchors:
-        cand = _anchor_candidate(anchor, others)
-        if cand is not None:
-            candidates.add(cand)
-            # Every ancestor of an SLCA-style candidate can be an ELCA
-            # too; but only ancestors that are LCAs of some combination.
-            # The candidate superset of the EDBT'08 paper includes, for
-            # each anchor, the LCAs it forms with *prefixes*; we take the
-            # ancestors of cand that still contain all keywords.
-            node = cand[:-1]
-            while len(node) >= 1:
-                if _contains_all(lists, node):
-                    candidates.add(node)
-                node = node[:-1]
+    results: List[Dewey] = []
+    try:
+        for anchor in anchors:
+            if budget is not None:
+                budget.tick_candidates()
+            cand = _anchor_candidate(anchor, others)
+            if cand is not None:
+                candidates.add(cand)
+                # Every ancestor of an SLCA-style candidate can be an ELCA
+                # too; but only ancestors that are LCAs of some combination.
+                # The candidate superset of the EDBT'08 paper includes, for
+                # each anchor, the LCAs it forms with *prefixes*; we take the
+                # ancestors of cand that still contain all keywords.
+                node = cand[:-1]
+                while len(node) >= 1:
+                    if _contains_all(lists, node):
+                        candidates.add(node)
+                    node = node[:-1]
 
-    results = []
-    for cand in sorted(candidates):
-        if _verify_elca(lists, cand):
-            results.append(cand)
+        for cand in sorted(candidates):
+            if budget is not None:
+                budget.tick_candidates()
+            if _verify_elca(lists, cand):
+                results.append(cand)
+    except BudgetExceededError:
+        pass
     return results
 
 

@@ -25,6 +25,8 @@ from bisect import bisect_left, bisect_right
 from itertools import product
 from typing import Dict, List, Optional, Sequence
 
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
 from repro.xmltree.index import XmlKeywordIndex
 from repro.xmltree.node import Dewey, common_prefix, is_ancestor, lca_dewey
 
@@ -99,8 +101,15 @@ def _anchor_candidate(
     return acc
 
 
-def slca_indexed_lookup_eager(lists: Sequence[List[Dewey]]) -> List[Dewey]:
-    """XKSearch ILE: anchor on the smallest list, binary-search the rest."""
+def slca_indexed_lookup_eager(
+    lists: Sequence[List[Dewey]],
+    budget: Optional[QueryBudget] = None,
+) -> List[Dewey]:
+    """XKSearch ILE: anchor on the smallest list, binary-search the rest.
+
+    An exhausted *budget* stops the anchor scan early; the SLCAs of the
+    anchors processed so far are returned (a sound partial answer).
+    """
     lists = [lst for lst in lists]
     if not lists or any(not lst for lst in lists):
         return []
@@ -108,14 +117,22 @@ def slca_indexed_lookup_eager(lists: Sequence[List[Dewey]]) -> List[Dewey]:
     anchors = lists[smallest_idx]
     others = [lst for i, lst in enumerate(lists) if i != smallest_idx]
     candidates: List[Dewey] = []
-    for anchor in anchors:
-        cand = _anchor_candidate(anchor, others)
-        if cand is not None:
-            candidates.append(cand)
+    try:
+        for anchor in anchors:
+            if budget is not None:
+                budget.tick_candidates()
+            cand = _anchor_candidate(anchor, others)
+            if cand is not None:
+                candidates.append(cand)
+    except BudgetExceededError:
+        pass
     return _dedup_keep_deepest(candidates)
 
 
-def slca_scan_eager(lists: Sequence[List[Dewey]]) -> List[Dewey]:
+def slca_scan_eager(
+    lists: Sequence[List[Dewey]],
+    budget: Optional[QueryBudget] = None,
+) -> List[Dewey]:
     """Pointer-scan variant: same anchors, linear pointer advances.
 
     Equivalent output to ILE; the cost model differs (every list is
@@ -131,6 +148,11 @@ def slca_scan_eager(lists: Sequence[List[Dewey]]) -> List[Dewey]:
     pointers = [0] * len(others)
     candidates: List[Dewey] = []
     for anchor in anchors:
+        if budget is not None:
+            try:
+                budget.tick_candidates()
+            except BudgetExceededError:
+                break
         acc = anchor
         for i, deweys in enumerate(others):
             # advance pointer to the first element >= anchor
@@ -158,7 +180,10 @@ def slca_scan_eager(lists: Sequence[List[Dewey]]) -> List[Dewey]:
     return _dedup_keep_deepest(candidates)
 
 
-def slca_multiway(lists: Sequence[List[Dewey]]) -> List[Dewey]:
+def slca_multiway(
+    lists: Sequence[List[Dewey]],
+    budget: Optional[QueryBudget] = None,
+) -> List[Dewey]:
     """Basic Multiway-SLCA (Sun et al., WWW 07; slide 139).
 
     Instead of anchoring on every element of the smallest list, each
@@ -175,6 +200,11 @@ def slca_multiway(lists: Sequence[List[Dewey]]) -> List[Dewey]:
     cursors = [0] * len(lists)
     candidates: List[Dewey] = []
     while all(c < len(lst) for c, lst in zip(cursors, lists)):
+        if budget is not None:
+            try:
+                budget.tick_candidates()
+            except BudgetExceededError:
+                break
         anchor = max(lst[c] for c, lst in zip(cursors, lists))
         acc = anchor
         for deweys in lists:
