@@ -93,11 +93,34 @@ def _cmd_search(args: argparse.Namespace) -> int:
     _print_degraded_banner(results)
     if not results:
         print("no results")
+        if args.explain:
+            _print_explain(engine)
         return 0
     for rank, result in enumerate(results, start=1):
         print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
         print(f"      {result.describe()}")
+    if args.explain:
+        _print_explain(engine)
     return 0
+
+
+def _print_explain(engine: KeywordSearchEngine) -> None:
+    """Shared-execution and incremental-maintenance counters."""
+    stats = engine.cache_stats()
+    sharing = stats["sharing"]
+    patches = stats["substrates"]["patches"]
+    print(
+        f"-- sharing: {sharing['subexpressions_materialized']} subexpressions "
+        f"materialized, {sharing['reuse_hits']} reuse hits, "
+        f"{sharing['joins_saved']} joins avoided "
+        f"({sharing['joins_executed']} executed, "
+        f"{sharing['semijoin_pruned']} rows semijoin-pruned)"
+    )
+    print(
+        f"-- incremental: {patches['applied']} index patches applied "
+        f"({patches['index_rows']} rows, "
+        f"{patches['cn_memos_dropped']} CN memos dropped)"
+    )
 
 
 def _print_degraded_banner(results) -> None:
@@ -278,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", default="biblio", help="dataset name")
     p.add_argument("--method", default="schema", choices=list(KNOWN_METHODS))
     p.add_argument("-k", type=int, default=5)
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print shared-execution counters (subexpressions, reuse "
+        "hits, joins avoided) and incremental index patches",
+    )
     add_resilience_flags(p)
     p.set_defaults(func=_cmd_search)
 

@@ -20,6 +20,7 @@ candidate networks / keyword groups / the form pipeline, and a
 
 from __future__ import annotations
 
+import threading
 from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -55,7 +56,7 @@ from repro.resilience.errors import (
 )
 from repro.resilience.failpoints import fail_point
 from repro.schema_search.candidate_networks import generate_candidate_networks
-from repro.schema_search.topk import topk_global_pipeline
+from repro.schema_search.topk import topk_global_pipeline, topk_shared
 
 #: cached_property-backed structures derived from database *contents*
 #: (the schema graph only depends on the schema, which is immutable).
@@ -72,18 +73,48 @@ class KeywordSearchEngine:
         clean_queries: bool = True,
         result_cache_size: int = 512,
         enable_caches: bool = True,
+        cn_execution: str = "shared",
+        cn_workers: int = 1,
+        incremental_updates: bool = True,
     ):
+        if cn_execution not in ("shared", "pipeline"):
+            raise QueryParseError(
+                f"unknown cn_execution {cn_execution!r} "
+                "(choices: shared, pipeline)"
+            )
         self.db = db
         self.max_cn_size = max_cn_size
         self.clean_queries = clean_queries
         self.enable_caches = enable_caches
+        #: ``"shared"`` evaluates a query's CNs through a
+        #: :class:`~repro.schema_search.evaluate.SharedCNEvaluator`
+        #: (operator-level join sharing); ``"pipeline"`` keeps the
+        #: bound-driven global pipeline.
+        self.cn_execution = cn_execution
+        #: Worker pool width for shared CN evaluation; 1 (the default)
+        #: stays sequential, which maximises sharing and avoids nested
+        #: pools under :meth:`search_many`.
+        self.cn_workers = max(1, int(cn_workers))
+        self.incremental_updates = incremental_updates
         self.substrates = SubstrateCache(
-            db, lambda: self.index, lambda: self.schema_graph
+            db,
+            lambda: self.index,
+            lambda: self.schema_graph,
+            incremental=incremental_updates,
         )
         self._result_cache = LRUCache(result_cache_size)
         self._refine_cache = LRUCache(max(64, result_cache_size // 4))
         self._forms_cache = LRUCache(64)
         self._served_version = db.data_version
+        self._sharing_lock = threading.Lock()
+        self._sharing: Dict[str, int] = {
+            "queries": 0,
+            "joins_executed": 0,
+            "joins_saved": 0,
+            "reuse_hits": 0,
+            "subexpressions_materialized": 0,
+            "semijoin_pruned": 0,
+        }
         # Shared by every batch executor created against this engine, so
         # repeated substrate-build failures keep tripping it across
         # batches (see repro.resilience.circuit).
@@ -132,11 +163,30 @@ class KeywordSearchEngine:
     # Cache management
     # ------------------------------------------------------------------
     def _sync_version(self) -> None:
-        """Drop every derived structure if the database has mutated."""
+        """Reconcile derived structures with a mutated database.
+
+        With ``incremental_updates`` on, the substrate cache patches
+        the warm inverted index and memoised tuple sets in place
+        (insert-only data model), so only the graph-derived structures
+        — which hold per-tuple nodes — and the query-result caches are
+        dropped; they rebuild lazily.  If the delta could not be
+        applied (or incremental updates are off), everything drops as
+        before.
+        """
         version = self.db.data_version
-        if version != self._served_version:
-            self._served_version = version
-            self.invalidate_caches()
+        if version == self._served_version:
+            return
+        self._served_version = version
+        if self.incremental_updates:
+            self.substrates.check_version()
+            if self.substrates.last_delta_applied:
+                for attr in ("data_graph", "cleaner", "distance_index", "tastier"):
+                    self.__dict__.pop(attr, None)
+                self._result_cache.clear()
+                self._refine_cache.clear()
+                self._forms_cache.clear()
+                return
+        self.invalidate_caches()
 
     def invalidate_caches(self) -> None:
         """Explicitly drop all derived structures and query caches."""
@@ -149,12 +199,26 @@ class KeywordSearchEngine:
 
     def cache_stats(self) -> Dict[str, object]:
         """Hit/miss/eviction counters for dashboards and benchmarks."""
+        with self._sharing_lock:
+            sharing = dict(self._sharing)
         return {
             "results": self._result_cache.stats.as_dict(),
             "refine": self._refine_cache.stats.as_dict(),
             "forms": self._forms_cache.stats.as_dict(),
             "substrates": self.substrates.stats(),
+            "sharing": sharing,
         }
+
+    def _record_sharing(self, stats) -> None:
+        """Fold one schema search's JoinStats into the sharing totals."""
+        with self._sharing_lock:
+            totals = self._sharing
+            totals["queries"] += 1
+            totals["joins_executed"] += stats.joins_executed
+            totals["joins_saved"] += stats.joins_saved
+            totals["reuse_hits"] += stats.reuse_hits
+            totals["subexpressions_materialized"] += stats.subexpressions_materialized
+            totals["semijoin_pruned"] += stats.semijoin_pruned
 
     @staticmethod
     def _query_key(text: str, method: str, k: int) -> Tuple:
@@ -231,17 +295,22 @@ class KeywordSearchEngine:
         if not (use_cache and self.enable_caches):
             return self._run_search(text, k, method, None, False)
         key = self._query_key(text, method, k)
-
-        def compute() -> ResultSet:
-            results = self._run_search(text, k, method, None, False)
-            # Chaos hook: delay between computing and publishing to the
-            # LRU, to widen the race window against concurrent mutation.
-            fail_point("cache.result_put", key=text)
-            return results
-
-        cached = self._result_cache.get_or_compute(key, compute)
-        # Shallow copy so callers can sort/slice without poisoning the cache.
-        return cached.clone()
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            # Shallow copy so callers can sort/slice without poisoning
+            # the cache.
+            return cached.clone()
+        computed_at = self.db.data_version
+        results = self._run_search(text, k, method, None, False)
+        # Chaos hook: delay between computing and publishing to the
+        # LRU, to widen the race window against concurrent mutation.
+        fail_point("cache.result_put", key=text)
+        if self.db.data_version == computed_at:
+            # Version-guarded publish: results computed against a
+            # since-mutated database are served but never cached, so a
+            # slow compute can't pin a stale entry past invalidation.
+            self._result_cache.put(key, results)
+        return results.clone()
 
     def _run_search(
         self,
@@ -396,9 +465,21 @@ class KeywordSearchEngine:
             )
         if not cns:
             return []
-        result = topk_global_pipeline(
-            cns, tuple_sets, self.index, keywords, k=k, budget=budget
-        )
+        if self.cn_execution == "shared":
+            result = topk_shared(
+                cns,
+                tuple_sets,
+                self.index,
+                keywords,
+                k=k,
+                budget=budget,
+                max_workers=self.cn_workers,
+            )
+        else:
+            result = topk_global_pipeline(
+                cns, tuple_sets, self.index, keywords, k=k, budget=budget
+            )
+        self._record_sharing(result.stats)
         return [
             SearchResult(score=score, network=label, joined=joined)
             for score, label, joined in result.results

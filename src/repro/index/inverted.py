@@ -49,7 +49,40 @@ class InvertedIndex:
         self._df: Dict[str, int] = {}
         self._idf: Dict[str, float] = {}
         self._tf: Dict[str, Dict[TupleId, int]] = {}
+        # Rows indexed so far per text table; tables are append-only, so
+        # everything past this watermark is the delta refresh() patches.
+        self._row_counts: Dict[str, int] = {}
+        self.refreshes = 0
+        self.rows_patched = 0
         self._build()
+
+    def _index_row(
+        self,
+        tid: TupleId,
+        row,
+        text_cols: Sequence[str],
+        postings: Dict[str, List[Posting]],
+        matching: Dict[str, Dict[TupleId, None]],
+        tf: Dict[str, Dict[TupleId, int]],
+    ) -> None:
+        """Accumulate one row into the build/delta staging dicts."""
+        self._doc_count += 1
+        seen: Set[str] = set()
+        for column in text_cols:
+            value = row[column]
+            if value is None:
+                continue
+            counts: Dict[str, int] = {}
+            for token in tokenize(str(value)):
+                counts[token] = counts.get(token, 0) + 1
+            for token, freq in counts.items():
+                postings.setdefault(token, []).append(Posting(tid, column, freq))
+                matching.setdefault(token, {}).setdefault(tid)
+                token_tf = tf.setdefault(token, {})
+                token_tf[tid] = token_tf.get(tid, 0) + freq
+                seen.add(token)
+        if seen:
+            self._tuple_tokens[tid] = seen
 
     def _build(self) -> None:
         postings: Dict[str, List[Posting]] = {}
@@ -60,26 +93,11 @@ class InvertedIndex:
             if not text_cols:
                 continue
             for row in table.rows():
-                tid = TupleId(table.name, row.rowid)
-                self._doc_count += 1
-                seen: Set[str] = set()
-                for column in text_cols:
-                    value = row[column]
-                    if value is None:
-                        continue
-                    counts: Dict[str, int] = {}
-                    for token in tokenize(str(value)):
-                        counts[token] = counts.get(token, 0) + 1
-                    for token, freq in counts.items():
-                        postings.setdefault(token, []).append(
-                            Posting(tid, column, freq)
-                        )
-                        matching.setdefault(token, {}).setdefault(tid)
-                        token_tf = tf.setdefault(token, {})
-                        token_tf[tid] = token_tf.get(tid, 0) + freq
-                        seen.add(token)
-                if seen:
-                    self._tuple_tokens[tid] = seen
+                self._index_row(
+                    TupleId(table.name, row.rowid), row, text_cols,
+                    postings, matching, tf,
+                )
+            self._row_counts[table.name] = len(table)
         n_plus_1 = self._doc_count + 1
         for token, plist in postings.items():
             self._postings[token] = tuple(plist)
@@ -89,6 +107,58 @@ class InvertedIndex:
             self._df[token] = df
             self._idf[token] = math.log(n_plus_1 / (df + 1)) + 1.0
         self._tf = tf
+
+    def refresh(self) -> int:
+        """Delta-index rows inserted since the last build/refresh.
+
+        Tables are append-only (no update/delete — see
+        :class:`~repro.relational.table.Row`), so the delta is exactly
+        the suffix of each text table past the stored watermark.  New
+        postings / matching entries / term frequencies are patched in;
+        IDF is recomputed for the whole vocabulary because the document
+        count moved (O(vocabulary) floats, no text re-scanned).  The
+        patched index is content-identical to a fresh build — posting
+        order may differ for tokens the new rows contain, which no
+        consumer observes (tuple-set construction sorts, scoring reads
+        per-tuple dicts).  Returns the number of rows indexed.
+        """
+        postings: Dict[str, List[Posting]] = {}
+        matching: Dict[str, Dict[TupleId, None]] = {}
+        tf: Dict[str, Dict[TupleId, int]] = {}
+        new_rows = 0
+        for table in self.db.tables.values():
+            text_cols = table.schema.text_columns
+            if not text_cols:
+                continue
+            start = self._row_counts.get(table.name, 0)
+            if len(table) <= start:
+                continue
+            for rowid in range(start, len(table)):
+                self._index_row(
+                    TupleId(table.name, rowid), table.row(rowid), text_cols,
+                    postings, matching, tf,
+                )
+                new_rows += 1
+            self._row_counts[table.name] = len(table)
+        if new_rows:
+            for token, plist in postings.items():
+                self._postings[token] = (
+                    self._postings.get(token, _EMPTY_POSTINGS) + tuple(plist)
+                )
+                tids = tuple(matching[token])
+                self._matching[token] = (
+                    self._matching.get(token, _EMPTY_TUPLES) + tids
+                )
+                self._df[token] = len(self._matching[token])
+                token_tf = self._tf.setdefault(token, {})
+                for tid, freq in tf[token].items():
+                    token_tf[tid] = token_tf.get(tid, 0) + freq
+            n_plus_1 = self._doc_count + 1
+            for token, df in self._df.items():
+                self._idf[token] = math.log(n_plus_1 / (df + 1)) + 1.0
+            self.rows_patched += new_rows
+        self.refreshes += 1
+        return new_rows
 
     # ------------------------------------------------------------------
     # Lookup

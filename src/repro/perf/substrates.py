@@ -11,10 +11,15 @@ shared-execution argument of slides 129-133.
 
 :class:`SubstrateCache` memoises all four families.  Every public
 accessor first compares the database's :attr:`Database.data_version`
-against the version the cache was filled under and drops everything on
-mismatch, so a mutated database can never serve stale substrates.
-Builds take a lock (double-checked) so concurrent batch workers share
-one build instead of racing.
+against the version the cache was filled under, so a mutated database
+can never serve stale substrates.  Because the data model is
+insert-only, the default reaction to a mutation is an *incremental
+delta*: the inverted index patches postings for the appended rows and
+every memoised :class:`TupleSets` re-classifies just those rows,
+keeping warm-cache speedups across writes; memoised CN lists drop only
+when a new tuple-set key appears (``incremental=False`` restores the
+old drop-everything behavior).  Builds take a lock (double-checked) so
+concurrent batch workers share one build instead of racing.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ class SubstrateCache:
         db: Database,
         index_supplier: Callable[[], InvertedIndex],
         schema_graph_supplier: Callable[[], SchemaGraph],
+        incremental: bool = True,
     ):
         self.db = db
         self._index = index_supplier
@@ -66,20 +72,76 @@ class SubstrateCache:
             "form_pipeline": 0,
         }
         self.invalidations = 0
+        #: When True, a version bump patches the index and memoised
+        #: tuple sets in place (insert-only data model) instead of
+        #: dropping everything; False restores clear-on-mutation.
+        self.incremental = incremental
+        self.patches: Dict[str, int] = {
+            "applied": 0,
+            "index_rows": 0,
+            "tuple_sets_patched": 0,
+            "cn_memos_dropped": 0,
+        }
+        #: True when the last version bump was absorbed by an in-place
+        #: patch — the engine uses this to decide whether its own
+        #: index-derived structures survived.
+        self.last_delta_applied = False
 
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
     def check_version(self) -> bool:
-        """Drop everything if the database has mutated; True if it had."""
+        """Reconcile with a mutated database; True if the version moved.
+
+        With ``incremental`` on, appended rows are patched into the
+        warm index and memoised tuple sets (see :meth:`_apply_delta`);
+        only stale CN memos and the cheap keyword/form memos drop.
+        Otherwise — or if the delta fails — everything is cleared as
+        before.
+        """
         with self._lock:
             version = self.db.data_version
             if version == self._version:
                 return False
             self._version = version
+            if self.incremental and self._apply_delta():
+                self.last_delta_applied = True
+                return True
+            self.last_delta_applied = False
             self._clear_locked()
             self.invalidations += 1
             return True
+
+    def _apply_delta(self) -> bool:
+        """Patch memoised substrates in place for appended rows.
+
+        The data model is insert-only, so a delta always exists: the
+        index refreshes its posting suffixes, each memoised
+        :class:`TupleSets` re-classifies only the new rows, and a CN
+        memo is dropped *only* when its keyword set gained a brand-new
+        tuple-set key (CN enumeration depends only on which keys are
+        non-empty).  Keyword-match and form memos are cleared — they
+        are cheap to rebuild and not worth a patch path.  Returns False
+        on any failure, in which case the caller falls back to the full
+        clear.
+        """
+        try:
+            index = self._index()
+            self.patches["index_rows"] += index.refresh()
+            for key, tuple_sets in self._tuple_sets.items():
+                created = tuple_sets.refresh()
+                self.patches["tuple_sets_patched"] += 1
+                if created:
+                    stale = [k for k in self._networks if k[0] == key]
+                    for memo_key in stale:
+                        del self._networks[memo_key]
+                    self.patches["cn_memos_dropped"] += len(stale)
+            self._keyword_matches.clear()
+            self._form_pipeline.clear()
+            self.patches["applied"] += 1
+            return True
+        except Exception:
+            return False
 
     def clear(self) -> None:
         with self._lock:
@@ -213,6 +275,8 @@ class SubstrateCache:
             return {
                 "version": self._version,
                 "invalidations": self.invalidations,
+                "incremental": self.incremental,
+                "patches": dict(self.patches),
                 "builds": dict(self.builds),
                 "entries": {
                     "tuple_sets": len(self._tuple_sets),

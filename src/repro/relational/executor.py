@@ -18,16 +18,33 @@ from repro.relational.table import Row
 
 @dataclass
 class JoinStats:
-    """Execution counters accumulated across executor calls."""
+    """Execution counters accumulated across executor calls.
+
+    Beyond the raw work counters, the shared-execution counters say how
+    much work operator-level sharing avoided: ``reuse_hits`` counts CN
+    evaluations seeded from a cached subexpression, ``joins_saved`` the
+    hash joins that seeding skipped, ``subexpressions_materialized`` the
+    distinct intermediates a :class:`SharedCNEvaluator` stored, and
+    ``semijoin_pruned`` the tuples semi-join pre-filtering removed
+    before any join ran.
+    """
 
     tuples_read: int = 0
     tuples_emitted: int = 0
     joins_executed: int = 0
+    reuse_hits: int = 0
+    joins_saved: int = 0
+    subexpressions_materialized: int = 0
+    semijoin_pruned: int = 0
 
     def merge(self, other: "JoinStats") -> None:
         self.tuples_read += other.tuples_read
         self.tuples_emitted += other.tuples_emitted
         self.joins_executed += other.joins_executed
+        self.reuse_hits += other.reuse_hits
+        self.joins_saved += other.joins_saved
+        self.subexpressions_materialized += other.subexpressions_materialized
+        self.semijoin_pruned += other.semijoin_pruned
 
 
 class JoinedRow:

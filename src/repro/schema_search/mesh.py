@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.index.text import tokenize
 from repro.relational.table import Row
 from repro.schema_search.candidate_networks import CandidateNetwork
+from repro.schema_search.plans import bfs_join_order, prefix_codes
 from repro.schema_search.tuple_sets import TupleSetKey
 
 
@@ -57,34 +58,8 @@ class OperatorMesh:
 
     @staticmethod
     def _prefix_codes(cn: CandidateNetwork) -> List[str]:
-        adj = cn.adjacency()
-        order = [0]
-        parents: Dict[int, int] = {}
-        visited = {0}
-        frontier = [0]
-        while frontier:
-            nxt = []
-            for node in frontier:
-                for nbr, __ in adj[node]:
-                    if nbr not in visited:
-                        visited.add(nbr)
-                        parents[nbr] = node
-                        order.append(nbr)
-                        nxt.append(nbr)
-            frontier = nxt
-        codes: List[str] = []
-        included: List[int] = []
-        for node_idx in order:
-            included.append(node_idx)
-            index_map = {old: new for new, old in enumerate(included)}
-            nodes = [cn.nodes[i] for i in included]
-            edges = [
-                (index_map[parents[i]], index_map[i],
-                 next(e for nbr, e in adj[parents[i]] if nbr == i))
-                for i in included[1:]
-            ]
-            codes.append(CandidateNetwork(nodes, edges).canonical_code())
-        return codes
+        """Canonical code of each plan prefix (BFS order, as streamed)."""
+        return prefix_codes(cn, bfs_join_order(cn))
 
     # ------------------------------------------------------------------
     # Sharing metrics (slide 134's point)

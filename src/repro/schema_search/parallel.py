@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.schema_search.candidate_networks import CandidateNetwork
+from repro.schema_search.plans import cardinality_join_order, prefix_codes
 from repro.schema_search.tuple_sets import TupleSets
 
 
@@ -50,44 +51,18 @@ class SharedExecutionGraph:
                 self._node_cost[step.code] = step.cost
 
     def _plan(self, cn: CandidateNetwork) -> List[PlanStep]:
-        """Left-deep plan: partial trees in BFS join order with costs."""
-        adj = cn.adjacency()
-        order = [0]
-        parents: Dict[int, int] = {}
-        visited = {0}
-        frontier = [0]
-        while frontier:
-            nxt = []
-            for node in frontier:
-                for nbr, _ in adj[node]:
-                    if nbr not in visited:
-                        visited.add(nbr)
-                        parents[nbr] = node
-                        order.append(nbr)
-                        nxt.append(nbr)
-            frontier = nxt
-        steps: List[PlanStep] = []
-        included: List[int] = []
-        for node_idx in order:
-            included.append(node_idx)
-            partial = self._subnetwork(cn, included, parents)
-            cost = self._step_cost(cn, node_idx)
-            steps.append(PlanStep(partial.canonical_code(), cost))
-        return steps
+        """Left-deep plan: canonical partial-tree codes with costs.
 
-    @staticmethod
-    def _subnetwork(
-        cn: CandidateNetwork, included: List[int], parents: Dict[int, int]
-    ) -> CandidateNetwork:
-        index_map = {old: new for new, old in enumerate(included)}
-        nodes = [cn.nodes[i] for i in included]
-        edges = []
-        adj = cn.adjacency()
-        for old in included[1:]:
-            parent = parents[old]
-            edge = next(e for nbr, e in adj[parent] if nbr == old)
-            edges.append((index_map[parent], index_map[old], edge))
-        return CandidateNetwork(nodes, edges)
+        Uses the same cardinality join order the shared executor runs
+        (:func:`~repro.schema_search.plans.cardinality_join_order`), so
+        the cost model prices the plans that actually execute.
+        """
+        steps = cardinality_join_order(cn, self.tuple_sets)
+        codes = prefix_codes(cn, steps)
+        return [
+            PlanStep(code, self._step_cost(cn, step.node))
+            for code, step in zip(codes, steps)
+        ]
 
     def _step_cost(self, cn: CandidateNetwork, node_idx: int) -> float:
         """Cost of scanning/joining in one node: its tuple-set size."""
@@ -181,3 +156,24 @@ def partition_sharing_aware(graph: SharedExecutionGraph, cores: int) -> Assignme
         loads[best_core] = best_resulting
         have[best_core] |= graph.codes(cn_index)
     return assignment
+
+
+def shared_plan_groups(
+    cns: Sequence[CandidateNetwork], tuple_sets: TupleSets, cores: int
+) -> List[List[int]]:
+    """Partition CN indices into at most *cores* shared-plan groups.
+
+    Sharing-aware placement (slide 132) keeps CNs with common partials
+    on the same core, so each group's
+    :class:`~repro.schema_search.evaluate.SharedCNEvaluator` sees the
+    reuse the cost model predicted.  Groups are sorted (and each group's
+    indices sorted) so the grouping — and therefore the merged result
+    stream — is deterministic for a given CN list.
+    """
+    if not cns:
+        return []
+    graph = SharedExecutionGraph(cns, tuple_sets)
+    assignment = partition_sharing_aware(graph, max(1, min(cores, len(cns))))
+    groups = [sorted(core) for core in assignment if core]
+    groups.sort()
+    return groups

@@ -21,8 +21,8 @@ charged to the statistics).
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +33,7 @@ from repro.relational.table import Row
 from repro.resilience.budget import QueryBudget
 from repro.resilience.errors import BudgetExceededError
 from repro.schema_search.candidate_networks import CandidateNetwork
+from repro.schema_search.evaluate import SharedCNEvaluator
 from repro.schema_search.scoring import monotonic_result_score, tuple_score
 from repro.schema_search.tuple_sets import TupleSets
 
@@ -187,19 +188,51 @@ class CNExecutor:
         return out
 
 
+class _RevKey:
+    """Content tie-break key with reversed comparison.
+
+    Inside the min-heap the *worst* entry sits at the top; among equal
+    scores that should be the entry with the lexicographically largest
+    content key, so that the retained top-k (and hence the final result
+    list) does not depend on offer order — workers may deliver results
+    in any interleaving.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Tuple):
+        self.key = key
+
+    def __lt__(self, other: "_RevKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RevKey) and other.key == self.key
+
+
 class _TopKHeap:
-    """Fixed-capacity min-heap over (score, tiebreak, payload)."""
+    """Fixed-capacity min-heap over (score, content tiebreak, payload).
+
+    Tie-breaking is by result content — ``(CN label, tuple ids)`` — not
+    arrival order, so the same set of offered results yields the same
+    top-k no matter the order they arrive in (deterministic across
+    repeated, batched and parallel runs).
+    """
 
     def __init__(self, k: int):
         self.k = k
-        self._heap: List[Tuple[float, int, str, JoinedRow]] = []
-        self._counter = itertools.count()
+        self._heap: List[Tuple[float, _RevKey, str, JoinedRow]] = []
 
     def offer(self, score: float, label: str, joined: JoinedRow) -> None:
-        entry = (score, next(self._counter), label, joined)
+        key = (label, joined.tuple_ids())
+        entry = (score, _RevKey(key), label, joined)
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, entry)
         elif score > self._heap[0][0] + EPS:
+            heapq.heapreplace(self._heap, entry)
+        elif abs(score - self._heap[0][0]) <= EPS and key < self._heap[0][1].key:
+            # Same score as the current k-th: keep the smaller content
+            # key so equal-score boundaries are order-independent too.
             heapq.heapreplace(self._heap, entry)
 
     def kth_score(self) -> float:
@@ -208,7 +241,7 @@ class _TopKHeap:
         return self._heap[0][0]
 
     def sorted_results(self) -> List[Tuple[float, str, JoinedRow]]:
-        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1].key))
         return [(score, label, joined) for score, _, label, joined in ordered]
 
 
@@ -333,4 +366,86 @@ def topk_global_pipeline(
         pass  # return what the heap holds; caller sees budget.exhausted
     return TopKResult(
         heap.sorted_results(), stats, cns_executed=len(touched), batches=batches
+    )
+
+
+def topk_shared(
+    cns: Sequence[CandidateNetwork],
+    tuple_sets: TupleSets,
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    k: int = 10,
+    budget: Optional[QueryBudget] = None,
+    max_workers: int = 1,
+) -> TopKResult:
+    """Top-k over shared CN evaluation (slides 129-134).
+
+    Evaluates the query's CNs through a
+    :class:`~repro.schema_search.evaluate.SharedCNEvaluator`, so join
+    prefixes common to several CNs are materialised once and reused;
+    the stats report ``reuse_hits`` / ``joins_saved``.
+
+    With ``max_workers > 1`` and no budget, the CNs are partitioned
+    into independent shared-plan groups by the sharing-aware placement
+    policy (:func:`~repro.schema_search.parallel.shared_plan_groups`)
+    and each group runs on its own worker with its own evaluator; the
+    per-group results are merged deterministically, and the heap's
+    content tie-breaking makes the final top-k independent of worker
+    scheduling.  Budgeted queries always run sequentially — a
+    :class:`QueryBudget` is not shared across threads — charging one
+    node expansion per join and one candidate per emitted result, and
+    return the partial heap on exhaustion like the global pipeline.
+    """
+    stats = JoinStats()
+    heap = _TopKHeap(k)
+    if not cns:
+        return TopKResult([], stats)
+    keywords = list(keywords)
+    run_parallel = max_workers > 1 and budget is None and len(cns) > 1
+    if not run_parallel:
+        evaluator = SharedCNEvaluator(tuple_sets, stats=stats, budget=budget)
+        evaluator.plan(cns)
+        executed = 0
+        try:
+            for cn in cns:
+                label = cn.label()
+                for joined in evaluator.evaluate(cn):
+                    heap.offer(
+                        monotonic_result_score(index, joined, keywords),
+                        label,
+                        joined,
+                    )
+                executed += 1
+        except BudgetExceededError:
+            pass  # partial top-k; caller sees budget.exhausted
+        return TopKResult(
+            heap.sorted_results(), stats, cns_executed=executed, batches=1
+        )
+
+    from repro.schema_search.parallel import shared_plan_groups
+
+    groups = shared_plan_groups(cns, tuple_sets, max_workers)
+
+    def run_group(cn_indices: List[int]):
+        group_stats = JoinStats()
+        evaluator = SharedCNEvaluator(tuple_sets, stats=group_stats)
+        evaluator.plan([cns[i] for i in cn_indices])
+        scored: List[Tuple[float, str, JoinedRow]] = []
+        for i in cn_indices:
+            cn = cns[i]
+            label = cn.label()
+            for joined in evaluator.evaluate(cn):
+                scored.append(
+                    (monotonic_result_score(index, joined, keywords), label, joined)
+                )
+        return group_stats, scored
+
+    with ThreadPoolExecutor(max_workers=min(max_workers, len(groups))) as pool:
+        outcomes = list(pool.map(run_group, groups))
+    for group_stats, scored in outcomes:
+        stats.merge(group_stats)
+        for score, label, joined in scored:
+            heap.offer(score, label, joined)
+    return TopKResult(
+        heap.sorted_results(), stats, cns_executed=len(cns), batches=len(groups)
     )

@@ -10,6 +10,7 @@ the whole relation, used for pure join nodes.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -44,6 +45,11 @@ class TupleSets:
         self.keywords: Tuple[str, ...] = tuple(k.lower() for k in keywords)
         self._sets: Dict[TupleSetKey, List[TupleId]] = {}
         self._matched_by_table: Dict[str, Set[int]] = {}
+        # Rows classified so far per table (append-only data model);
+        # refresh() patches membership for everything past this mark.
+        self._row_counts: Dict[str, int] = {
+            name: len(table) for name, table in db.tables.items()
+        }
         self._build()
 
     def _build(self) -> None:
@@ -61,6 +67,45 @@ class TupleSets:
             self._matched_by_table.setdefault(tid.table, set()).add(tid.rowid)
         for tids in self._sets.values():
             tids.sort()
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def refresh(self) -> List[TupleSetKey]:
+        """Patch membership for rows inserted since construction.
+
+        Requires the inverted index to have been refreshed first (the
+        classification reads ``index.contains_token``).  Each new row is
+        placed into its exact-subset tuple set (order-preserving
+        ``bisect.insort`` keeps parity with a from-scratch build); free
+        sets need no patching because they are computed from table
+        length minus the matched rowids recorded here.  Returns the
+        tuple-set keys that newly came into existence — a non-empty
+        return means the CN space may have changed; an empty one means
+        every memoised CN list is still exact.
+        """
+        query = set(self.keywords)
+        created: List[TupleSetKey] = []
+        for name, table in self.db.tables.items():
+            start = self._row_counts.get(name, 0)
+            if len(table) <= start:
+                continue
+            for rowid in range(start, len(table)):
+                tid = TupleId(name, rowid)
+                subset = frozenset(
+                    k for k in query if self.index.contains_token(tid, k)
+                )
+                if not subset:
+                    continue
+                key = TupleSetKey(name, subset)
+                members = self._sets.get(key)
+                if members is None:
+                    members = self._sets[key] = []
+                    created.append(key)
+                bisect.insort(members, tid)
+                self._matched_by_table.setdefault(name, set()).add(rowid)
+            self._row_counts[name] = len(table)
+        return created
 
     # ------------------------------------------------------------------
     # Lookup

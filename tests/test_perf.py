@@ -111,7 +111,28 @@ class TestSubstrateCache:
         again = engine.substrates.keyword_groups(["widom", "xml"])
         assert again is not None and again[0]
 
-    def test_mutation_invalidates(self, engine):
+    def test_mutation_patches_incrementally(self, engine):
+        # Insert-only data model: the default reaction to a mutation is
+        # an in-place delta patch, not a drop-everything clear.
+        ts1 = engine.substrates.tuple_sets(["widom", "xml"])
+        engine.db.insert("author", aid=99, name="fresh widom fan", affiliation=None)
+        ts2 = engine.substrates.tuple_sets(["widom", "xml"])
+        assert ts2 is ts1  # warm substrate survived the write
+        assert engine.substrates.invalidations == 0
+        patches = engine.substrates.patches
+        assert patches["applied"] == 1
+        assert patches["index_rows"] == 1
+        # ...and the patched substrate sees the new row.
+        new_tid = TupleId("author", len(engine.db.table("author")) - 1)
+        assert any(
+            new_tid in ts2.tuple_ids(key)
+            for key in ts2.keys_for_table("author")
+        )
+
+    def test_mutation_invalidates_without_incremental(self):
+        engine = KeywordSearchEngine(
+            tiny_bibliographic_db(), incremental_updates=False
+        )
         ts1 = engine.substrates.tuple_sets(["widom", "xml"])
         engine.db.insert("author", aid=99, name="fresh author", affiliation=None)
         ts2 = engine.substrates.tuple_sets(["widom", "xml"])
