@@ -1,0 +1,332 @@
+"""E21 — observability overhead: tracing must be (nearly) free.
+
+Claims (ISSUE: tracing spans, metrics registry, profiling hooks):
+
+1. Running the compute path (result LRU bypassed, substrate memos warm)
+   with ``trace=True`` costs < 5% wall-clock over ``trace=False`` on the
+   bibliographic workload, across relational methods and the XML engine.
+2. Traced and untraced runs return *byte-identical* results — tracing
+   never reorders or perturbs evaluation (divergence count must be 0).
+3. Every traced computed query yields a span tree covering at least six
+   named pipeline stages.
+
+Warm-path (result-cache hit) latencies are reported as absolute
+microseconds only: a hit is ~µs either way, so a relative bound there
+would measure scheduler noise, not tracing.
+
+Runnable under pytest or as a script emitting ``BENCH_obs.json``:
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--smoke] \
+        [--out BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.xml_engine import XmlSearchEngine
+from repro.datasets.bibliographic import generate_bibliographic_db
+from repro.datasets.xml_corpora import generate_bib_xml
+
+OVERHEAD_BOUND_PCT = 5.0
+MIN_SPAN_STAGES = 6
+
+# (query, method) pairs drawn from the generator's word pools; methods
+# cover every traced dispatch family (schema CNs, graph search, Steiner,
+# distinct-root, EASE, index-only).
+RELATIONAL_WORKLOAD: List[Tuple[str, str]] = [
+    ("database query", "schema"),
+    ("xml keyword", "schema"),
+    ("john database", "schema"),
+    ("smith database", "banks"),
+    ("xml index", "banks2"),
+    ("keyword search", "steiner"),
+    ("chen mining", "distinct_root"),
+    ("chen mining", "ease"),
+    ("query join", "index_only"),
+    ("database index", "index_only"),
+]
+
+XML_WORKLOAD: List[Tuple[str, str]] = [
+    ("keyword query", "slca"),
+    ("xml search", "slca"),
+    ("database author", "multiway"),
+    ("keyword query", "elca"),
+    ("xml author", "elca"),
+]
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _signature(results) -> bytes:
+    """Canonical byte serialisation of a relational ResultSet."""
+    payload = [
+        [round(r.score, 9), r.network, [str(t) for t in r.tuple_ids()]]
+        for r in results
+    ]
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _xml_signature(results) -> bytes:
+    payload = [[round(r.score, 9), list(r.root)] for r in results]
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _interleaved_best(
+    untraced_pass: Callable[[], object],
+    traced_pass: Callable[[], object],
+    repeats: int,
+) -> Tuple[float, float]:
+    """Best-of-``repeats`` workload wall time per mode, ABAB-interleaved.
+
+    Alternating the order each round cancels drift (thermal, allocator
+    warm-up) that would otherwise bias whichever mode runs second.
+    """
+    untraced: List[float] = []
+    traced: List[float] = []
+    for i in range(repeats):
+        if i % 2 == 0:
+            untraced.append(_timed(untraced_pass))
+            traced.append(_timed(traced_pass))
+        else:
+            traced.append(_timed(traced_pass))
+            untraced.append(_timed(untraced_pass))
+    return min(untraced), min(traced)
+
+
+def measure_relational(
+    repeats: int = 7, k: int = 5
+) -> Dict[str, object]:
+    """Compute-path overhead + parity + span coverage, relational engine.
+
+    ``use_cache=False`` bypasses the result LRU so every query runs the
+    full pipeline; substrate memos stay warm (served-path steady state),
+    so the clock covers evaluation — the part tracing instruments.
+    """
+    engine = KeywordSearchEngine(generate_bibliographic_db(seed=7))
+
+    divergence = 0
+    span_coverage: Dict[str, List[str]] = {}
+    for query, method in RELATIONAL_WORKLOAD:
+        plain = engine.search(query, k=k, method=method, use_cache=False)
+        traced = engine.search(
+            query, k=k, method=method, use_cache=False, trace=True
+        )
+        if _signature(plain) != _signature(traced):
+            divergence += 1
+        names = sorted(traced.trace.span_names())
+        span_coverage[f"{method}:{query}"] = names
+
+    def run_pass(trace: bool) -> None:
+        for query, method in RELATIONAL_WORKLOAD:
+            engine.search(
+                query, k=k, method=method, use_cache=False, trace=trace
+            )
+
+    best_plain, best_traced = _interleaved_best(
+        lambda: run_pass(False), lambda: run_pass(True), repeats
+    )
+    overhead_pct = (
+        (best_traced - best_plain) / best_plain * 100.0 if best_plain else 0.0
+    )
+
+    # Warm path: cache hits, absolute µs per lookup.
+    for query, method in RELATIONAL_WORKLOAD[:3]:
+        engine.search(query, k=k, method=method)  # fill the LRU
+    hits = RELATIONAL_WORKLOAD[:3]
+    n_hits = 50
+    plain_hit_s = _timed(
+        lambda: [
+            engine.search(q, k=k, method=m) for _ in range(n_hits) for q, m in hits
+        ]
+    )
+    traced_hit_s = _timed(
+        lambda: [
+            engine.search(q, k=k, method=m, trace=True)
+            for _ in range(n_hits)
+            for q, m in hits
+        ]
+    )
+    per_lookup = len(hits) * n_hits
+
+    min_stages = min(len(names) for names in span_coverage.values())
+    return {
+        "queries": len(RELATIONAL_WORKLOAD),
+        "repeats": repeats,
+        "untraced_wall_s": round(best_plain, 6),
+        "traced_wall_s": round(best_traced, 6),
+        "overhead_pct": round(overhead_pct, 3),
+        "divergence": divergence,
+        "min_span_stages": min_stages,
+        "span_coverage": span_coverage,
+        "warm_hit_untraced_us": round(1e6 * plain_hit_s / per_lookup, 2),
+        "warm_hit_traced_us": round(1e6 * traced_hit_s / per_lookup, 2),
+    }
+
+
+def measure_xml(repeats: int = 7, k: int = 5) -> Dict[str, object]:
+    """Same contract for the XML engine (no result LRU to bypass)."""
+    engine = XmlSearchEngine(generate_bib_xml(seed=31))
+    engine.index  # build outside the clock
+
+    divergence = 0
+    span_coverage: Dict[str, List[str]] = {}
+    for query, semantics in XML_WORKLOAD:
+        plain = engine.search(query, k=k, semantics=semantics)
+        traced = engine.search(query, k=k, semantics=semantics, trace=True)
+        if _xml_signature(plain) != _xml_signature(traced):
+            divergence += 1
+        names = sorted(traced.trace.span_names())
+        span_coverage[f"{semantics}:{query}"] = names
+
+    def run_pass(trace: bool) -> None:
+        for query, semantics in XML_WORKLOAD:
+            engine.search(query, k=k, semantics=semantics, trace=trace)
+
+    best_plain, best_traced = _interleaved_best(
+        lambda: run_pass(False), lambda: run_pass(True), repeats
+    )
+    overhead_pct = (
+        (best_traced - best_plain) / best_plain * 100.0 if best_plain else 0.0
+    )
+    min_stages = min(len(names) for names in span_coverage.values())
+    return {
+        "queries": len(XML_WORKLOAD),
+        "repeats": repeats,
+        "untraced_wall_s": round(best_plain, 6),
+        "traced_wall_s": round(best_traced, 6),
+        "overhead_pct": round(overhead_pct, 3),
+        "divergence": divergence,
+        "min_span_stages": min_stages,
+        "span_coverage": span_coverage,
+    }
+
+
+def run_obs_benchmark(smoke: bool = False) -> Dict[str, object]:
+    """Full benchmark; the dict becomes ``BENCH_obs.json``."""
+    repeats = 3 if smoke else 7
+    relational = measure_relational(repeats=repeats)
+    xml = measure_xml(repeats=repeats)
+
+    divergence = relational["divergence"] + xml["divergence"]
+    min_stages = min(
+        relational["min_span_stages"], xml["min_span_stages"]
+    )
+    # The XML workload runs in tens of microseconds per query, where a
+    # single cache-line hiccup outweighs tracing; the relational bound
+    # is the binding one, the XML bound is a sanity rail.
+    xml_bound = OVERHEAD_BOUND_PCT if not smoke else 25.0
+    passed = (
+        relational["overhead_pct"] < OVERHEAD_BOUND_PCT
+        and xml["overhead_pct"] < xml_bound
+        and divergence == 0
+        and min_stages >= MIN_SPAN_STAGES
+    )
+    return {
+        "benchmark": "obs",
+        "smoke": smoke,
+        "relational": relational,
+        "xml": xml,
+        "acceptance": {
+            "traced_overhead_pct": relational["overhead_pct"],
+            "xml_overhead_pct": xml["overhead_pct"],
+            "bound_pct": OVERHEAD_BOUND_PCT,
+            "xml_bound_pct": xml_bound,
+            "divergence": divergence,
+            "min_span_stages": min_stages,
+            "min_span_stages_required": MIN_SPAN_STAGES,
+            "pass": passed,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (shape claims, conservative margins)
+# ----------------------------------------------------------------------
+def test_tracing_parity_and_coverage():
+    from benchmarks.conftest import print_table
+
+    stats = measure_relational(repeats=3)
+    print_table(
+        "E21 tracing overhead (biblio compute path)",
+        ["mode", "wall_s"],
+        [
+            ["untraced", stats["untraced_wall_s"]],
+            ["traced", stats["traced_wall_s"]],
+        ],
+    )
+    assert stats["divergence"] == 0
+    assert stats["min_span_stages"] >= MIN_SPAN_STAGES
+    # Shape-only margin under pytest: parallel test workers make a tight
+    # relative bound flaky; the script run enforces the real 5%.
+    assert stats["overhead_pct"] < 50.0
+
+
+def test_xml_tracing_parity():
+    stats = measure_xml(repeats=3)
+    assert stats["divergence"] == 0
+    assert stats["min_span_stages"] >= MIN_SPAN_STAGES
+
+
+# ----------------------------------------------------------------------
+# script entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import argparse
+    from datetime import datetime, timezone
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer repeats and a relaxed XML rail (CI gate)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_obs.json"),
+        help="output JSON path (default: repo root BENCH_obs.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_obs_benchmark(smoke=args.smoke)
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    report["python"] = sys.version.split()[0]
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    acceptance = report["acceptance"]
+    print(f"wrote {args.out}")
+    print(
+        f"relational traced overhead: {acceptance['traced_overhead_pct']}% "
+        f"(bound {acceptance['bound_pct']}%), "
+        f"xml: {acceptance['xml_overhead_pct']}% "
+        f"(bound {acceptance['xml_bound_pct']}%)"
+    )
+    print(
+        f"divergence: {acceptance['divergence']}, "
+        f"min span stages: {acceptance['min_span_stages']} "
+        f"(required {acceptance['min_span_stages_required']})"
+    )
+    print(f"acceptance pass: {acceptance['pass']}")
+    return 0 if acceptance["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,10 +5,12 @@ datasets without writing code:
 
     python -m repro search "john database" --method schema -k 5
     python -m repro search "widom xml" --dataset tiny --method steiner
+    python -m repro search "john database" --trace
     python -m repro batch "john database" "widom xml" --workers 8 --stats
     python -m repro batch --file queries.txt --method banks
     python -m repro xml "keyword mark" --semantics elca --snippets
     python -m repro suggest "dat"
+    python -m repro metrics "john database" "widom xml" --method banks
     python -m repro facets --dataset events
     python -m repro datasets
 """
@@ -16,11 +18,13 @@ datasets without writing code:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.engine import KeywordSearchEngine
 from repro.core.xml_engine import XmlSearchEngine
+from repro.obs.trace import format_trace
 from repro.resilience.degradation import KNOWN_METHODS
 from repro.resilience.errors import QueryParseError
 
@@ -86,6 +90,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             timeout_ms=args.timeout_ms,
             max_expansions=args.max_expansions,
             fallback=args.fallback,
+            trace=args.trace or None,
         )
     except QueryParseError as exc:
         print(f"bad request: {exc}", file=sys.stderr)
@@ -93,14 +98,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
     _print_degraded_banner(results)
     if not results:
         print("no results")
-        if args.explain:
-            _print_explain(engine)
-        return 0
     for rank, result in enumerate(results, start=1):
         print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
         print(f"      {result.describe()}")
     if args.explain:
         _print_explain(engine)
+    if args.trace and results.trace is not None:
+        print("-- trace:")
+        print(format_trace(results.trace))
     return 0
 
 
@@ -196,6 +201,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run queries against one engine, then dump its metrics snapshot."""
+    factory = DATASETS.get(args.dataset)
+    if factory is None:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    engine = KeywordSearchEngine(factory())
+    for query in args.queries:
+        try:
+            engine.search(query, k=args.k, method=args.method)
+        except QueryParseError as exc:
+            print(f"bad request {query!r}: {exc}", file=sys.stderr)
+            return 2
+        if args.repeat > 1:
+            for _ in range(args.repeat - 1):
+                engine.search(query, k=args.k, method=args.method)
+    print(json.dumps(engine.metrics.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     factory = DATASETS.get(args.dataset)
     if factory is None:
@@ -213,10 +238,14 @@ def _cmd_xml(args: argparse.Namespace) -> int:
         print(f"unknown corpus {args.corpus!r}", file=sys.stderr)
         return 2
     engine = XmlSearchEngine(factory())
-    results = engine.search(args.query, k=args.k, semantics=args.semantics)
+    results = engine.search(
+        args.query,
+        k=args.k,
+        semantics=args.semantics,
+        trace=args.trace or None,
+    )
     if not results:
         print("no results")
-        return 0
     for rank, result in enumerate(results, start=1):
         print(f"{rank:2d}. [{result.score:.3f}] {result.describe()}")
         if args.snippets:
@@ -224,6 +253,9 @@ def _cmd_xml(args: argparse.Namespace) -> int:
 
             items = engine.snippet(result, args.query)
             print(f"      snippet: {snippet_text(items)}")
+    if args.trace and results.trace is not None:
+        print("-- trace:")
+        print(format_trace(results.trace))
     return 0
 
 
@@ -307,6 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print shared-execution counters (subexpressions, reuse "
         "hits, joins avoided) and incremental index patches",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the query's span tree (stage timings and work "
+        "counters) after the results",
+    )
     add_resilience_flags(p)
     p.set_defaults(func=_cmd_search)
 
@@ -323,6 +361,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_resilience_flags(p)
     p.set_defaults(func=_cmd_batch)
 
+    p = sub.add_parser(
+        "metrics",
+        help="run queries and print the engine's metrics snapshot as JSON",
+    )
+    p.add_argument("queries", nargs="+", help="query strings")
+    p.add_argument("--dataset", default="biblio", help="dataset name")
+    p.add_argument("--method", default="schema", choices=list(KNOWN_METHODS))
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run each query N times (exercises the result cache)",
+    )
+    p.set_defaults(func=_cmd_metrics)
+
     p = sub.add_parser("suggest", help="type-ahead completions")
     p.add_argument("prefix")
     p.add_argument("--dataset", default="biblio")
@@ -337,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-k", type=int, default=5)
     p.add_argument("--snippets", action="store_true")
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the query's span tree after the results",
+    )
     p.set_defaults(func=_cmd_xml)
 
     p = sub.add_parser("facets", help="faceted navigation tree")

@@ -21,8 +21,10 @@ candidate networks / keyword groups / the form pipeline, and a
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.ambiguity.autocomplete import Tastier
 from repro.ambiguity.cleaning import CleaningResult, QueryCleaner
@@ -40,6 +42,9 @@ from repro.graph_search.steiner import group_steiner_dp
 from repro.index.distance import KeywordDistanceIndex
 from repro.index.inverted import InvertedIndex
 from repro.index.text import tokenize
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.trace import Tracer, span as trace_span
 from repro.perf.batch import BatchSearchExecutor
 from repro.perf.lru import LRUCache
 from repro.perf.substrates import SubstrateCache
@@ -76,6 +81,8 @@ class KeywordSearchEngine:
         cn_execution: str = "shared",
         cn_workers: int = 1,
         incremental_updates: bool = True,
+        trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if cn_execution not in ("shared", "pipeline"):
             raise QueryParseError(
@@ -118,7 +125,20 @@ class KeywordSearchEngine:
         # Shared by every batch executor created against this engine, so
         # repeated substrate-build failures keep tripping it across
         # batches (see repro.resilience.circuit).
-        self.circuit_breaker = CircuitBreaker()
+        self.circuit_breaker = CircuitBreaker(
+            on_transition=self._on_breaker_transition
+        )
+        #: When True, every :meth:`search` builds a span tree and
+        #: attaches it as ``result.trace`` (per-call ``trace=`` wins).
+        self.trace_enabled = trace
+        #: Named counters / gauges / histograms for this engine; pass
+        #: ``metrics=get_global_registry()`` to aggregate process-wide.
+        #: A private registry is the default so tests and concurrent
+        #: engines stay isolated.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.substrates.metrics = self.metrics
+        self._profiler: Optional[Profiler] = None
+        self._wire_metrics()
 
     # ------------------------------------------------------------------
     # Lazily built shared structures
@@ -198,7 +218,13 @@ class KeywordSearchEngine:
         self._forms_cache.clear()
 
     def cache_stats(self) -> Dict[str, object]:
-        """Hit/miss/eviction counters for dashboards and benchmarks."""
+        """Hit/miss/eviction counters for dashboards and benchmarks.
+
+        Superseded by :meth:`MetricsRegistry.snapshot` (``self.metrics``),
+        which folds these counters in as named metrics alongside query
+        counters and latency histograms; kept as a thin compatibility
+        shim over the same live counters.
+        """
         with self._sharing_lock:
             sharing = dict(self._sharing)
         return {
@@ -208,6 +234,76 @@ class KeywordSearchEngine:
             "substrates": self.substrates.stats(),
             "sharing": sharing,
         }
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _wire_metrics(self) -> None:
+        """Surface component counters as callback gauges.
+
+        Callback gauges read the live legacy counters at snapshot time,
+        so the LRU / substrate / sharing / breaker bookkeeping appears
+        in ``metrics.snapshot()`` without double-writing every
+        increment.
+        """
+        reg = self.metrics
+        caches = (
+            ("results", self._result_cache),
+            ("refine", self._refine_cache),
+            ("forms", self._forms_cache),
+        )
+        for label, cache in caches:
+            for field in ("hits", "misses", "evictions", "invalidations", "coalesced"):
+                reg.register_gauge(
+                    f"cache.{label}.{field}",
+                    lambda c=cache, f=field: getattr(c.stats, f),
+                )
+        for field in self._sharing:
+            reg.register_gauge(
+                f"sharing.{field}",
+                lambda f=field: self._sharing[f],
+            )
+        reg.register_gauge(
+            "substrates.builds",
+            lambda: sum(self.substrates.builds.values()),
+        )
+        reg.register_gauge(
+            "substrates.invalidations", lambda: self.substrates.invalidations
+        )
+        reg.register_gauge(
+            "substrates.patches_applied",
+            lambda: self.substrates.patches["applied"],
+        )
+        reg.register_gauge("circuit.state", lambda: self.circuit_breaker.state)
+        reg.register_gauge("circuit.opens", lambda: self.circuit_breaker.opens)
+
+    def _on_breaker_transition(self, old_state: str, new_state: str) -> None:
+        self.metrics.inc(f"circuit.transitions.{new_state}")
+
+    @contextmanager
+    def profiled(self) -> Iterator[Profiler]:
+        """Trace every query in the block; yields the :class:`Profiler`.
+
+        ::
+
+            with engine.profiled() as prof:
+                engine.search("widom xml")
+                engine.search("john sigmod")
+            print(prof.summary())   # per-stage wall-clock totals
+
+        Tracing reverts to the constructor setting when the block
+        exits.  Batch workers record into the same profiler (it is
+        lock-protected).
+        """
+        profiler = Profiler()
+        prev_enabled, prev_profiler = self.trace_enabled, self._profiler
+        self.trace_enabled = True
+        self._profiler = profiler
+        try:
+            yield profiler
+        finally:
+            self.trace_enabled = prev_enabled
+            self._profiler = prev_profiler
 
     def _record_sharing(self, stats) -> None:
         """Fold one schema search's JoinStats into the sharing totals."""
@@ -233,16 +329,21 @@ class KeywordSearchEngine:
     # ------------------------------------------------------------------
     # Query handling
     # ------------------------------------------------------------------
-    def parse(self, text: str) -> Query:
+    def parse(self, text: str, tracer: Optional[Tracer] = None) -> Query:
         """Parse and (optionally) clean a raw query string."""
-        query = Query.parse(text)
-        if not self.clean_queries or not query.keywords:
+        with trace_span(tracer, "parse") as psp:
+            query = Query.parse(text)
+            psp.add("keywords", len(query.keywords))
+            if not self.clean_queries or not query.keywords:
+                return query
+            with trace_span(tracer, "clean") as csp:
+                cleaning: CleaningResult = self.cleaner.clean(list(query.keywords))
+                cleaned = cleaning.cleaned_tokens()
+                changed = bool(cleaned) and cleaned != list(query.keywords)
+                csp.tag("changed", changed)
+            if changed:
+                return query.with_keywords(cleaned)
             return query
-        cleaning: CleaningResult = self.cleaner.clean(list(query.keywords))
-        cleaned = cleaning.cleaned_tokens()
-        if cleaned and cleaned != list(query.keywords):
-            return query.with_keywords(cleaned)
-        return query
 
     def suggest(self, prefix: str, limit: int = 8) -> List[str]:
         """Type-ahead keyword completions."""
@@ -261,6 +362,7 @@ class KeywordSearchEngine:
         timeout_ms: Optional[float] = None,
         max_expansions: Optional[int] = None,
         fallback: bool = False,
+        trace: Optional[bool] = None,
     ) -> ResultSet:
         """Top-k search.
 
@@ -282,6 +384,11 @@ class KeywordSearchEngine:
         degradation ladder (e.g. steiner → banks → index_only) when a
         rung exhausts with nothing to show.  Budgeted or ladder queries
         bypass the result LRU so partial answers are never cached.
+
+        ``trace=True`` (or ``KeywordSearchEngine(trace=True)``) attaches
+        a span tree covering the pipeline stages as ``result.trace``;
+        tracing never changes the evaluation order, so results are
+        byte-identical with it on or off.
         """
         self._sync_version()
         if method not in KNOWN_METHODS:
@@ -290,26 +397,85 @@ class KeywordSearchEngine:
             )
         if budget is None:
             budget = make_budget(timeout_ms, max_expansions)
-        if budget is not None or fallback:
-            return self._run_search(text, k, method, budget, fallback)
-        if not (use_cache and self.enable_caches):
-            return self._run_search(text, k, method, None, False)
+        tracing = self.trace_enabled if trace is None else trace
+        tracer = Tracer() if tracing else None
+        metrics = self.metrics
+        metrics.inc("query.count")
+        start_s = time.perf_counter()
+        with trace_span(tracer, "search") as root:
+            root.tag("method", method).tag("k", k)
+            if budget is not None or fallback:
+                with trace_span(tracer, "cache_lookup") as csp:
+                    csp.tag("outcome", "bypass")
+                results = self._run_search(text, k, method, budget, fallback, tracer)
+            elif not (use_cache and self.enable_caches):
+                with trace_span(tracer, "cache_lookup") as csp:
+                    csp.tag("outcome", "bypass")
+                results = self._run_search(text, k, method, None, False, tracer)
+            else:
+                results = self._serve_cached(text, k, method, tracer)
+        metrics.observe(
+            "query.latency_ms", (time.perf_counter() - start_s) * 1000.0
+        )
+        if results.degraded:
+            metrics.inc("query.degraded")
+        if budget is not None and budget.exhausted:
+            metrics.inc("budget.exhausted")
+        if tracer is not None:
+            finished = tracer.finish()
+            results.trace = finished
+            profiler = self._profiler
+            if profiler is not None:
+                profiler.record(finished)
+        return results
+
+    def _serve_cached(
+        self, text: str, k: int, method: str, tracer: Optional[Tracer]
+    ) -> ResultSet:
+        """Result-LRU path with per-key single-flight misses.
+
+        The first lookup counts a hit or miss as before.  On a miss the
+        per-key lock serialises concurrent computations of the same
+        query: one thread computes while the rest wait, re-check via the
+        non-counting :meth:`LRUCache.peek`, and are served the freshly
+        published entry (counted as ``coalesced`` — duplicate
+        computations avoided).  The returned set is always a clone so
+        callers can sort/slice without poisoning the cache; the clone
+        carries its own trace (a cache hit's trace describes the
+        lookup, tagged ``cache_hit=True``, never the original compute)
+        while degradation metadata is preserved from the cached entry.
+        """
         key = self._query_key(text, method, k)
-        cached = self._result_cache.get(key)
+        cache = self._result_cache
+        lookup_span = trace_span(tracer, "cache_lookup")
+        with lookup_span as csp:
+            cached = cache.get(key)
+            if cached is not None:
+                csp.tag("outcome", "hit").tag("cache_hit", True)
         if cached is not None:
-            # Shallow copy so callers can sort/slice without poisoning
-            # the cache.
+            self.metrics.inc("query.cache_hits")
             return cached.clone()
-        computed_at = self.db.data_version
-        results = self._run_search(text, k, method, None, False)
-        # Chaos hook: delay between computing and publishing to the
-        # LRU, to widen the race window against concurrent mutation.
-        fail_point("cache.result_put", key=text)
-        if self.db.data_version == computed_at:
-            # Version-guarded publish: results computed against a
-            # since-mutated database are served but never cached, so a
-            # slow compute can't pin a stale entry past invalidation.
-            self._result_cache.put(key, results)
+        with cache.key_lock(key):
+            cached = cache.peek(key)
+            if cached is not None:
+                # A concurrent miss on the same key published while we
+                # waited: serve it instead of recomputing.
+                cache.stats.record_coalesced()
+                self.metrics.inc("query.coalesced")
+                lookup_span.tag("outcome", "coalesced").tag("cache_hit", True)
+                return cached.clone()
+            lookup_span.tag("outcome", "miss")
+            computed_at = self.db.data_version
+            results = self._run_search(text, k, method, None, False, tracer)
+            # Chaos hook: delay between computing and publishing to the
+            # LRU, to widen the race window against concurrent mutation.
+            fail_point("cache.result_put", key=text)
+            if self.db.data_version == computed_at:
+                # Version-guarded publish: results computed against a
+                # since-mutated database are served but never cached, so
+                # a slow compute can't pin a stale entry past
+                # invalidation.
+                cache.put(key, results)
         return results.clone()
 
     def _run_search(
@@ -319,6 +485,7 @@ class KeywordSearchEngine:
         method: str,
         budget: Optional[QueryBudget],
         fallback: bool,
+        tracer: Optional[Tracer] = None,
     ) -> ResultSet:
         """One search, walking the degradation ladder when asked to.
 
@@ -329,7 +496,7 @@ class KeywordSearchEngine:
         ``fallback`` is on, in which case they demote to the next rung.
         """
         fail_point("engine.search", key=text)
-        query = self.parse(text)
+        query = self.parse(text, tracer=tracer)
         if not query.keywords:
             return ResultSet(method=method)
         chain = fallback_chain(method) if fallback else (method,)
@@ -339,7 +506,7 @@ class KeywordSearchEngine:
                 budget.renew()
             is_last = i == len(chain) - 1
             try:
-                results = self._dispatch(query, k, rung, budget)
+                results = self._dispatch(query, k, rung, budget, tracer)
             except BudgetExceededError as exc:
                 # Exhaustion escaped an algorithm with no partial answer.
                 last_reason = str(exc)
@@ -382,23 +549,29 @@ class KeywordSearchEngine:
         )
 
     def _dispatch(
-        self, query: Query, k: int, method: str, budget: Optional[QueryBudget]
+        self,
+        query: Query,
+        k: int,
+        method: str,
+        budget: Optional[QueryBudget],
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchResult]:
         fail_point("engine.method", key=method)
         if method == "schema":
-            return self._search_schema(query, k, budget)
+            return self._search_schema(query, k, budget, tracer)
         if method in ("banks", "banks2"):
             return self._search_banks(
-                query, k, bidirectional=method == "banks2", budget=budget
+                query, k, bidirectional=method == "banks2", budget=budget,
+                tracer=tracer,
             )
         if method == "steiner":
-            return self._search_steiner(query, budget)
+            return self._search_steiner(query, budget, tracer)
         if method == "distinct_root":
-            return self._search_distinct_root(query, k)
+            return self._search_distinct_root(query, k, tracer)
         if method == "ease":
-            return self._search_ease(query, k, budget)
+            return self._search_ease(query, k, budget, tracer)
         if method == "index_only":
-            return self._search_index_only(query, k, budget)
+            return self._search_index_only(query, k, budget, tracer)
         raise QueryParseError(f"unknown method {method!r}")
 
     def search_many(
@@ -448,21 +621,30 @@ class KeywordSearchEngine:
         )
 
     def _search_schema(
-        self, query: Query, k: int, budget: Optional[QueryBudget] = None
+        self,
+        query: Query,
+        k: int,
+        budget: Optional[QueryBudget] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchResult]:
         keywords = list(query.keywords)
-        tuple_sets = self.substrates.tuple_sets(keywords)
-        if budget is None:
-            cns = self.substrates.candidate_networks(keywords, self.max_cn_size)
-        else:
-            # Budgeted enumeration may truncate; build outside the memo
-            # so a partial CN list is never cached as if complete.
-            cns = generate_candidate_networks(
-                self.schema_graph,
-                tuple_sets,
-                max_size=self.max_cn_size,
-                budget=budget,
-            )
+        with trace_span(tracer, "substrate_build") as ssp:
+            tuple_sets = self.substrates.tuple_sets(keywords)
+            ssp.add("tuple_set_keys", len(tuple_sets.non_free_keys()))
+        with trace_span(tracer, "cn_enumerate") as nsp:
+            if budget is None:
+                cns = self.substrates.candidate_networks(keywords, self.max_cn_size)
+            else:
+                # Budgeted enumeration may truncate; build outside the
+                # memo so a partial CN list is never cached as if
+                # complete.
+                cns = generate_candidate_networks(
+                    self.schema_graph,
+                    tuple_sets,
+                    max_size=self.max_cn_size,
+                    budget=budget,
+                )
+            nsp.add("cns", len(cns))
         if not cns:
             return []
         if self.cn_execution == "shared":
@@ -474,10 +656,12 @@ class KeywordSearchEngine:
                 k=k,
                 budget=budget,
                 max_workers=self.cn_workers,
+                tracer=tracer,
             )
         else:
             result = topk_global_pipeline(
-                cns, tuple_sets, self.index, keywords, k=k, budget=budget
+                cns, tuple_sets, self.index, keywords, k=k, budget=budget,
+                tracer=tracer,
             )
         self._record_sharing(result.stats)
         return [
@@ -486,7 +670,11 @@ class KeywordSearchEngine:
         ]
 
     def _search_index_only(
-        self, query: Query, k: int, budget: Optional[QueryBudget] = None
+        self,
+        query: Query,
+        k: int,
+        budget: Optional[QueryBudget] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchResult]:
         """Terminal ladder rung: score single tuples, no joins, no graph.
 
@@ -498,29 +686,34 @@ class KeywordSearchEngine:
         from repro.schema_search.scoring import tuple_score
 
         keywords = list(query.keywords)
-        index = self.index
+        with trace_span(tracer, "substrate_build"):
+            index = self.index
         scored: Dict[TupleId, float] = {}
-        try:
-            for keyword in keywords:
-                for tid in index.matching_tuples_view(keyword.lower()):
-                    if tid in scored:
-                        continue
-                    if budget is not None:
-                        budget.tick_candidates()
-                    scored[tid] = tuple_score(index, tid, keywords)
-        except BudgetExceededError:
-            pass  # partial scoring; caller sees budget.exhausted
-        top = sorted(scored.items(), key=lambda item: (-item[1], item[0]))[:k]
-        out = []
-        for tid, score in top:
-            joined = self._tree_to_joined({tid})
-            out.append(
-                SearchResult(
-                    score=score,
-                    network=f"index-only({tid.table})",
-                    joined=joined,
+        with trace_span(tracer, "evaluate") as esp:
+            try:
+                for keyword in keywords:
+                    for tid in index.matching_tuples_view(keyword.lower()):
+                        if tid in scored:
+                            continue
+                        if budget is not None:
+                            budget.tick_candidates()
+                        scored[tid] = tuple_score(index, tid, keywords)
+            except BudgetExceededError:
+                pass  # partial scoring; caller sees budget.exhausted
+            esp.add("tuples_scored", len(scored))
+        with trace_span(tracer, "topk") as tsp:
+            top = sorted(scored.items(), key=lambda item: (-item[1], item[0]))[:k]
+            out = []
+            for tid, score in top:
+                joined = self._tree_to_joined({tid})
+                out.append(
+                    SearchResult(
+                        score=score,
+                        network=f"index-only({tid.table})",
+                        joined=joined,
+                    )
                 )
-            )
+            tsp.add("results", len(out))
         return out
 
     def _groups(self, keywords: Sequence[str]) -> Optional[List[List[TupleId]]]:
@@ -532,82 +725,130 @@ class KeywordSearchEngine:
         k: int,
         bidirectional: bool,
         budget: Optional[QueryBudget] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchResult]:
-        groups = self._groups(query.keywords)
+        with trace_span(tracer, "substrate_build") as ssp:
+            groups = self._groups(query.keywords)
+            ssp.add("keyword_groups", len(groups) if groups else 0)
         if groups is None:
             return []
         algo = banks_bidirectional if bidirectional else banks_backward
-        result = algo(self.data_graph, groups, k=k, budget=budget)
-        out = []
-        for tree in result.trees:
-            joined = self._tree_to_joined(tree.nodes)
-            out.append(
-                SearchResult(
-                    score=1.0 / (1.0 + tree.weight),
-                    network=f"banks-tree(root={tree.root})",
-                    joined=joined,
-                )
+        with trace_span(tracer, "evaluate") as esp:
+            result = algo(
+                self.data_graph,
+                groups,
+                k=k,
+                budget=budget,
+                span=esp if tracer is not None else None,
             )
+            esp.add("trees", len(result.trees))
+        with trace_span(tracer, "score") as psp:
+            out = []
+            for tree in result.trees:
+                joined = self._tree_to_joined(tree.nodes)
+                out.append(
+                    SearchResult(
+                        score=1.0 / (1.0 + tree.weight),
+                        network=f"banks-tree(root={tree.root})",
+                        joined=joined,
+                    )
+                )
+            psp.add("results", len(out))
         return out
 
     def _search_steiner(
-        self, query: Query, budget: Optional[QueryBudget] = None
+        self,
+        query: Query,
+        budget: Optional[QueryBudget] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchResult]:
-        groups = self._groups(query.keywords)
+        with trace_span(tracer, "substrate_build") as ssp:
+            groups = self._groups(query.keywords)
+            ssp.add("keyword_groups", len(groups) if groups else 0)
         if groups is None:
             return []
-        tree = group_steiner_dp(self.data_graph, groups, budget=budget)
+        with trace_span(tracer, "evaluate") as esp:
+            tree = group_steiner_dp(
+                self.data_graph,
+                groups,
+                budget=budget,
+                span=esp if tracer is not None else None,
+            )
+            esp.add("trees", 0 if tree is None else 1)
         if tree is None:
             return []
-        joined = self._tree_to_joined(tree.nodes)
-        return [
-            SearchResult(
-                score=1.0 / (1.0 + tree.weight),
-                network=f"steiner(weight={tree.weight:.1f})",
-                joined=joined,
-            )
-        ]
+        with trace_span(tracer, "score"):
+            joined = self._tree_to_joined(tree.nodes)
+            out = [
+                SearchResult(
+                    score=1.0 / (1.0 + tree.weight),
+                    network=f"steiner(weight={tree.weight:.1f})",
+                    joined=joined,
+                )
+            ]
+        return out
 
-    def _search_distinct_root(self, query: Query, k: int) -> List[SearchResult]:
+    def _search_distinct_root(
+        self, query: Query, k: int, tracer: Optional[Tracer] = None
+    ) -> List[SearchResult]:
         from repro.graph_search.semantics import distinct_root_results
 
-        groups = self._groups(query.keywords)
+        with trace_span(tracer, "substrate_build") as ssp:
+            groups = self._groups(query.keywords)
+            ssp.add("keyword_groups", len(groups) if groups else 0)
+            if groups is not None:
+                dmax = self.distance_index.max_distance
         if groups is None:
             return []
-        answers = distinct_root_results(
-            self.data_graph, groups, dmax=self.distance_index.max_distance, k=k
-        )
-        out = []
-        for answer in answers:
-            nodes = {answer.root, *(m for m in answer.matches if m is not None)}
-            out.append(
-                SearchResult(
-                    score=1.0 / (1.0 + answer.cost),
-                    network=f"distinct-root(root={answer.root})",
-                    joined=self._tree_to_joined(nodes),
-                )
+        with trace_span(tracer, "evaluate") as esp:
+            answers = distinct_root_results(
+                self.data_graph, groups, dmax=dmax, k=k
             )
+            esp.add("answers", len(answers))
+        with trace_span(tracer, "score") as psp:
+            out = []
+            for answer in answers:
+                nodes = {answer.root, *(m for m in answer.matches if m is not None)}
+                out.append(
+                    SearchResult(
+                        score=1.0 / (1.0 + answer.cost),
+                        network=f"distinct-root(root={answer.root})",
+                        joined=self._tree_to_joined(nodes),
+                    )
+                )
+            psp.add("results", len(out))
         return out
 
     def _search_ease(
-        self, query: Query, k: int, budget: Optional[QueryBudget] = None
+        self,
+        query: Query,
+        k: int,
+        budget: Optional[QueryBudget] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[SearchResult]:
         from repro.graph_search.ease import r_radius_steiner_graphs
 
-        groups = self._groups(query.keywords)
+        with trace_span(tracer, "substrate_build") as ssp:
+            groups = self._groups(query.keywords)
+            ssp.add("keyword_groups", len(groups) if groups else 0)
         if groups is None:
             return []
-        answers = r_radius_steiner_graphs(
-            self.data_graph, groups, r=2, k=k, budget=budget
-        )
-        return [
-            SearchResult(
-                score=1.0 / answer.size(),
-                network=f"ease(center={answer.center})",
-                joined=self._tree_to_joined(answer.nodes),
+        with trace_span(tracer, "evaluate") as esp:
+            answers = r_radius_steiner_graphs(
+                self.data_graph, groups, r=2, k=k, budget=budget
             )
-            for answer in answers
-        ]
+            esp.add("answers", len(answers))
+        with trace_span(tracer, "score") as psp:
+            out = [
+                SearchResult(
+                    score=1.0 / answer.size(),
+                    network=f"ease(center={answer.center})",
+                    joined=self._tree_to_joined(answer.nodes),
+                )
+                for answer in answers
+            ]
+            psp.add("results", len(out))
+        return out
 
     def _tree_to_joined(self, nodes) -> "JoinedRow":
         from repro.relational.executor import JoinedRow

@@ -48,10 +48,12 @@ class ResultSet(list):
     * ``fallback_from`` — the originally requested method, when the
       degradation ladder descended;
     * ``error`` — for batch outcomes: the structured error that made
-      this result set empty.
+      this result set empty;
+    * ``trace`` — when tracing was enabled, the per-query span tree
+      (:class:`repro.obs.trace.Trace`); ``None`` otherwise.
     """
 
-    __slots__ = ("degraded", "degraded_reason", "method", "fallback_from", "error")
+    __slots__ = ("degraded", "degraded_reason", "method", "fallback_from", "error", "trace")
 
     def __init__(
         self,
@@ -62,6 +64,7 @@ class ResultSet(list):
         degraded_reason: Optional[str] = None,
         fallback_from: Optional[str] = None,
         error: Optional[BaseException] = None,
+        trace=None,
     ):
         super().__init__(items)
         self.method = method
@@ -69,6 +72,7 @@ class ResultSet(list):
         self.degraded_reason = degraded_reason
         self.fallback_from = fallback_from
         self.error = error
+        self.trace = trace
 
     @property
     def status(self) -> str:
@@ -76,8 +80,14 @@ class ResultSet(list):
             return "error"
         return "degraded" if self.degraded else "ok"
 
-    def clone(self) -> "ResultSet":
-        """Shallow copy sharing items but not list identity or metadata."""
+    def clone(self, trace=None) -> "ResultSet":
+        """Shallow copy sharing items but not list identity or metadata.
+
+        The copy carries its own ``trace`` (*trace* argument, default
+        ``None``): a cached entry's stored trace describes the original
+        computation, not the serving lookup, so cache hits attach a
+        fresh lookup trace instead of aliasing the stored one.
+        """
         return ResultSet(
             self,
             method=self.method,
@@ -85,6 +95,7 @@ class ResultSet(list):
             degraded_reason=self.degraded_reason,
             fallback_from=self.fallback_from,
             error=self.error,
+            trace=trace,
         )
 
     def __repr__(self) -> str:

@@ -7,13 +7,18 @@ inference, type clustering, describable clustering).
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.clustering import rank_clusters, xbridge_clusters
 from repro.analysis.snippets import SnippetItem, generate_snippet
 from repro.core.query import Query
 from repro.core.results import ResultSet, XmlResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.trace import Tracer, span as trace_span
 from repro.resilience.budget import QueryBudget, make_budget
 from repro.resilience.errors import QueryParseError
 from repro.xml_search.describable import describable_clusters
@@ -29,9 +34,33 @@ from repro.xmltree.node import Dewey, XmlNode
 class XmlSearchEngine:
     """End-to-end keyword search over one XML document."""
 
-    def __init__(self, root: XmlNode, match_tags: bool = True):
+    def __init__(
+        self,
+        root: XmlNode,
+        match_tags: bool = True,
+        trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.root = root
         self.match_tags = match_tags
+        #: When True, every :meth:`search` builds a span tree and
+        #: attaches it as ``result.trace`` (per-call ``trace=`` wins).
+        self.trace_enabled = trace
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._profiler: Optional[Profiler] = None
+
+    @contextmanager
+    def profiled(self) -> Iterator[Profiler]:
+        """Trace every query in the block; yields the :class:`Profiler`."""
+        profiler = Profiler()
+        prev_enabled, prev_profiler = self.trace_enabled, self._profiler
+        self.trace_enabled = True
+        self._profiler = profiler
+        try:
+            yield profiler
+        finally:
+            self.trace_enabled = prev_enabled
+            self._profiler = prev_profiler
 
     @cached_property
     def index(self) -> XmlKeywordIndex:
@@ -56,12 +85,19 @@ class XmlSearchEngine:
         budget: Optional[QueryBudget] = None,
         timeout_ms: Optional[float] = None,
         max_expansions: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> ResultSet:
         """Ranked ?LCA search; ``semantics`` in slca | elca | multiway.
 
         An exhausted budget (``timeout_ms`` / ``max_expansions``) stops
         the anchor scan early; the SLCAs/ELCAs found so far come back
         ranked, with the result set marked ``degraded``.
+
+        ``trace=True`` (or ``XmlSearchEngine(trace=True)``) attaches a
+        span tree (``search -> parse -> substrate_build -> evaluate ->
+        score -> topk``) as ``result.trace``; tracing never changes the
+        evaluation order, so results are byte-identical with it on or
+        off.
         """
         algorithms = {
             "slca": slca_indexed_lookup_eager,
@@ -75,28 +111,74 @@ class XmlSearchEngine:
             )
         if budget is None:
             budget = make_budget(timeout_ms, max_expansions)
-        query = Query.parse(text)
+        tracing = self.trace_enabled if trace is None else trace
+        tracer = Tracer() if tracing else None
+        self.metrics.inc("query.count")
+        start_s = time.perf_counter()
+        with trace_span(tracer, "search") as root_span:
+            root_span.tag("semantics", semantics)
+            out = self._run_search(text, k, semantics, budget, algorithms, tracer)
+        self.metrics.observe(
+            "query.latency_ms", (time.perf_counter() - start_s) * 1000.0
+        )
+        if out.degraded:
+            self.metrics.inc("query.degraded")
+        if budget is not None and budget.exhausted:
+            self.metrics.inc("budget.exhausted")
+        if tracer is not None:
+            finished = tracer.finish()
+            out.trace = finished
+            profiler = self._profiler
+            if profiler is not None:
+                profiler.record(finished)
+        return out
+
+    def _run_search(
+        self,
+        text: str,
+        k: Optional[int],
+        semantics: str,
+        budget: Optional[QueryBudget],
+        algorithms: Dict,
+        tracer: Optional[Tracer],
+    ) -> ResultSet:
+        with trace_span(tracer, "parse") as psp:
+            query = Query.parse(text)
+            psp.add("keywords", len(query.keywords))
         if not query.keywords:
             return ResultSet(method=semantics)
-        lists = self.index.match_lists(list(query.keywords))
+        with trace_span(tracer, "substrate_build") as ssp:
+            lists = self.index.match_lists(list(query.keywords))
+            ssp.add("match_lists", len(lists))
+            ssp.add("matches", sum(len(lst) for lst in lists))
         if any(not lst for lst in lists):
             return ResultSet(method=semantics)
-        roots = algorithms[semantics](lists, budget=budget)
-        scores = xrank_scores(self.index, roots, list(query.keywords))
-        results = []
-        for dewey in roots:
-            node = self.root.node_at(dewey)
-            if node is None:
-                continue
-            results.append(
-                XmlResult(
-                    score=scores.get(dewey, 0.0),
-                    root=dewey,
-                    node=node,
-                    semantics=semantics,
-                )
+        with trace_span(tracer, "evaluate") as esp:
+            roots = algorithms[semantics](
+                lists,
+                budget=budget,
+                span=esp if tracer is not None else None,
             )
-        results.sort(key=lambda r: (-r.score, r.root))
+            esp.add("roots", len(roots))
+        with trace_span(tracer, "score") as csp:
+            scores = xrank_scores(self.index, roots, list(query.keywords))
+            csp.add("scored", len(scores))
+        with trace_span(tracer, "topk") as tsp:
+            results = []
+            for dewey in roots:
+                node = self.root.node_at(dewey)
+                if node is None:
+                    continue
+                results.append(
+                    XmlResult(
+                        score=scores.get(dewey, 0.0),
+                        root=dewey,
+                        node=node,
+                        semantics=semantics,
+                    )
+                )
+            results.sort(key=lambda r: (-r.score, r.root))
+            tsp.add("results", len(results))
         exhausted = budget is not None and budget.exhausted
         return ResultSet(
             results[:k] if k is not None else results,

@@ -69,6 +69,7 @@ def _expand(
     k: int,
     priority: Callable[[float, int, TupleId], float],
     budget: Optional[QueryBudget] = None,
+    span=None,
 ) -> BanksResult:
     g = len(groups)
     if g == 0 or any(not group for group in groups):
@@ -97,6 +98,9 @@ def _expand(
 
     roots = sorted(confirmed.items(), key=lambda item: (item[1], item[0]))[:k]
     trees = [_result_tree(graph, root, parents, dists) for root, _ in roots]
+    if span is not None:
+        span.add("nodes_expanded", nodes_expanded)
+        span.add("roots_confirmed", len(confirmed))
     return BanksResult(trees, nodes_expanded)
 
 
@@ -151,9 +155,17 @@ def banks_backward(
     groups: Sequence[Sequence[TupleId]],
     k: int = 10,
     budget: Optional[QueryBudget] = None,
+    span=None,
 ) -> BanksResult:
-    """BANKS I: equi-distance backward expansion."""
-    return _expand(graph, groups, k, priority=lambda d, i, n: d, budget=budget)
+    """BANKS I: equi-distance backward expansion.
+
+    *span* (a tracing span) receives ``nodes_expanded`` /
+    ``roots_confirmed`` work counters; the expansion itself is
+    untouched.
+    """
+    return _expand(
+        graph, groups, k, priority=lambda d, i, n: d, budget=budget, span=span
+    )
 
 
 def banks_bidirectional(
@@ -161,6 +173,7 @@ def banks_bidirectional(
     groups: Sequence[Sequence[TupleId]],
     k: int = 10,
     budget: Optional[QueryBudget] = None,
+    span=None,
 ) -> BanksResult:
     """BANKS II: activation-prioritised expansion (see module docstring)."""
     sizes = [max(1, len(group)) for group in groups]
@@ -169,4 +182,4 @@ def banks_bidirectional(
         activation = math.log(2 + sizes[i]) * math.log(2 + graph.degree(node))
         return dist * activation
 
-    return _expand(graph, groups, k, priority=priority, budget=budget)
+    return _expand(graph, groups, k, priority=priority, budget=budget, span=span)

@@ -62,6 +62,7 @@ def group_steiner_dp(
     groups: Sequence[Sequence[TupleId]],
     max_groups: int = 10,
     budget: Optional[QueryBudget] = None,
+    span=None,
 ) -> Optional[SteinerTree]:
     """Minimum-weight group Steiner tree, or None if no tree connects all.
 
@@ -71,6 +72,10 @@ def group_steiner_dp(
     the DP early and returns the best tree covering all groups found so
     far (None if no mask reached full coverage yet); the budget's
     ``exhausted`` flag tells the caller the answer may be suboptimal.
+
+    *span* (a tracing span, see :mod:`repro.obs.trace`) receives the
+    DP's work counters — ``nodes_settled`` and ``masks`` — without
+    altering the computation in any way.
     """
     g = len(groups)
     if g == 0:
@@ -93,6 +98,8 @@ def group_steiner_dp(
                 dp[mask][node] = 0.0
                 back[mask][node] = ("leaf",)
 
+    nodes_settled = 0
+    masks_done = 0
     try:
         for mask in range(1, full + 1):
             # Merge: combine proper submasks at the same root.
@@ -125,11 +132,16 @@ def group_steiner_dp(
                         dp[mask][nbr] = nw
                         back[mask][nbr] = ("edge", node)
                         heapq.heappush(heap, (nw, nbr))
+            nodes_settled += len(settled)
+            masks_done += 1
     except BudgetExceededError:
         # Out of budget mid-DP: fall through and reconstruct from
         # whatever full-coverage entries exist (possibly none).
         pass
 
+    if span is not None:
+        span.add("nodes_settled", nodes_settled)
+        span.add("masks", masks_done)
     if not dp[full]:
         return None
     root = min(dp[full], key=lambda n: (dp[full][n], n))

@@ -1,0 +1,44 @@
+"""Observability: tracing spans, metrics registry, profiling hooks.
+
+A zero-dependency subsystem threaded through every serving layer:
+
+* :mod:`repro.obs.trace` — per-query :class:`Tracer` producing a nested
+  span tree (``parse -> clean -> substrate_build -> cn_enumerate ->
+  plan -> evaluate -> score -> topk``) with wall-clock durations, work
+  counters and tags; attached to each result set as ``result.trace``
+  and exportable as JSON or Chrome-trace format.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named
+  counters, gauges and log-scale histograms (p50/p95/p99) that absorbs
+  the scattered ``cache_stats()`` dicts into one snapshot.
+* :mod:`repro.obs.profile` — a :class:`Profiler` collecting completed
+  traces behind ``with engine.profiled():``, with per-stage totals.
+
+Tracing is opt-in (``KeywordSearchEngine(trace=True)`` or
+``search(..., trace=True)``); the disabled path costs a single ``None``
+check per call site.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_global_registry,
+)
+from repro.obs.profile import Profiler
+from repro.obs.trace import NULL_SPAN, Span, Trace, Tracer, format_trace, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_global_registry",
+    "Profiler",
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "Tracer",
+    "format_trace",
+    "span",
+]

@@ -19,12 +19,14 @@ of the batch fails fast instead of hammering a broken build.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.results import ResultSet, SearchResult
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.circuit import CircuitBreaker
 from repro.resilience.degradation import KNOWN_METHODS
 from repro.resilience.errors import (
@@ -136,6 +138,7 @@ class BatchSearchExecutor:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         sleep: Callable[[float], None] = time.sleep,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -148,6 +151,16 @@ class BatchSearchExecutor:
             else getattr(engine, "circuit_breaker", None)
         )
         self._sleep = sleep
+        #: Batch outcomes also land in the engine's metrics registry
+        #: (``batch.*`` counters, ``batch.query_ms`` histogram) unless a
+        #: different registry is passed in.
+        self.metrics = (
+            metrics if metrics is not None else getattr(engine, "metrics", None)
+        )
+        # Counter updates take this lock: executors may be shared across
+        # request threads, and read-modify-write on plain ints is not
+        # atomic — served/computed/failed tallies must stay exact.
+        self._stats_lock = threading.Lock()
         self.queries_served = 0
         self.queries_computed = 0
         self.queries_failed = 0
@@ -201,13 +214,19 @@ class BatchSearchExecutor:
         batch = [as_batch_query(q, k=k, method=method) for q in queries]
         if not batch:
             return []
-        self.queries_served += len(batch)
 
         distinct: Dict[BatchQuery, int] = {}
         for query in batch:
             distinct.setdefault(query, len(distinct))
         order = sorted(distinct, key=distinct.__getitem__)
-        self.queries_computed += len(order)
+        with self._stats_lock:
+            self.queries_served += len(batch)
+            self.queries_computed += len(order)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("batch.queries_served", len(batch))
+            metrics.inc("batch.queries_computed", len(order))
+            metrics.inc("batch.duplicates_coalesced", len(batch) - len(order))
 
         self.warm(order)
 
@@ -238,12 +257,22 @@ class BatchSearchExecutor:
                         computed[futures[future]] = future.result()
 
         by_query = dict(zip(order, computed))
+        failed = degraded = retries = 0
         for outcome in computed:
             if outcome.status == "error":
-                self.queries_failed += 1
+                failed += 1
             elif outcome.status == "degraded":
-                self.queries_degraded += 1
-            self.retries += outcome.attempts - 1
+                degraded += 1
+            retries += max(0, outcome.attempts - 1)
+            if metrics is not None:
+                metrics.inc(f"batch.outcome.{outcome.status}")
+                metrics.observe("batch.query_ms", outcome.duration_ms)
+        with self._stats_lock:
+            self.queries_failed += failed
+            self.queries_degraded += degraded
+            self.retries += retries
+        if metrics is not None and retries:
+            metrics.inc("batch.retries", retries)
 
         out: List[BatchOutcome] = []
         for query in batch:
@@ -368,14 +397,15 @@ class BatchSearchExecutor:
             )
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "queries_served": self.queries_served,
-            "queries_computed": self.queries_computed,
-            "queries_failed": self.queries_failed,
-            "queries_degraded": self.queries_degraded,
-            "retries": self.retries,
-            "max_workers": self.max_workers,
-        }
+        with self._stats_lock:
+            return {
+                "queries_served": self.queries_served,
+                "queries_computed": self.queries_computed,
+                "queries_failed": self.queries_failed,
+                "queries_degraded": self.queries_degraded,
+                "retries": self.retries,
+                "max_workers": self.max_workers,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -25,6 +25,7 @@ concurrent batch workers share one build instead of racing.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.forms.generation import generate_forms, generate_skeletons
@@ -86,6 +87,10 @@ class SubstrateCache:
         #: patch — the engine uses this to decide whether its own
         #: index-derived structures survived.
         self.last_delta_applied = False
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        #: set (the engine wires its own in), every build observes a
+        #: ``substrates.build_ms.<site>`` histogram.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -261,7 +266,16 @@ class SubstrateCache:
         """
         try:
             fail_point(f"substrates.{site}", key=key)
-            return builder()
+            metrics = self.metrics
+            if metrics is None:
+                return builder()
+            start_s = time.perf_counter()
+            built = builder()
+            metrics.observe(
+                f"substrates.build_ms.{site}",
+                (time.perf_counter() - start_s) * 1000.0,
+            )
+            return built
         except ReproError:
             raise
         except Exception as exc:

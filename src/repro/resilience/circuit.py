@@ -32,6 +32,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: "Callable[[str, str], None]" = None,
     ):
         if failure_threshold < 1:
             raise ValueError(
@@ -46,17 +47,42 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probing = False
         self.opens = 0  # lifetime count, for observability
+        #: Called as ``on_transition(old_state, new_state)`` on every
+        #: state change, outside the breaker lock (a slow or reentrant
+        #: observer must not serialise the breaker).  The engine wires
+        #: this to ``circuit.transitions.*`` counters.
+        self.on_transition = on_transition
+        self._pending_transitions: list = []
+
+    def _note_transition(self, old: str, new: str) -> None:
+        """Record a state change while holding the lock; emitted later."""
+        if old != new:
+            self._pending_transitions.append((old, new))
+
+    def _emit_transitions(self) -> None:
+        """Flush recorded transitions to the observer, lock released."""
+        if not self._pending_transitions:
+            return
+        with self._lock:
+            pending, self._pending_transitions = self._pending_transitions, []
+        callback = self.on_transition
+        if callback is not None:
+            for old, new in pending:
+                callback(old, new)
 
     # ------------------------------------------------------------------
     @property
     def state(self) -> str:
         with self._lock:
-            return self._state_locked()
+            state = self._state_locked()
+        self._emit_transitions()
+        return state
 
     def _state_locked(self) -> str:
         if self._state == OPEN and (
             self._clock() - self._opened_at >= self.reset_timeout_s
         ):
+            self._note_transition(OPEN, HALF_OPEN)
             self._state = HALF_OPEN
             self._probing = False
         return self._state
@@ -70,17 +96,22 @@ class CircuitBreaker:
         with self._lock:
             state = self._state_locked()
             if state == CLOSED:
-                return True
-            if state == HALF_OPEN and not self._probing:
+                allowed = True
+            elif state == HALF_OPEN and not self._probing:
                 self._probing = True
-                return True
-            return False
+                allowed = True
+            else:
+                allowed = False
+        self._emit_transitions()
+        return allowed
 
     def record_success(self) -> None:
         with self._lock:
             self._failures = 0
+            self._note_transition(self._state, CLOSED)
             self._state = CLOSED
             self._probing = False
+        self._emit_transitions()
 
     def record_failure(self) -> None:
         with self._lock:
@@ -89,25 +120,31 @@ class CircuitBreaker:
             if state == HALF_OPEN or self._failures >= self.failure_threshold:
                 if self._state != OPEN:
                     self.opens += 1
+                self._note_transition(self._state, OPEN)
                 self._state = OPEN
                 self._opened_at = self._clock()
                 self._probing = False
+        self._emit_transitions()
 
     def reset(self) -> None:
         """Force-close (operator override / tests)."""
         with self._lock:
+            self._note_transition(self._state, CLOSED)
             self._state = CLOSED
             self._failures = 0
             self._probing = False
+        self._emit_transitions()
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
-            return {
+            out = {
                 "state": self._state_locked(),
                 "failures": self._failures,
                 "threshold": self.failure_threshold,
                 "opens": self.opens,
             }
+        self._emit_transitions()
+        return out
 
     def __repr__(self) -> str:
         return f"CircuitBreaker({self.state}, failures={self._failures})"

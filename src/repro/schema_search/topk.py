@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.index.inverted import InvertedIndex
+from repro.obs.trace import span as trace_span
 from repro.relational.database import TupleId
 from repro.relational.executor import JoinedRow, JoinStats
 from repro.relational.table import Row
@@ -330,6 +332,7 @@ def topk_global_pipeline(
     keywords: Sequence[str],
     k: int = 10,
     budget: Optional[QueryBudget] = None,
+    tracer=None,
 ) -> TopKResult:
     """Always advance the CN with the highest remaining bound.
 
@@ -337,33 +340,55 @@ def topk_global_pipeline(
     batch one node expansion; on exhaustion the current heap contents
     are returned (a valid but possibly incomplete top-k — the budget's
     ``exhausted`` flag says so).
+
+    With *tracer* set, the bound computation gets a ``plan`` span and
+    the interleaved execution an ``evaluate`` span; time spent offering
+    results to the heap accumulates into a ``topk`` child span (it
+    overlaps ``evaluate`` — the pipeline interleaves them by design).
+    Tracing never changes the evaluation order, so results are
+    byte-identical with it on or off.
     """
     stats = JoinStats()
     heap = _TopKHeap(k)
-    executors = _executors(cns, tuple_sets, index, keywords)
-    pq: List[Tuple[float, int, CNExecutor]] = []
-    touched = set()
-    for i, executor in enumerate(executors):
-        if not executor.exhausted():
-            heapq.heappush(pq, (-executor.bound(), i, executor))
-    batches = 0
-    try:
-        while pq:
-            neg_bound, i, executor = heapq.heappop(pq)
-            if -neg_bound <= heap.kth_score() + EPS:
-                break
-            touched.add(i)
-            for score, joined in executor.next_batch(stats):
-                if budget is not None:
-                    budget.tick_candidates()
-                heap.offer(score, executor.cn.label(), joined)
-            batches += 1
-            if budget is not None:
-                budget.tick_nodes()
+    traced = tracer is not None
+    with trace_span(tracer, "plan") as psp:
+        executors = _executors(cns, tuple_sets, index, keywords)
+        pq: List[Tuple[float, int, CNExecutor]] = []
+        touched = set()
+        for i, executor in enumerate(executors):
             if not executor.exhausted():
                 heapq.heappush(pq, (-executor.bound(), i, executor))
-    except BudgetExceededError:
-        pass  # return what the heap holds; caller sees budget.exhausted
+        psp.add("cns", len(cns)).add("viable", len(pq))
+    batches = 0
+    offered = 0
+    topk_s = 0.0
+    with trace_span(tracer, "evaluate") as esp:
+        try:
+            while pq:
+                neg_bound, i, executor = heapq.heappop(pq)
+                if -neg_bound <= heap.kth_score() + EPS:
+                    break
+                touched.add(i)
+                for score, joined in executor.next_batch(stats):
+                    if budget is not None:
+                        budget.tick_candidates()
+                    if traced:
+                        t0 = time.perf_counter()
+                        heap.offer(score, executor.cn.label(), joined)
+                        topk_s += time.perf_counter() - t0
+                        offered += 1
+                    else:
+                        heap.offer(score, executor.cn.label(), joined)
+                batches += 1
+                if budget is not None:
+                    budget.tick_nodes()
+                if not executor.exhausted():
+                    heapq.heappush(pq, (-executor.bound(), i, executor))
+        except BudgetExceededError:
+            pass  # return what the heap holds; caller sees budget.exhausted
+        esp.add("batches", batches).add("cns_executed", len(touched))
+        if traced:
+            tracer.record("topk", topk_s, {"offers": offered})
     return TopKResult(
         heap.sorted_results(), stats, cns_executed=len(touched), batches=batches
     )
@@ -377,6 +402,7 @@ def topk_shared(
     k: int = 10,
     budget: Optional[QueryBudget] = None,
     max_workers: int = 1,
+    tracer=None,
 ) -> TopKResult:
     """Top-k over shared CN evaluation (slides 129-134).
 
@@ -395,36 +421,65 @@ def topk_shared(
     :class:`QueryBudget` is not shared across threads — charging one
     node expansion per join and one candidate per emitted result, and
     return the partial heap on exhaustion like the global pipeline.
+
+    With *tracer* set, planning and evaluation get ``plan`` /
+    ``evaluate`` spans, and the per-result scoring and heap-offer time
+    accumulate into ``score`` / ``topk`` child spans (these overlap
+    ``evaluate`` — the loop interleaves the three stages by design).
+    Tracing never reorders evaluation, so results are byte-identical
+    with it on or off.
     """
     stats = JoinStats()
     heap = _TopKHeap(k)
     if not cns:
         return TopKResult([], stats)
     keywords = list(keywords)
+    traced = tracer is not None
     run_parallel = max_workers > 1 and budget is None and len(cns) > 1
     if not run_parallel:
-        evaluator = SharedCNEvaluator(tuple_sets, stats=stats, budget=budget)
-        evaluator.plan(cns)
+        with trace_span(tracer, "plan") as psp:
+            evaluator = SharedCNEvaluator(tuple_sets, stats=stats, budget=budget)
+            evaluator.plan(cns)
+            psp.add("cns", len(cns))
         executed = 0
-        try:
-            for cn in cns:
-                label = cn.label()
-                for joined in evaluator.evaluate(cn):
-                    heap.offer(
-                        monotonic_result_score(index, joined, keywords),
-                        label,
-                        joined,
-                    )
-                executed += 1
-        except BudgetExceededError:
-            pass  # partial top-k; caller sees budget.exhausted
+        scored_n = 0
+        score_s = 0.0
+        topk_s = 0.0
+        with trace_span(tracer, "evaluate") as esp:
+            try:
+                for cn in cns:
+                    label = cn.label()
+                    for joined in evaluator.evaluate(cn):
+                        if traced:
+                            t0 = time.perf_counter()
+                            score = monotonic_result_score(index, joined, keywords)
+                            t1 = time.perf_counter()
+                            heap.offer(score, label, joined)
+                            topk_s += time.perf_counter() - t1
+                            score_s += t1 - t0
+                            scored_n += 1
+                        else:
+                            heap.offer(
+                                monotonic_result_score(index, joined, keywords),
+                                label,
+                                joined,
+                            )
+                    executed += 1
+            except BudgetExceededError:
+                pass  # partial top-k; caller sees budget.exhausted
+            esp.add("cns_executed", executed)
+            if traced:
+                tracer.record("score", score_s, {"results": scored_n})
+                tracer.record("topk", topk_s, {"offers": scored_n})
         return TopKResult(
             heap.sorted_results(), stats, cns_executed=executed, batches=1
         )
 
     from repro.schema_search.parallel import shared_plan_groups
 
-    groups = shared_plan_groups(cns, tuple_sets, max_workers)
+    with trace_span(tracer, "plan") as psp:
+        groups = shared_plan_groups(cns, tuple_sets, max_workers)
+        psp.add("cns", len(cns)).add("groups", len(groups))
 
     def run_group(cn_indices: List[int]):
         group_stats = JoinStats()
@@ -440,12 +495,18 @@ def topk_shared(
                 )
         return group_stats, scored
 
-    with ThreadPoolExecutor(max_workers=min(max_workers, len(groups))) as pool:
-        outcomes = list(pool.map(run_group, groups))
-    for group_stats, scored in outcomes:
-        stats.merge(group_stats)
-        for score, label, joined in scored:
-            heap.offer(score, label, joined)
+    with trace_span(tracer, "evaluate") as esp:
+        with ThreadPoolExecutor(max_workers=min(max_workers, len(groups))) as pool:
+            outcomes = list(pool.map(run_group, groups))
+        esp.add("groups", len(groups)).add("cns_executed", len(cns))
+    with trace_span(tracer, "topk") as tsp:
+        offers = 0
+        for group_stats, scored in outcomes:
+            stats.merge(group_stats)
+            for score, label, joined in scored:
+                heap.offer(score, label, joined)
+                offers += 1
+        tsp.add("offers", offers)
     return TopKResult(
         heap.sorted_results(), stats, cns_executed=len(cns), batches=len(groups)
     )

@@ -92,6 +92,7 @@ def elca_bruteforce(root: XmlNode, keywords: Sequence[str]) -> List[Dewey]:
 def elca_candidates_verify(
     lists: Sequence[List[Dewey]],
     budget: Optional[QueryBudget] = None,
+    span=None,
 ) -> List[Dewey]:
     """Candidate generation + range-count verification (slide 140).
 
@@ -101,6 +102,10 @@ def elca_candidates_verify(
     every keyword some witness under u survives after subtracting the
     matches claimed by u's contains-all children.  An exhausted *budget*
     truncates either phase and returns the ELCAs verified so far.
+
+    *span* (a tracing span, see :mod:`repro.obs.trace`) receives the
+    ``candidates`` / ``candidates_verified`` work counters; the
+    computation itself is untouched.
     """
     lists = [lst for lst in lists]
     if not lists or any(not lst for lst in lists):
@@ -111,6 +116,7 @@ def elca_candidates_verify(
 
     candidates: Set[Dewey] = set()
     results: List[Dewey] = []
+    verified = 0
     try:
         for anchor in anchors:
             if budget is not None:
@@ -132,10 +138,14 @@ def elca_candidates_verify(
         for cand in sorted(candidates):
             if budget is not None:
                 budget.tick_candidates()
+            verified += 1
             if _verify_elca(lists, cand):
                 results.append(cand)
     except BudgetExceededError:
         pass
+    if span is not None:
+        span.add("candidates", len(candidates))
+        span.add("candidates_verified", verified)
     return results
 
 

@@ -104,11 +104,16 @@ def _anchor_candidate(
 def slca_indexed_lookup_eager(
     lists: Sequence[List[Dewey]],
     budget: Optional[QueryBudget] = None,
+    span=None,
 ) -> List[Dewey]:
     """XKSearch ILE: anchor on the smallest list, binary-search the rest.
 
     An exhausted *budget* stops the anchor scan early; the SLCAs of the
     anchors processed so far are returned (a sound partial answer).
+
+    *span* (a tracing span, see :mod:`repro.obs.trace`) receives the
+    ``anchors_scanned`` / ``candidates`` work counters; the computation
+    itself is untouched.
     """
     lists = [lst for lst in lists]
     if not lists or any(not lst for lst in lists):
@@ -117,15 +122,20 @@ def slca_indexed_lookup_eager(
     anchors = lists[smallest_idx]
     others = [lst for i, lst in enumerate(lists) if i != smallest_idx]
     candidates: List[Dewey] = []
+    scanned = 0
     try:
         for anchor in anchors:
             if budget is not None:
                 budget.tick_candidates()
+            scanned += 1
             cand = _anchor_candidate(anchor, others)
             if cand is not None:
                 candidates.append(cand)
     except BudgetExceededError:
         pass
+    if span is not None:
+        span.add("anchors_scanned", scanned)
+        span.add("candidates", len(candidates))
     return _dedup_keep_deepest(candidates)
 
 
@@ -183,6 +193,7 @@ def slca_scan_eager(
 def slca_multiway(
     lists: Sequence[List[Dewey]],
     budget: Optional[QueryBudget] = None,
+    span=None,
 ) -> List[Dewey]:
     """Basic Multiway-SLCA (Sun et al., WWW 07; slide 139).
 
@@ -199,20 +210,27 @@ def slca_multiway(
         return []
     cursors = [0] * len(lists)
     candidates: List[Dewey] = []
-    while all(c < len(lst) for c, lst in zip(cursors, lists)):
-        if budget is not None:
-            try:
-                budget.tick_candidates()
-            except BudgetExceededError:
-                break
-        anchor = max(lst[c] for c, lst in zip(cursors, lists))
-        acc = anchor
-        for deweys in lists:
-            closest = XmlKeywordIndex.closest_match(deweys, anchor)
-            if closest is None:
-                return _dedup_keep_deepest(candidates)
-            acc = common_prefix(acc, closest)
-        candidates.append(acc)
-        for i, deweys in enumerate(lists):
-            cursors[i] = bisect_right(deweys, anchor)
-    return _dedup_keep_deepest(candidates)
+    rounds = 0
+    try:
+        while all(c < len(lst) for c, lst in zip(cursors, lists)):
+            if budget is not None:
+                try:
+                    budget.tick_candidates()
+                except BudgetExceededError:
+                    break
+            rounds += 1
+            anchor = max(lst[c] for c, lst in zip(cursors, lists))
+            acc = anchor
+            for deweys in lists:
+                closest = XmlKeywordIndex.closest_match(deweys, anchor)
+                if closest is None:
+                    return _dedup_keep_deepest(candidates)
+                acc = common_prefix(acc, closest)
+            candidates.append(acc)
+            for i, deweys in enumerate(lists):
+                cursors[i] = bisect_right(deweys, anchor)
+        return _dedup_keep_deepest(candidates)
+    finally:
+        if span is not None:
+            span.add("rounds", rounds)
+            span.add("candidates", len(candidates))
