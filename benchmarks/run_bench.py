@@ -1,9 +1,12 @@
-"""Record the perf trajectory: run the serving benchmark, emit JSON.
+"""Record the perf trajectory: run the registered benchmark suites, emit JSON.
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_serving.json]
+    PYTHONPATH=src python benchmarks/run_bench.py [--suite serving|sharding|all]
+        [--out PATH] [--smoke]
 
 Future PRs re-run this entry point and compare against the committed
-``BENCH_serving.json`` to keep the serving path from regressing.
+``BENCH_serving.json`` / ``BENCH_sharding.json`` to keep the serving and
+scale-out paths from regressing.  ``--out`` applies when a single suite
+is selected; with ``--suite all`` each suite writes its default file.
 """
 
 from __future__ import annotations
@@ -20,30 +23,24 @@ for path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
         sys.path.insert(0, path)
 
 from benchmarks.bench_serving import run_serving_benchmark  # noqa: E402
+from benchmarks.bench_sharding import run_sharding_benchmark  # noqa: E402
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--out",
-        default=os.path.join(_REPO_ROOT, "BENCH_serving.json"),
-        help="output JSON path (default: repo root BENCH_serving.json)",
+def _write(report: dict, out_path: str) -> None:
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
     )
-    parser.add_argument(
-        "--workload-size", type=int, default=50, help="mixed workload size"
-    )
-    args = parser.parse_args(argv)
-
-    report = run_serving_benchmark(workload_size=args.workload_size)
-    report["generated_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
     report["python"] = sys.version.split()[0]
-
-    with open(args.out, "w", encoding="utf-8") as handle:
+    with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
+    print(f"wrote {out_path}")
 
+
+def _run_serving(args: argparse.Namespace, out_path: str) -> bool:
+    report = run_serving_benchmark(workload_size=args.workload_size)
+    _write(report, out_path)
     acceptance = report["acceptance"]
-    print(f"wrote {args.out}")
     print(
         f"warm speedup (biblio): {acceptance['warm_speedup_biblio']}x "
         f"(min {acceptance['warm_speedup_min']}x)"
@@ -52,8 +49,64 @@ def main(argv=None) -> int:
         f"batch speedup (biblio): {acceptance['batch_speedup_biblio']}x "
         f"(min {acceptance['batch_speedup_min']}x)"
     )
-    print(f"acceptance pass: {acceptance['pass']}")
-    return 0 if acceptance["pass"] else 1
+    print(f"serving acceptance pass: {acceptance['pass']}")
+    return bool(acceptance["pass"])
+
+
+def _run_sharding(args: argparse.Namespace, out_path: str) -> bool:
+    report = run_sharding_benchmark(smoke=args.smoke)
+    _write(report, out_path)
+    acceptance = report["acceptance"]
+    print(
+        f"sharding speedup at 4 shards (biblio): "
+        f"{acceptance['speedup_4_shards_biblio']}x "
+        f"(min {acceptance['speedup_min']}x), pruned fraction "
+        f"{acceptance['pruned_fraction_4_shards']}, "
+        f"divergences {acceptance['divergences']}"
+    )
+    print(f"sharding acceptance pass: {acceptance['pass']}")
+    return bool(acceptance["pass"])
+
+
+SUITES = {
+    "serving": ("BENCH_serving.json", _run_serving),
+    "sharding": ("BENCH_sharding.json", _run_sharding),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        default="serving",
+        choices=sorted(SUITES) + ["all"],
+        help="benchmark suite to run (default: serving)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (single suite only; default: repo root "
+        "BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--workload-size", type=int, default=50, help="mixed workload size"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="sharding: smaller datasets and a relaxed speedup gate",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if args.out is not None and len(names) > 1:
+        parser.error("--out is only valid with a single --suite")
+    ok = True
+    for name in names:
+        default_out, runner = SUITES[name]
+        out_path = args.out or os.path.join(_REPO_ROOT, default_out)
+        ok = runner(args, out_path) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -73,12 +73,39 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace, db):
+    """Single or sharded engine per ``--shards``."""
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        from repro.sharding import ShardedSearchEngine
+
+        return ShardedSearchEngine(
+            db, n_shards=shards, partitioner=args.partitioner
+        )
+    return KeywordSearchEngine(db)
+
+
+def _add_shard_flags(p) -> None:
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the dataset across N shards (scatter-gather)",
+    )
+    p.add_argument(
+        "--partitioner",
+        default="affinity",
+        choices=["hash", "affinity"],
+        help="shard assignment strategy (with --shards > 1)",
+    )
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     factory = DATASETS.get(args.dataset)
     if factory is None:
         print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
         return 2
-    engine = KeywordSearchEngine(factory())
+    engine = _make_engine(args, factory())
     parsed = engine.parse(args.query)
     if parsed.was_cleaned:
         print(f"(query cleaned to: {' '.join(parsed.keywords)})")
@@ -102,7 +129,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
         print(f"      {result.describe()}")
     if args.explain:
-        _print_explain(engine)
+        if hasattr(engine, "shard_stats"):
+            stats = engine.shard_stats()
+            print(
+                f"-- shards: {stats['shards']} ({stats['partitioner']}), "
+                f"balance {stats['balance']:.2f}, "
+                f"{stats['boundary_replicas']} boundary replicas, "
+                f"{stats['cut_edges']}/{stats['total_edges']} FK edges cut"
+            )
+            _print_explain(engine.engine)
+        else:
+            _print_explain(engine)
     if args.trace and results.trace is not None:
         print("-- trace:")
         print(format_trace(results.trace))
@@ -207,7 +244,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if factory is None:
         print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
         return 2
-    engine = KeywordSearchEngine(factory())
+    engine = _make_engine(args, factory())
     for query in args.queries:
         try:
             engine.search(query, k=args.k, method=args.method)
@@ -346,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
         "counters) after the results",
     )
     add_resilience_flags(p)
+    _add_shard_flags(p)
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("batch", help="concurrent batch keyword search")
@@ -375,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run each query N times (exercises the result cache)",
     )
+    _add_shard_flags(p)
     p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("suggest", help="type-ahead completions")

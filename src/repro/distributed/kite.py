@@ -10,6 +10,7 @@ then run the ordinary graph search (BANKS backward expansion) on it.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -51,6 +52,9 @@ class CrossDatabase:
         self.indexes = {
             name: InvertedIndex(db) for name, db in self.databases.items()
         }
+        # keyword -> one sorted qualified-id list per member database,
+        # computed once; lookups lazily merge the sorted runs.
+        self._qualified: Dict[str, List[List[TupleId]]] = {}
         self.graph = self._build_graph()
 
     def _build_graph(self) -> DataGraph:
@@ -94,13 +98,25 @@ class CrossDatabase:
         return value
 
     def matching_tuples(self, keyword: str) -> List[TupleId]:
-        """Qualified tuples containing *keyword* across all databases."""
-        out: List[TupleId] = []
-        for name, index in self.indexes.items():
-            out.extend(
-                _qualify(name, tid) for tid in index.matching_tuples(keyword)
-            )
-        return sorted(out)
+        """Qualified tuples containing *keyword* across all databases.
+
+        Each per-database posting list is qualified and sorted once per
+        keyword (postings come back in table insertion order, and the
+        db-name prefix reorders tables anyway), then cached; repeat
+        lookups only re-run the lazy k-way merge of the sorted runs
+        instead of re-sorting the full federation-wide list.
+        """
+        runs = self._qualified.get(keyword)
+        if runs is None:
+            runs = [
+                sorted(
+                    _qualify(name, tid)
+                    for tid in index.matching_tuples(keyword)
+                )
+                for name, index in sorted(self.indexes.items())
+            ]
+            self._qualified[keyword] = runs
+        return list(heapq.merge(*runs))
 
 
 def cross_search(

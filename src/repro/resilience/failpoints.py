@@ -20,6 +20,7 @@ name                            fires when
 ``substrates.keyword_groups``   a keyword group builds (key = keyword)
 ``substrates.form_pipeline``    the form pipeline builds
 ``cache.result_put``            a result is stored in the result LRU
+``shard.execute``               a shard worker starts (key = shard id)
 =============================   ==========================================
 
 The registry is intentionally tiny and lock-guarded; the inactive fast

@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.index.inverted import InvertedIndex
 from repro.obs.trace import span as trace_span
@@ -55,8 +56,56 @@ class TopKResult:
         return [round(score, 9) for score, _, _ in self.results]
 
 
-class CNExecutor:
-    """Sliced evaluation of one CN in descending score-bound order."""
+def _build_cn_maps(
+    cn: CandidateNetwork,
+    adj,
+    anchor: int,
+    tuple_sets: TupleSets,
+    stats: JoinStats,
+) -> Dict[Tuple[int, str], Dict[object, List[Row]]]:
+    """Per-node hash maps for index-nested-loop lookups off the anchor."""
+    maps: Dict[Tuple[int, str], Dict[object, List[Row]]] = {}
+    for node_idx, node in enumerate(cn.nodes):
+        if node_idx == anchor:
+            continue
+        rows = tuple_sets.rows(node.key)
+        stats.tuples_read += len(rows)
+        columns = set()
+        for nbr, edge in adj[node_idx]:
+            __, right_col = edge.join_columns(cn.nodes[nbr].table)
+            columns.add(right_col)
+        for column in columns:
+            mapping: Dict[object, List[Row]] = {}
+            for row in rows:
+                value = row[column]
+                if value is not None:
+                    mapping.setdefault(value, []).append(row)
+            maps[(node_idx, column)] = mapping
+    return maps
+
+
+class CNExecutorPlan:
+    """Query-level shared state of one CN's executors.
+
+    The anchor choice, per-node score bounds, the scored anchor queue
+    and the join hash maps depend only on (CN, tuple sets, keywords) —
+    not on which executor advances them.  A sharded scatter builds this
+    once at the coordinator and hands it to one :class:`CNExecutor` per
+    shard, each holding only its own cursor over a home-filtered slice
+    of the anchor queue; the maps materialise once, on first demand,
+    and are probed read-only afterwards (safe across threads).
+    """
+
+    __slots__ = (
+        "cn",
+        "norm",
+        "node_max",
+        "anchor",
+        "anchor_queue",
+        "rest_max",
+        "_maps",
+        "_maps_lock",
+    )
 
     def __init__(
         self,
@@ -65,22 +114,19 @@ class CNExecutor:
         index: InvertedIndex,
         keywords: Sequence[str],
     ):
+        keywords = list(keywords)
         self.cn = cn
-        self.tuple_sets = tuple_sets
-        self.index = index
-        self.keywords = list(keywords)
-        self._adj = cn.adjacency()
-        self._norm = 1.0 / (1.0 + math.log(cn.size))
+        self.norm = 1.0 / (1.0 + math.log(cn.size))
         # Per-node max tuple score (free nodes contribute 0).
-        self._node_max: List[float] = []
+        self.node_max: List[float] = []
         for node in cn.nodes:
             if node.is_free:
-                self._node_max.append(0.0)
+                self.node_max.append(0.0)
             else:
                 tids = tuple_sets.tuple_ids(node.key)
-                self._node_max.append(
+                self.node_max.append(
                     max(
-                        (tuple_score(index, t, self.keywords) for t in tids),
+                        (tuple_score(index, t, keywords) for t in tids),
                         default=0.0,
                     )
                 )
@@ -88,15 +134,93 @@ class CNExecutor:
         non_free = [i for i, n in enumerate(cn.nodes) if not n.is_free]
         self.anchor = max(non_free, key=lambda i: tuple_sets.size(cn.nodes[i].key))
         anchor_tids = tuple_sets.tuple_ids(cn.nodes[self.anchor].key)
-        scored = [
-            (tuple_score(index, t, self.keywords), t) for t in anchor_tids
-        ]
+        scored = [(tuple_score(index, t, keywords), t) for t in anchor_tids]
         scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        self.anchor_queue: List[Tuple[float, TupleId]] = scored
+        self.rest_max = sum(
+            s for i, s in enumerate(self.node_max) if i != self.anchor
+        )
+        self._maps: Optional[Dict[Tuple[int, str], Dict[object, List[Row]]]] = None
+        self._maps_lock = threading.Lock()
+
+    def maps(
+        self, adj, tuple_sets: TupleSets, stats: JoinStats
+    ) -> Dict[Tuple[int, str], Dict[object, List[Row]]]:
+        """Build-once join maps; the building executor pays the stats."""
+        with self._maps_lock:
+            if self._maps is None:
+                self._maps = _build_cn_maps(
+                    self.cn, adj, self.anchor, tuple_sets, stats
+                )
+            return self._maps
+
+
+class CNExecutor:
+    """Sliced evaluation of one CN in descending score-bound order.
+
+    ``shared`` reuses a prebuilt :class:`CNExecutorPlan` (anchor choice,
+    bounds, scored queue, join maps) instead of recomputing them;
+    ``anchor_filter`` restricts evaluation to the anchor tuples it
+    accepts.  Both default off, leaving the single-engine path exactly
+    as before; together they give a sharded scatter per-shard executors
+    whose union of produced results equals (order aside) what one
+    unfiltered executor produces — same join code, same rows, same
+    float summation order.
+    """
+
+    def __init__(
+        self,
+        cn: CandidateNetwork,
+        tuple_sets: TupleSets,
+        index: InvertedIndex,
+        keywords: Sequence[str],
+        anchor_filter: Optional[Callable[[TupleId], bool]] = None,
+        shared: Optional[CNExecutorPlan] = None,
+    ):
+        self.cn = cn
+        self.tuple_sets = tuple_sets
+        self.index = index
+        self.keywords = list(keywords)
+        self._adj = cn.adjacency()
+        self._shared = shared
+        if shared is None:
+            self._norm = 1.0 / (1.0 + math.log(cn.size))
+            # Per-node max tuple score (free nodes contribute 0).
+            self._node_max: List[float] = []
+            for node in cn.nodes:
+                if node.is_free:
+                    self._node_max.append(0.0)
+                else:
+                    tids = tuple_sets.tuple_ids(node.key)
+                    self._node_max.append(
+                        max(
+                            (tuple_score(index, t, self.keywords) for t in tids),
+                            default=0.0,
+                        )
+                    )
+            # Anchor: the non-free node with the most tuples (finest slicing).
+            non_free = [i for i, n in enumerate(cn.nodes) if not n.is_free]
+            self.anchor = max(
+                non_free, key=lambda i: tuple_sets.size(cn.nodes[i].key)
+            )
+            anchor_tids = tuple_sets.tuple_ids(cn.nodes[self.anchor].key)
+            scored = [
+                (tuple_score(index, t, self.keywords), t) for t in anchor_tids
+            ]
+            scored.sort(key=lambda pair: (-pair[0], pair[1]))
+            self._rest_max = sum(
+                s for i, s in enumerate(self._node_max) if i != self.anchor
+            )
+        else:
+            self._norm = shared.norm
+            self._node_max = shared.node_max
+            self.anchor = shared.anchor
+            self._rest_max = shared.rest_max
+            scored = shared.anchor_queue
+        if anchor_filter is not None:
+            scored = [pair for pair in scored if anchor_filter(pair[1])]
         self._anchor_queue: List[Tuple[float, TupleId]] = scored
         self._cursor = 0
-        self._rest_max = sum(
-            s for i, s in enumerate(self._node_max) if i != self.anchor
-        )
         self._maps: Optional[Dict[Tuple[int, str], Dict[object, List[Row]]]] = None
 
     # ------------------------------------------------------------------
@@ -104,6 +228,10 @@ class CNExecutor:
     # ------------------------------------------------------------------
     def exhausted(self) -> bool:
         return self._cursor >= len(self._anchor_queue)
+
+    def remaining(self) -> int:
+        """Anchor tuples not yet evaluated (prunable work)."""
+        return len(self._anchor_queue) - self._cursor
 
     def bound(self) -> float:
         """Upper bound on the score of any not-yet-produced result."""
@@ -116,23 +244,12 @@ class CNExecutor:
     # Execution
     # ------------------------------------------------------------------
     def _build_maps(self, stats: JoinStats) -> None:
-        self._maps = {}
-        for node_idx, node in enumerate(self.cn.nodes):
-            if node_idx == self.anchor:
-                continue
-            rows = self.tuple_sets.rows(node.key)
-            stats.tuples_read += len(rows)
-            columns = set()
-            for nbr, edge in self._adj[node_idx]:
-                __, right_col = edge.join_columns(self.cn.nodes[nbr].table)
-                columns.add(right_col)
-            for column in columns:
-                mapping: Dict[object, List[Row]] = {}
-                for row in rows:
-                    value = row[column]
-                    if value is not None:
-                        mapping.setdefault(value, []).append(row)
-                self._maps[(node_idx, column)] = mapping
+        if self._shared is not None:
+            self._maps = self._shared.maps(self._adj, self.tuple_sets, stats)
+            return
+        self._maps = _build_cn_maps(
+            self.cn, self._adj, self.anchor, self.tuple_sets, stats
+        )
 
     def _assignments(
         self, node_idx: int, row: Row, parent_idx: int, stats: JoinStats
@@ -215,10 +332,17 @@ class _RevKey:
 class _TopKHeap:
     """Fixed-capacity min-heap over (score, content tiebreak, payload).
 
-    Tie-breaking is by result content — ``(CN label, tuple ids)`` — not
-    arrival order, so the same set of offered results yields the same
-    top-k no matter the order they arrive in (deterministic across
-    repeated, batched and parallel runs).
+    Retention follows the exact total order *(score desc, content key
+    asc)* where the content key is ``(CN label, tuple ids)``: the heap
+    always holds the k largest offered entries under that order, so the
+    final top-k is a pure function of the offered multiset — no matter
+    the order entries arrive in (deterministic across repeated, batched,
+    parallel and sharded runs).  Comparisons are exact, never
+    epsilon-fuzzy: near-equal scores (e.g. permutations of one answer
+    summed in different orders) would make fuzzy tie classes
+    non-transitive and the outcome arrival-order-dependent.  Exactness
+    also makes :meth:`kth_score` monotone non-decreasing, which the
+    sharded scatter path relies on for upper-bound pruning.
     """
 
     def __init__(self, k: int):
@@ -230,12 +354,10 @@ class _TopKHeap:
         entry = (score, _RevKey(key), label, joined)
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, entry)
-        elif score > self._heap[0][0] + EPS:
-            heapq.heapreplace(self._heap, entry)
-        elif abs(score - self._heap[0][0]) <= EPS and key < self._heap[0][1].key:
-            # Same score as the current k-th: keep the smaller content
-            # key so equal-score boundaries are order-independent too.
-            heapq.heapreplace(self._heap, entry)
+        else:
+            kth_score, kth_rev = self._heap[0][0], self._heap[0][1]
+            if score > kth_score or (score == kth_score and key < kth_rev.key):
+                heapq.heapreplace(self._heap, entry)
 
     def kth_score(self) -> float:
         if len(self._heap) < self.k:

@@ -1,0 +1,38 @@
+"""Sharded scale-out engine: partitioning, scatter-gather top-k, routing.
+
+Promotes (and subsumes) the :mod:`repro.distributed` demo layer: the
+source-selection scorer and cross-database federation re-export from
+here, and the :class:`ShardedSearchEngine` coordinator uses the scorer
+for selection-based shard routing.
+"""
+
+from repro.distributed.kite import CrossDatabase, InterDbLink, cross_search
+from repro.distributed.selection import DatabaseSummary, rank_databases
+from repro.sharding.coordinator import SCATTER_METHODS, ShardedSearchEngine
+from repro.sharding.partition import (
+    HashPartitioner,
+    SchemaAffinityPartitioner,
+    Shard,
+    ShardSet,
+    build_shards,
+    make_partitioner,
+)
+from repro.sharding.scatter import GlobalTopK, ShardRunStats
+
+__all__ = [
+    "ShardedSearchEngine",
+    "SCATTER_METHODS",
+    "HashPartitioner",
+    "SchemaAffinityPartitioner",
+    "Shard",
+    "ShardSet",
+    "build_shards",
+    "make_partitioner",
+    "GlobalTopK",
+    "ShardRunStats",
+    "DatabaseSummary",
+    "rank_databases",
+    "CrossDatabase",
+    "InterDbLink",
+    "cross_search",
+]

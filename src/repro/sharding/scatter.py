@@ -1,0 +1,163 @@
+"""Scatter-gather execution primitives for the sharded engine.
+
+* :class:`GlobalTopK` — the gather side: one lock-guarded
+  :class:`~repro.schema_search.topk._TopKHeap` shared by every shard
+  worker.  Its ``threshold()`` is the current global k-th score, which
+  only ever rises — the monotonically tightening bound the shards
+  prune against.
+* :func:`scatter_schema` — the per-shard CN evaluation loop: a
+  bound-ordered pipeline over this shard's slice of each CN's anchor
+  queue that stops (and counts as *pruned*) every anchor slot whose
+  score upper bound falls strictly below the threshold.
+
+Why the merged top-k is byte-identical to the single engine's: the
+heap retains the exact top-k of the *offered multiset* under the total
+order (score desc, content key asc) independent of offer order, shard
+anchor slices partition the global anchor queue of each CN, and a
+pruned anchor slot's answers score strictly below the threshold at
+prune time ≤ the final k-th score (exact comparisons make the
+threshold monotone non-decreasing), so none of them can enter the
+final heap or win an equal-score key tie-break.  The comparison is
+strict (``bound < threshold``): anchor slots whose bound *equals* the
+k-th score still run, because an answer tied on score can displace the
+current k-th via a smaller content key.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.index.inverted import InvertedIndex
+from repro.relational.database import TupleId
+from repro.relational.executor import JoinedRow, JoinStats
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
+from repro.schema_search.scoring import tuple_score
+from repro.schema_search.topk import CNExecutor, CNExecutorPlan, _TopKHeap
+from repro.schema_search.tuple_sets import TupleSets
+
+
+class GlobalTopK:
+    """Thread-safe streaming top-k merger with a rising threshold."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self._heap = _TopKHeap(k)
+        self._lock = threading.Lock()
+        self.offers = 0
+
+    def offer(self, score: float, label: str, joined: JoinedRow) -> None:
+        with self._lock:
+            self.offers += 1
+            self._heap.offer(score, label, joined)
+
+    def threshold(self) -> float:
+        """Current global k-th score (``-inf`` until the heap fills)."""
+        with self._lock:
+            return self._heap.kth_score()
+
+    def sorted_results(self) -> List[Tuple[float, str, JoinedRow]]:
+        with self._lock:
+            return self._heap.sorted_results()
+
+
+@dataclass
+class ShardRunStats:
+    """What one shard did for one scattered query."""
+
+    shard_id: int
+    evaluated: int = 0  # candidate results produced and offered
+    pruned: int = 0  # anchor slots skipped via the global threshold
+    batches: int = 0
+    cns: int = 0  # CNs with a non-empty anchor slice on this shard
+    exhausted: bool = False  # per-shard budget ran out
+    reason: Optional[str] = None
+    join_stats: JoinStats = field(default_factory=JoinStats)
+
+
+def scatter_schema(
+    shard_id: int,
+    owns: Callable[[TupleId], bool],
+    plans: Sequence[CNExecutorPlan],
+    labels: Sequence[str],
+    tuple_sets: TupleSets,
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    gtopk: GlobalTopK,
+    budget: Optional[QueryBudget] = None,
+) -> ShardRunStats:
+    """Evaluate this shard's anchor slices against the global threshold.
+
+    Mirrors :func:`~repro.schema_search.topk.topk_global_pipeline`'s
+    bound-driven interleaving, except the stop test reads the *global*
+    k-th score and is strict (``bound < threshold``, no epsilon), and
+    skipped anchor slots are accounted as ``pruned`` instead of
+    silently dropped.  Budget exhaustion returns the partial stats with
+    ``exhausted`` set — never an exception.
+    """
+    run = ShardRunStats(shard_id)
+    stats = run.join_stats
+    pq: List[Tuple[float, int, CNExecutor]] = []
+    for i, plan in enumerate(plans):
+        executor = CNExecutor(
+            plan.cn, tuple_sets, index, keywords, anchor_filter=owns, shared=plan
+        )
+        if not executor.exhausted():
+            run.cns += 1
+            heapq.heappush(pq, (-executor.bound(), i, executor))
+    try:
+        while pq:
+            neg_bound, i, executor = heapq.heappop(pq)
+            if -neg_bound < gtopk.threshold():
+                # Every queued executor's bound is <= this one: all of
+                # their remaining anchor slots are provably irrelevant.
+                run.pruned += executor.remaining()
+                run.pruned += sum(e.remaining() for _, _, e in pq)
+                break
+            label = labels[i]
+            for score, joined in executor.next_batch(stats):
+                if budget is not None:
+                    budget.tick_candidates()
+                gtopk.offer(score, label, joined)
+                run.evaluated += 1
+            run.batches += 1
+            if budget is not None:
+                budget.tick_nodes()
+            if not executor.exhausted():
+                heapq.heappush(pq, (-executor.bound(), i, executor))
+    except BudgetExceededError:
+        run.exhausted = True
+        run.reason = budget.reason if budget is not None else "budget exhausted"
+    return run
+
+
+def scatter_index_only(
+    shard_id: int,
+    owns: Callable[[TupleId], bool],
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    budget: Optional[QueryBudget] = None,
+) -> Tuple[ShardRunStats, Dict[TupleId, float]]:
+    """Score this shard's home tuples straight off the global index.
+
+    The home partition makes per-shard score maps disjoint, so the
+    coordinator's union equals the single-engine scored map exactly.
+    """
+    run = ShardRunStats(shard_id)
+    scored: Dict[TupleId, float] = {}
+    try:
+        for keyword in keywords:
+            for tid in index.matching_tuples_view(keyword.lower()):
+                if tid in scored or not owns(tid):
+                    continue
+                if budget is not None:
+                    budget.tick_candidates()
+                scored[tid] = tuple_score(index, tid, keywords)
+                run.evaluated += 1
+    except BudgetExceededError:
+        run.exhausted = True
+        run.reason = budget.reason if budget is not None else "budget exhausted"
+    return run, scored

@@ -185,3 +185,34 @@ class TestKite:
     def test_missing_keyword(self):
         federation = self._federation()
         assert cross_search(federation, ["xml", "zzz"]).trees == []
+
+    def test_matching_tuples_sorted_and_stable(self):
+        """Lookups return the same globally sorted list every time,
+        re-merging cached per-database runs instead of re-sorting."""
+        federation = self._federation()
+        first = federation.matching_tuples("widom")
+        assert first == sorted(first)
+        assert first == federation.matching_tuples("widom")
+        # The qualified runs are cached per keyword after the first
+        # lookup, one sorted run per member database.
+        runs = federation._qualified["widom"]
+        assert len(runs) == len(federation.databases)
+        for run in runs:
+            assert run == sorted(run)
+        # Cache identity: repeat lookups reuse the same run objects.
+        assert federation._qualified["widom"] is runs
+
+    def test_matching_tuples_merges_across_databases(self):
+        federation = self._federation()
+        tids = federation.matching_tuples("widom")
+        prefixes = {tid.table.split("/", 1)[0] for tid in tids}
+        assert prefixes == {"pubs", "hr"}
+        # Equivalent to the brute-force qualified union, sorted.
+        from repro.distributed.kite import _qualify
+
+        expected = sorted(
+            _qualify(name, tid)
+            for name, index in federation.indexes.items()
+            for tid in index.matching_tuples("widom")
+        )
+        assert tids == expected
