@@ -1,0 +1,306 @@
+"""E22 — durability: WAL throughput, snapshot cost, verified recovery.
+
+Claims (ISSUE 7: durable mutation log, atomic snapshots, verified crash
+recovery):
+
+1. **Insert throughput per fsync policy.**  The WAL's ``always`` /
+   ``interval`` / ``never`` policies trade durability for inserts/sec;
+   the benchmark records all three so the trajectory is visible.
+2. **Snapshot overhead.**  Committing an atomic snapshot of the
+   bibliographic dataset costs milliseconds and bytes both reported.
+3. **Recovery scales with WAL length.**  Recovery time is measured for
+   growing WAL suffixes; every replayed count must equal the suffix
+   length exactly.
+4. **Byte-identity gate.**  After close-and-recover, every search
+   method returns results byte-identical to an engine that never went
+   down, and ``fsck`` reports zero inconsistencies.  This is the
+   acceptance bar — a perf number from a wrong engine is worthless.
+
+Runnable under pytest or as a script emitting ``BENCH_durability.json``:
+
+    PYTHONPATH=src python benchmarks/bench_durability.py [--smoke] \
+        [--out BENCH_durability.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets.bibliographic import (
+    generate_bibliographic_db,
+    tiny_bibliographic_db,
+)
+from repro.durability import DurableEngine
+
+#: (query, method) pairs covering every search family the engine serves.
+IDENTITY_WORKLOAD: List[Tuple[str, str]] = [
+    ("john xml", "schema"),
+    ("widom xml", "schema"),
+    ("grace durable", "schema"),
+    ("john sigmod", "banks"),
+    ("widom xml", "banks2"),
+    ("john xml", "steiner"),
+    ("widom xml", "distinct_root"),
+    ("john sigmod", "ease"),
+    ("xml keyword", "index_only"),
+]
+
+
+def _signature(results) -> bytes:
+    """Canonical byte serialisation of a relational ResultSet."""
+    payload = [
+        [repr(r.score), r.network, [str(t) for t in r.tuple_ids()]]
+        for r in results
+    ]
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _new_author(i: int) -> Dict[str, object]:
+    return {
+        "aid": 100000 + i,
+        "name": f"durable author{i}",
+        "affiliation": f"wal institute {i % 7}",
+    }
+
+
+def measure_insert_throughput(n_inserts: int) -> Dict[str, object]:
+    """Durable inserts/sec for each fsync policy (fresh log each run)."""
+    out: Dict[str, object] = {"inserts": n_inserts, "policies": {}}
+    for policy in ("always", "interval", "never"):
+        root = tempfile.mkdtemp(prefix=f"bench-wal-{policy}-")
+        try:
+            engine = DurableEngine(
+                KeywordSearchEngine(tiny_bibliographic_db()),
+                root,
+                fsync=policy,
+                fsync_interval=32,
+            )
+            start = time.perf_counter()
+            for i in range(n_inserts):
+                engine.insert("author", **_new_author(i))
+            elapsed = time.perf_counter() - start
+            engine.close()
+            out["policies"][policy] = {
+                "wall_s": round(elapsed, 6),
+                "inserts_per_s": round(n_inserts / elapsed, 1),
+                "wal_bytes": engine.wal.stats()["bytes"],
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return out
+
+
+def measure_snapshot_overhead() -> Dict[str, object]:
+    """Cost of committing one snapshot of the generated biblio dataset."""
+    root = tempfile.mkdtemp(prefix="bench-snap-")
+    try:
+        db = generate_bibliographic_db(seed=7)
+        engine = DurableEngine(
+            KeywordSearchEngine(db), root, bootstrap_snapshot=False
+        )
+        start = time.perf_counter()
+        info = engine.snapshot()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        engine.close()
+        return {
+            "rows": info.rows,
+            "build_commit_ms": round(elapsed_ms, 3),
+            "snapshot_bytes": os.path.getsize(info.data_path),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def measure_recovery_scaling(wal_lengths: List[int]) -> Dict[str, object]:
+    """Recovery time as the replayed WAL suffix grows."""
+    points = []
+    ok = True
+    for length in wal_lengths:
+        root = tempfile.mkdtemp(prefix="bench-recover-")
+        try:
+            engine = DurableEngine(
+                KeywordSearchEngine(tiny_bibliographic_db()), root
+            )
+            for i in range(length):
+                engine.insert("author", **_new_author(i))
+            engine.close()
+            start = time.perf_counter()
+            recovered, result = DurableEngine.recover(root)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            recovered.close()
+            ok = ok and result.replayed == length
+            points.append(
+                {
+                    "wal_records": length,
+                    "replayed": result.replayed,
+                    "recovery_ms": round(elapsed_ms, 3),
+                }
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return {"points": points, "replay_counts_exact": ok}
+
+
+def measure_byte_identity(k: int = 5) -> Dict[str, object]:
+    """Recovered engine vs never-crashed engine across every method."""
+    root = tempfile.mkdtemp(prefix="bench-identity-")
+    try:
+        mutations = [
+            ("author", {"aid": 10, "name": "grace hopper", "affiliation": "yale"}),
+            (
+                "paper",
+                {
+                    "pid": 10,
+                    "title": "durable keyword search",
+                    "abstract": "wal and snapshots",
+                    "cid": 0,
+                },
+            ),
+            ("write", {"wid": 10, "aid": 10, "pid": 10}),
+        ]
+        engine = DurableEngine(
+            KeywordSearchEngine(tiny_bibliographic_db()), root
+        )
+        for table, values in mutations:
+            engine.insert(table, **values)
+        engine.close()
+
+        reference_db = tiny_bibliographic_db()
+        for table, values in mutations:
+            reference_db.insert(table, **values)
+        reference = KeywordSearchEngine(reference_db)
+
+        recovered, result = DurableEngine.recover(root)
+        divergence = 0
+        for query, method in IDENTITY_WORKLOAD:
+            got = _signature(recovered.search(query, k=k, method=method))
+            want = _signature(reference.search(query, k=k, method=method))
+            if got != want:
+                divergence += 1
+        report = recovered.fsck()
+        recovered.close()
+        return {
+            "queries": len(IDENTITY_WORKLOAD),
+            "replayed": result.replayed,
+            "divergence": divergence,
+            "fsck_problems": len(report.problems),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_durability_benchmark(smoke: bool = False) -> Dict[str, object]:
+    """Full benchmark; the dict becomes ``BENCH_durability.json``."""
+    n_inserts = 200 if smoke else 1000
+    wal_lengths = [50, 200] if smoke else [100, 400, 1600]
+
+    throughput = measure_insert_throughput(n_inserts)
+    snapshot = measure_snapshot_overhead()
+    recovery = measure_recovery_scaling(wal_lengths)
+    identity = measure_byte_identity()
+
+    passed = (
+        identity["divergence"] == 0
+        and identity["fsck_problems"] == 0
+        and bool(recovery["replay_counts_exact"])
+    )
+    return {
+        "benchmark": "durability",
+        "smoke": smoke,
+        "insert_throughput": throughput,
+        "snapshot": snapshot,
+        "recovery": recovery,
+        "byte_identity": identity,
+        "acceptance": {
+            "divergence": identity["divergence"],
+            "fsck_problems": identity["fsck_problems"],
+            "replay_counts_exact": recovery["replay_counts_exact"],
+            "pass": passed,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (correctness claims only; no timing bounds)
+# ----------------------------------------------------------------------
+def test_recovered_engine_byte_identity():
+    stats = measure_byte_identity()
+    assert stats["divergence"] == 0
+    assert stats["fsck_problems"] == 0
+
+
+def test_recovery_replays_exact_counts():
+    stats = measure_recovery_scaling([20, 60])
+    assert stats["replay_counts_exact"]
+
+
+# ----------------------------------------------------------------------
+# script entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import argparse
+    from datetime import datetime, timezone
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller insert batches and fewer WAL-length points (CI gate)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_durability.json"),
+        help="output JSON path (default: repo root BENCH_durability.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_durability_benchmark(smoke=args.smoke)
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    report["python"] = sys.version.split()[0]
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    acceptance = report["acceptance"]
+    print(f"wrote {args.out}")
+    policies = report["insert_throughput"]["policies"]
+    print(
+        "inserts/sec: "
+        + ", ".join(
+            f"{name}={stats['inserts_per_s']}" for name, stats in policies.items()
+        )
+    )
+    print(
+        f"snapshot: {report['snapshot']['rows']} rows in "
+        f"{report['snapshot']['build_commit_ms']} ms "
+        f"({report['snapshot']['snapshot_bytes']} bytes)"
+    )
+    for point in report["recovery"]["points"]:
+        print(
+            f"recovery: {point['wal_records']} WAL records replayed in "
+            f"{point['recovery_ms']} ms"
+        )
+    print(
+        f"byte identity: divergence={acceptance['divergence']}, "
+        f"fsck problems={acceptance['fsck_problems']}"
+    )
+    print(f"acceptance pass: {acceptance['pass']}")
+    return 0 if acceptance["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

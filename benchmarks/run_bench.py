@@ -1,11 +1,12 @@
 """Record the perf trajectory: run the registered benchmark suites, emit JSON.
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--suite serving|sharding|all]
-        [--out PATH] [--smoke]
+    PYTHONPATH=src python benchmarks/run_bench.py
+        [--suite serving|sharding|durability|all] [--out PATH] [--smoke]
 
 Future PRs re-run this entry point and compare against the committed
-``BENCH_serving.json`` / ``BENCH_sharding.json`` to keep the serving and
-scale-out paths from regressing.  ``--out`` applies when a single suite
+``BENCH_serving.json`` / ``BENCH_sharding.json`` /
+``BENCH_durability.json`` to keep the serving, scale-out and durability
+paths from regressing.  ``--out`` applies when a single suite
 is selected; with ``--suite all`` each suite writes its default file.
 """
 
@@ -22,6 +23,7 @@ for path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+from benchmarks.bench_durability import run_durability_benchmark  # noqa: E402
 from benchmarks.bench_serving import run_serving_benchmark  # noqa: E402
 from benchmarks.bench_sharding import run_sharding_benchmark  # noqa: E402
 
@@ -68,9 +70,23 @@ def _run_sharding(args: argparse.Namespace, out_path: str) -> bool:
     return bool(acceptance["pass"])
 
 
+def _run_durability(args: argparse.Namespace, out_path: str) -> bool:
+    report = run_durability_benchmark(smoke=args.smoke)
+    _write(report, out_path)
+    acceptance = report["acceptance"]
+    print(
+        f"durability: divergence {acceptance['divergence']}, fsck problems "
+        f"{acceptance['fsck_problems']}, replay counts exact "
+        f"{acceptance['replay_counts_exact']}"
+    )
+    print(f"durability acceptance pass: {acceptance['pass']}")
+    return bool(acceptance["pass"])
+
+
 SUITES = {
     "serving": ("BENCH_serving.json", _run_serving),
     "sharding": ("BENCH_sharding.json", _run_sharding),
+    "durability": ("BENCH_durability.json", _run_durability),
 }
 
 
@@ -94,7 +110,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="sharding: smaller datasets and a relaxed speedup gate",
+        help="sharding/durability: smaller datasets and relaxed gates",
     )
     args = parser.parse_args(argv)
 

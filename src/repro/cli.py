@@ -13,6 +13,9 @@ datasets without writing code:
     python -m repro metrics "john database" "widom xml" --method banks
     python -m repro facets --dataset events
     python -m repro datasets
+    python -m repro snapshot --dataset tiny --dir /tmp/durable
+    python -m repro recover --dir /tmp/durable --query "john xml"
+    python -m repro fsck --dir /tmp/durable
 """
 
 from __future__ import annotations
@@ -254,8 +257,100 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         if args.repeat > 1:
             for _ in range(args.repeat - 1):
                 engine.search(query, k=args.k, method=args.method)
-    print(json.dumps(engine.metrics.snapshot(), indent=2, sort_keys=True))
+    payload = engine.metrics.snapshot()
+    violations = None
+    if args.check_fk:
+        violations = engine.db.validate()
+        payload["fk_violations"] = violations
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if violations:
+        print(
+            f"{len(violations)} referential-integrity violation(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Bootstrap (or reopen) a durability directory and checkpoint it."""
+    from repro.durability import DurableEngine
+
+    factory = DATASETS.get(args.dataset)
+    if factory is None:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    engine = DurableEngine(
+        _make_engine(args, factory()), args.dir, fsync=args.fsync
+    )
+    info = engine.snapshot()
+    wal = engine.wal.stats()
+    print(
+        f"snapshot committed: lsn={info.lsn}, {info.rows} rows, "
+        f"sha256={info.sha256[:12]}…"
+    )
+    print(
+        f"wal: {wal['segments']} segment(s), last lsn {wal['last_lsn']}, "
+        f"{wal['bytes']} bytes, fsync={wal['fsync_policy']}"
+    )
+    engine.close()
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover an engine from a durability directory."""
+    from repro.durability import DurableEngine, RecoveryError
+
+    try:
+        engine, result = DurableEngine.recover(
+            args.dir,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            trace=True,
+        )
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"recovered: {result.summary()} ({result.elapsed_ms:.1f} ms)")
+    if args.trace and result.trace is not None:
+        print(format_trace(result.trace))
+    if args.query:
+        results = engine.search(args.query, k=args.k, method=args.method)
+        _print_degraded_banner(results)
+        if not results:
+            print("no results")
+        for rank, res in enumerate(results, start=1):
+            print(f"{rank:2d}. [{res.score:.3f}] {res.network}")
+            print(f"      {res.describe()}")
+    engine.close()
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Verify derived state; recovers from --dir or builds from --dataset."""
+    from repro.durability import DurableEngine, RecoveryError, fsck
+
+    if args.dir:
+        try:
+            engine, result = DurableEngine.recover(
+                args.dir, shards=args.shards, partitioner=args.partitioner
+            )
+        except RecoveryError as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"recovered: {result.summary()}")
+        report = engine.fsck()
+        engine.close()
+    else:
+        factory = DATASETS.get(args.dataset)
+        if factory is None:
+            print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+            return 2
+        report = fsck(_make_engine(args, factory()))
+    print(report.summary())
+    for problem in report.problems:
+        print(f"  ! {problem}")
+    return 0 if report.ok else 1
 
 
 def _cmd_suggest(args: argparse.Namespace) -> int:
@@ -413,8 +508,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run each query N times (exercises the result cache)",
     )
+    p.add_argument(
+        "--check-fk",
+        action="store_true",
+        help="run Database.validate() and include any referential-"
+        "integrity violations in the output (exit 1 if found)",
+    )
     _add_shard_flags(p)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="bootstrap a durability directory and commit a snapshot",
+    )
+    p.add_argument("--dataset", default="biblio", help="dataset name")
+    p.add_argument("--dir", required=True, help="durability root directory")
+    p.add_argument(
+        "--fsync",
+        default="always",
+        choices=["always", "interval", "never"],
+        help="WAL fsync policy for the session",
+    )
+    _add_shard_flags(p)
+    p.set_defaults(func=_cmd_snapshot)
+
+    p = sub.add_parser(
+        "recover",
+        help="recover an engine from a durability directory (snapshot + "
+        "WAL replay)",
+    )
+    p.add_argument("--dir", required=True, help="durability root directory")
+    p.add_argument("--query", default=None, help="run one query after recovery")
+    p.add_argument("--method", default="schema", choices=list(KNOWN_METHODS))
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the recovery span tree (snapshot_load/replay/refresh)",
+    )
+    _add_shard_flags(p)
+    p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "fsck",
+        help="verify index postings, cache stamps, FK integrity and shard "
+        "ownership",
+    )
+    p.add_argument(
+        "--dir", default=None, help="durability root to recover and check"
+    )
+    p.add_argument(
+        "--dataset", default="biblio", help="dataset to check (without --dir)"
+    )
+    _add_shard_flags(p)
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser("suggest", help="type-ahead completions")
     p.add_argument("prefix")

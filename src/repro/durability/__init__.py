@@ -1,0 +1,42 @@
+"""Durability: write-ahead log, atomic snapshots, verified recovery.
+
+The robustness layer that lets a killed process come back with search
+results byte-identical to the pre-crash engine:
+
+* :mod:`repro.durability.wal` — append-only segment-rotated mutation
+  log (per-record CRC32, monotonic LSNs, configurable fsync policy,
+  torn-tail truncation on open);
+* :mod:`repro.durability.snapshot` — atomic point-in-time snapshots
+  (write-temp + fsync + rename, checksummed manifests, retention);
+* :mod:`repro.durability.recovery` — newest-valid-snapshot load + WAL
+  suffix replay through the incremental ``refresh()`` path;
+* :mod:`repro.durability.verify` — the ``fsck`` audit of postings,
+  cache stamps, FK integrity and shard ownership;
+* :mod:`repro.durability.manager` — :class:`DurableEngine`, the
+  validate -> log -> apply -> refresh mutation front end.
+"""
+
+from repro.durability.manager import DurableEngine
+from repro.durability.recovery import (
+    RecoveryError,
+    RecoveryResult,
+    recover,
+    recover_engine,
+)
+from repro.durability.snapshot import SnapshotInfo, SnapshotStore
+from repro.durability.verify import FsckReport, fsck
+from repro.durability.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "DurableEngine",
+    "FsckReport",
+    "RecoveryError",
+    "RecoveryResult",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "fsck",
+    "recover",
+    "recover_engine",
+]

@@ -1,0 +1,217 @@
+"""`DurableEngine`: log-before-apply mutations over a serving engine.
+
+Wraps either a :class:`KeywordSearchEngine` or a
+:class:`~repro.sharding.coordinator.ShardedSearchEngine` and a
+durability root directory (``<root>/wal`` + ``<root>/snapshots``)::
+
+    engine = DurableEngine(KeywordSearchEngine(db), "/var/lib/repro")
+    engine.insert("author", aid=7, name="ada lovelace")   # durable
+    engine.snapshot()                                     # checkpoint
+    ...
+    engine, result = DurableEngine.recover("/var/lib/repro")
+
+Mutations follow the WAL discipline:
+
+1. **validate** — :meth:`Database.check_insert` runs every column, PK
+   and FK check *without* applying, so the log never records an insert
+   that cannot replay (replay runs with FK checks off);
+2. **log** — the mutation is appended (and, per the fsync policy,
+   made durable) to the WAL;
+3. **apply** — the row is stored and the serving engine's incremental
+   maintenance runs: ``_sync_version`` patches the single engine's
+   substrates in place, while the sharded coordinator's ``refresh()``
+   routes the new row to its home shard and boundary replicas.
+
+A fresh directory over a non-empty database bootstraps itself: the
+schema is logged as the WAL's first record and an initial snapshot
+captures the pre-existing rows, so recovery never depends on state
+that predates the log.
+
+``snapshot()`` checkpoints at the current last LSN and prunes WAL
+segments the snapshot fully covers; ``fsck()`` runs the
+:mod:`repro.durability.verify` audit over the wrapped engine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.durability.recovery import (
+    RecoveryResult,
+    SNAPSHOT_SUBDIR,
+    WAL_SUBDIR,
+    recover_engine,
+)
+from repro.durability.snapshot import SnapshotInfo, SnapshotStore, schema_to_dict
+from repro.durability.verify import FsckReport, fsck
+from repro.durability.wal import WriteAheadLog
+from repro.obs.metrics import MetricsRegistry
+from repro.relational.database import TupleId
+
+
+class DurableEngine:
+    """Write-ahead-logged mutations + snapshots for a serving engine."""
+
+    def __init__(
+        self,
+        engine,
+        root_dir: str,
+        fsync: str = "always",
+        fsync_interval: int = 64,
+        segment_max_bytes: int = 1 << 20,
+        retain_snapshots: int = 3,
+        bootstrap_snapshot: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.engine = engine
+        self.db = engine.db
+        self.root_dir = root_dir
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else getattr(engine, "metrics", None) or MetricsRegistry()
+        )
+        fresh = not os.path.isdir(os.path.join(root_dir, WAL_SUBDIR))
+        self.wal = WriteAheadLog(
+            os.path.join(root_dir, WAL_SUBDIR),
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+            segment_max_bytes=segment_max_bytes,
+            metrics=self.metrics,
+        )
+        self.snapshots = SnapshotStore(
+            os.path.join(root_dir, SNAPSHOT_SUBDIR),
+            retain=retain_snapshots,
+            metrics=self.metrics,
+        )
+        if fresh and self.wal.last_lsn == 0:
+            # First open: anchor the log with the schema so recovery
+            # with no snapshot still knows the world's shape, then
+            # checkpoint any rows that predate the log.
+            self.wal.append(
+                {"op": "bootstrap", "schema": schema_to_dict(self.db.schema)}
+            )
+            if bootstrap_snapshot and self.db.size():
+                self.snapshot()
+
+    # ------------------------------------------------------------------
+    # Durable mutation path (validate -> log -> apply -> refresh)
+    # ------------------------------------------------------------------
+    def insert(self, table: str, **values: object) -> TupleId:
+        """Durably insert one row; acknowledged means recoverable."""
+        self.db.check_insert(table, values)
+        self.wal.append({"op": "insert", "table": table, "values": values})
+        tid = self.db.insert(table, check_fk=False, **values)
+        self._refresh()
+        return tid
+
+    def insert_many(
+        self, table: str, records: Iterable[Dict[str, object]]
+    ) -> List[TupleId]:
+        """Durable atomic batch: one WAL record, one fsync, one refresh."""
+        batch = [dict(record) for record in records]
+        # Atomic pre-validation mirrors Database.insert_many, including
+        # FK references to rows earlier in the same batch.
+        tbl = self.db.table(table)
+        pending: set = set()
+        for values in batch:
+            record = tbl.prepare(values, pending_pks=pending)
+            self.db._check_fks(table, values, pending_self_pks=pending)
+            pending.add(record[tbl.pk_index])
+        self.wal.append({"op": "insert_many", "table": table, "records": batch})
+        tids = self.db.insert_many(table, batch, check_fk=False)
+        self._refresh()
+        return tids
+
+    def _refresh(self) -> None:
+        """Run the engine's incremental maintenance for the new rows."""
+        refresh = getattr(self.engine, "refresh", None)
+        if refresh is not None:
+            # Sharded coordinator: route the rows to their home shards
+            # (plus boundary replicas) and drop stale result caches.
+            refresh()
+        else:
+            self.engine._sync_version()
+
+    # ------------------------------------------------------------------
+    # Serving passthrough
+    # ------------------------------------------------------------------
+    def search(self, *args, **kwargs):
+        return self.engine.search(*args, **kwargs)
+
+    def search_many(self, *args, **kwargs):
+        return self.engine.search_many(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Checkpointing / verification
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SnapshotInfo:
+        """Checkpoint the database at the current WAL position.
+
+        The WAL is fsynced first so the snapshot's covered LSN is
+        durable, then segments the snapshot fully covers are pruned.
+        """
+        self.wal.sync()
+        info = self.snapshots.write(self.db, self.wal.last_lsn)
+        self.wal.prune(info.lsn)
+        return info
+
+    def fsck(self) -> FsckReport:
+        """Audit derived state (index, caches, FKs, shard ownership)."""
+        return fsck(self.engine)
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        root_dir: str,
+        fsync: str = "always",
+        retain_snapshots: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: bool = True,
+        shards: int = 1,
+        partitioner: str = "hash",
+        **engine_kwargs,
+    ) -> Tuple["DurableEngine", RecoveryResult]:
+        """Rebuild engine + durability layer after a crash.
+
+        Loads the newest valid snapshot, replays the WAL suffix through
+        the incremental refresh path and re-opens the log for new
+        appends (truncating any torn tail).  With ``shards > 1`` the
+        recovered database is re-partitioned into a
+        :class:`~repro.sharding.coordinator.ShardedSearchEngine`.
+        """
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        engine, result = recover_engine(
+            root_dir, metrics=metrics, trace=trace, **engine_kwargs
+        )
+        if shards > 1:
+            from repro.sharding import ShardedSearchEngine
+
+            engine = ShardedSearchEngine(
+                engine.db,
+                n_shards=shards,
+                partitioner=partitioner,
+                metrics=metrics,
+            )
+        durable = cls(
+            engine,
+            root_dir,
+            fsync=fsync,
+            retain_snapshots=retain_snapshots,
+            bootstrap_snapshot=False,
+            metrics=metrics,
+        )
+        return durable, result

@@ -1,0 +1,295 @@
+"""Atomic point-in-time snapshots of a :class:`Database`.
+
+A snapshot is two files in the snapshot directory:
+
+``snapshot-<lsn>.json``
+    the data file — schema plus every table's rows in rowid order
+    (rowids are positional, so loading re-inserts in order and every
+    :class:`~repro.relational.database.TupleId` survives byte-for-byte);
+``manifest-<lsn>.json``
+    the commit record — sha256 of the data file, per-table row counts
+    and the WAL LSN the snapshot covers.
+
+Both are written with the classic atomic pattern: write to a ``.tmp``
+path, flush, ``os.fsync``, rename.  The **manifest rename is the commit
+point** — a crash before it leaves an orphan data file that recovery
+ignores (and the next snapshot cleans up); a crash after it leaves a
+fully valid snapshot.  The ``snapshot.commit`` failpoint fires between
+the data file landing and the manifest rename, which is exactly the
+kill-mid-rename window the chaos tests exercise.
+
+``load`` re-creates the database by rebuilding the schema and replaying
+rows through :meth:`Table.apply`-equivalent inserts with FK checks off
+(the snapshot was taken from a validated database; ``fsck`` re-checks
+after recovery).  Retention keeps the newest *retain* committed
+snapshots and unlinks the rest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, Schema, TableSchema
+from repro.resilience.failpoints import fail_point
+
+SNAPSHOT_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# Schema <-> JSON
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> Dict[str, object]:
+    return {
+        "tables": [
+            {
+                "name": tbl.name,
+                "primary_key": tbl.primary_key,
+                "columns": [
+                    {
+                        "name": c.name,
+                        "dtype": c.dtype,
+                        "nullable": c.nullable,
+                        "text": c.text,
+                    }
+                    for c in tbl.columns
+                ],
+                "foreign_keys": [
+                    {
+                        "column": fk.column,
+                        "ref_table": fk.ref_table,
+                        "ref_column": fk.ref_column,
+                    }
+                    for fk in tbl.foreign_keys
+                ],
+            }
+            for tbl in schema
+        ]
+    }
+
+
+def schema_from_dict(data: Dict[str, object]) -> Schema:
+    tables = []
+    for tbl in data["tables"]:
+        tables.append(
+            TableSchema(
+                tbl["name"],
+                tuple(
+                    Column(c["name"], c["dtype"], c["nullable"], c["text"])
+                    for c in tbl["columns"]
+                ),
+                tbl["primary_key"],
+                tuple(
+                    ForeignKey(fk["column"], fk["ref_table"], fk["ref_column"])
+                    for fk in tbl["foreign_keys"]
+                ),
+            )
+        )
+    return Schema(tables)
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """A committed snapshot's identity, as read from its manifest."""
+
+    lsn: int
+    data_path: str
+    manifest_path: str
+    sha256: str
+    rows: int
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.rename(tmp, path)
+
+
+class SnapshotStore:
+    """Write, list, validate and load snapshots in one directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        retain: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.directory = directory
+        self.retain = retain
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(self, db: Database, lsn: int) -> SnapshotInfo:
+        """Atomically snapshot *db* as covering WAL position *lsn*."""
+        start_s = time.perf_counter()
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "lsn": lsn,
+            "schema": schema_to_dict(db.schema),
+            "tables": {
+                name: [list(row.values) for row in table.rows()]
+                for name, table in db.tables.items()
+            },
+        }
+        data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+        data_path = os.path.join(self.directory, f"snapshot-{lsn:016d}.json")
+        manifest_path = os.path.join(self.directory, f"manifest-{lsn:016d}.json")
+        _atomic_write(data_path, data)
+        sha = hashlib.sha256(data).hexdigest()
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "lsn": lsn,
+            "data_file": os.path.basename(data_path),
+            "sha256": sha,
+            "rows": db.size(),
+            "tables": {name: len(table) for name, table in db.tables.items()},
+        }
+        manifest_bytes = json.dumps(
+            manifest, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        # The commit point: a crash before the manifest rename leaves an
+        # uncommitted (ignored) data file, a crash after it a valid
+        # snapshot.  The failpoint sits exactly in that window.
+        tmp = manifest_path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(manifest_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fail_point("snapshot.commit", key=lsn)
+        os.rename(tmp, manifest_path)
+        self.metrics.observe(
+            "snapshot.build_ms", (time.perf_counter() - start_s) * 1000.0
+        )
+        self.metrics.inc("snapshot.commits")
+        self._apply_retention()
+        return SnapshotInfo(lsn, data_path, manifest_path, sha, manifest["rows"])
+
+    def _apply_retention(self) -> None:
+        committed = self._committed()
+        for info in committed[: -self.retain]:
+            # Manifest first: once it is gone the data file is a
+            # harmless orphan even if we crash between the unlinks.
+            for path in (info.manifest_path, info.data_path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        # Clean orphans: data/tmp files no committed manifest points at.
+        keep = {
+            os.path.basename(info.data_path) for info in committed[-self.retain:]
+        }
+        for name in os.listdir(self.directory):
+            path = os.path.join(self.directory, name)
+            if name.endswith(".tmp"):
+                os.unlink(path)
+            elif name.startswith("snapshot-") and name not in keep:
+                os.unlink(path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _committed(self) -> List[SnapshotInfo]:
+        """All committed snapshots, oldest first (no checksum validation)."""
+        infos = []
+        for name in sorted(os.listdir(self.directory)):
+            if not (name.startswith("manifest-") and name.endswith(".json")):
+                continue
+            manifest_path = os.path.join(self.directory, name)
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            infos.append(
+                SnapshotInfo(
+                    int(manifest["lsn"]),
+                    os.path.join(self.directory, manifest["data_file"]),
+                    manifest_path,
+                    manifest["sha256"],
+                    int(manifest["rows"]),
+                )
+            )
+        infos.sort(key=lambda info: info.lsn)
+        return infos
+
+    def list(self) -> List[SnapshotInfo]:
+        return self._committed()
+
+    def validate(self, info: SnapshotInfo) -> bool:
+        """True if the snapshot's data file matches its manifest checksum."""
+        try:
+            return _sha256_file(info.data_path) == info.sha256
+        except OSError:
+            return False
+
+    def latest(self) -> Optional[SnapshotInfo]:
+        """Newest snapshot that passes checksum validation.
+
+        Corrupt or half-written snapshots are skipped, falling back to
+        the next-older committed snapshot (recovery then replays a
+        longer WAL suffix instead of failing).
+        """
+        for info in reversed(self._committed()):
+            if self.validate(info):
+                return info
+            self.metrics.inc("snapshot.invalid_skipped")
+        return None
+
+    def load(self, info: SnapshotInfo) -> Tuple[Database, int]:
+        """Rebuild the database a snapshot captured; returns (db, lsn).
+
+        Rows are re-inserted per table in rowid order with FK checks
+        off, so rowids — and therefore every TupleId in search results
+        — are identical to the snapshotted database's.
+        """
+        with open(info.data_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {payload.get('format')!r}"
+            )
+        schema = schema_from_dict(payload["schema"])
+        db = Database(schema)
+        columns = {
+            tbl.name: tbl.column_names for tbl in schema
+        }
+        for name in db.tables:
+            for values in payload["tables"].get(name, ()):
+                db.insert(
+                    name,
+                    check_fk=False,
+                    **dict(zip(columns[name], values)),
+                )
+        return db, int(payload["lsn"])
+
+    def __repr__(self) -> str:
+        committed = self._committed()
+        newest = committed[-1].lsn if committed else None
+        return (
+            f"SnapshotStore({self.directory!r}, {len(committed)} committed, "
+            f"newest lsn={newest})"
+        )

@@ -1,0 +1,375 @@
+"""Append-only, segment-rotated write-ahead log for database mutations.
+
+Every acknowledged mutation is encoded as one binary record::
+
+    header  = <Q lsn> <I payload_len> <I crc32>     (16 bytes, little-endian)
+    payload = compact JSON, utf-8
+
+where the CRC covers ``payload + lsn`` so a record torn across a crash
+— or relocated by a corrupted header — never replays.  LSNs are
+assigned monotonically starting at 1 and never reused; the log is
+organised as *segments* named ``wal-<first_lsn>.seg`` that rotate at a
+configurable byte threshold, so snapshot-covered prefixes can be
+dropped by unlinking whole files (:meth:`WriteAheadLog.prune`).
+
+Durability is governed by the fsync policy:
+
+``always``
+    ``os.fsync`` after every append — an acknowledged append survives
+    any crash.
+``interval``
+    flush on append, fsync every *fsync_interval* appends (and on
+    rotation/close) — bounded loss window, much higher throughput.
+``never``
+    leave durability to the OS page cache — benchmark baseline.
+
+Opening a log scans the tail segment and truncates any *torn tail*: a
+trailing record whose header is short, whose payload is incomplete,
+whose CRC mismatches, or whose LSN is out of sequence.  Everything
+before the tear is kept, so recovery always resumes from a valid
+prefix of the acknowledged history.
+
+Chaos hooks (see :mod:`repro.resilience.failpoints`): ``wal.append``
+fires *before* a record is written — when armed with an exception the
+site simulates a kill mid-write by persisting only a prefix of the
+record's bytes (a genuine torn tail) before raising; ``wal.fsync``
+fires after the OS-level flush but before ``os.fsync``, simulating a
+kill where the record may or may not have reached the platter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.failpoints import fail_point
+
+#: lsn (uint64), payload length (uint32), crc32 (uint32).
+_HEADER = struct.Struct("<QII")
+
+#: Accepted fsync policies.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+class WalCorruptionError(RuntimeError):
+    """A WAL segment failed validation mid-stream (not at the tail)."""
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_lsn:016d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_lsn(name: str) -> Optional[int]:
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(digits)
+    except ValueError:
+        return None
+
+
+def _record_crc(lsn: int, payload: bytes) -> int:
+    return zlib.crc32(payload + lsn.to_bytes(8, "little")) & 0xFFFFFFFF
+
+
+def encode_record(lsn: int, record: Dict[str, object]) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    return _HEADER.pack(lsn, len(payload), _record_crc(lsn, payload)) + payload
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log entry."""
+
+    lsn: int
+    record: Dict[str, object]
+
+
+def _scan_segment(
+    path: str, expect_lsn: Optional[int] = None
+) -> Tuple[List[WalRecord], int, Optional[str]]:
+    """Decode *path*; returns (records, valid_byte_prefix, tear_reason).
+
+    Stops at the first invalid record.  ``tear_reason`` is ``None`` for
+    a clean segment, otherwise a human-readable description of the tear
+    (used both by tail truncation and by replay's clean stop).
+    """
+    records: List[WalRecord] = []
+    offset = 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    size = len(data)
+    while offset < size:
+        if size - offset < _HEADER.size:
+            return records, offset, "short header"
+        lsn, length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if size - start < length:
+            return records, offset, "short payload"
+        payload = data[start:start + length]
+        if _record_crc(lsn, payload) != crc:
+            return records, offset, f"crc mismatch at lsn {lsn}"
+        if expect_lsn is not None and lsn != expect_lsn:
+            return records, offset, f"lsn {lsn} out of sequence (expected {expect_lsn})"
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, offset, f"undecodable payload at lsn {lsn}"
+        records.append(WalRecord(lsn, record))
+        offset = start + length
+        if expect_lsn is not None:
+            expect_lsn = lsn + 1
+    return records, offset, None
+
+
+class WriteAheadLog:
+    """Durable mutation log over a directory of rotating segments."""
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "always",
+        fsync_interval: int = 64,
+        segment_max_bytes: int = 1 << 20,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r} (choices: {', '.join(FSYNC_POLICIES)})"
+            )
+        if fsync_interval < 1:
+            raise ValueError(f"fsync_interval must be >= 1, got {fsync_interval}")
+        self.directory = directory
+        self.fsync_policy = fsync
+        self.fsync_interval = fsync_interval
+        self.segment_max_bytes = segment_max_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._file = None
+        self._segment_size = 0
+        self._dirty = 0
+        #: Bytes truncated from the tail segment on open (0 = clean).
+        self.truncated_bytes = 0
+        self.truncated_reason: Optional[str] = None
+        os.makedirs(directory, exist_ok=True)
+        self._open_tail()
+
+    # ------------------------------------------------------------------
+    # Opening / torn-tail repair
+    # ------------------------------------------------------------------
+    def _segments(self) -> List[Tuple[int, str]]:
+        """Sorted (first_lsn, path) pairs for every on-disk segment."""
+        out = []
+        for name in os.listdir(self.directory):
+            first = _segment_first_lsn(name)
+            if first is not None:
+                out.append((first, os.path.join(self.directory, name)))
+        out.sort()
+        return out
+
+    def _open_tail(self) -> None:
+        segments = self._segments()
+        if not segments:
+            self._next_lsn = 1
+            self._start_segment(1)
+            return
+        first_lsn, tail_path = segments[-1]
+        records, valid_bytes, reason = _scan_segment(tail_path, expect_lsn=first_lsn)
+        actual = os.path.getsize(tail_path)
+        if reason is not None and actual > valid_bytes:
+            # Torn tail: keep the valid prefix, drop the tear.
+            self.truncated_bytes = actual - valid_bytes
+            self.truncated_reason = reason
+            with open(tail_path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._next_lsn = (records[-1].lsn + 1) if records else first_lsn
+        if records or self.truncated_bytes:
+            # Reuse the tail segment in append mode.
+            self._file = open(tail_path, "ab")
+            self._segment_size = valid_bytes
+        else:
+            self._file = open(tail_path, "ab")
+            self._segment_size = 0
+
+    def _start_segment(self, first_lsn: int) -> None:
+        if self._file is not None:
+            self._fsync_current()
+            self._file.close()
+        path = os.path.join(self.directory, _segment_name(first_lsn))
+        self._file = open(path, "ab")
+        self._segment_size = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest acknowledged record (0 = empty log)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    def append(self, record: Dict[str, object], sync: bool = True) -> int:
+        """Append one record; returns its LSN.
+
+        With ``sync=False`` the policy-driven fsync is deferred — batch
+        writers append N records and call :meth:`sync` once.
+        """
+        with self._lock:
+            return self._append_locked(record, sync)
+
+    def append_many(self, records: List[Dict[str, object]]) -> List[int]:
+        """Append a batch with a single policy-driven fsync at the end."""
+        with self._lock:
+            lsns = [self._append_locked(r, sync=False) for r in records]
+            self._maybe_fsync(force_always=True)
+            return lsns
+
+    def _append_locked(self, record: Dict[str, object], sync: bool) -> int:
+        lsn = self._next_lsn
+        data = encode_record(lsn, record)
+        if self._segment_size and self._segment_size + len(data) > self.segment_max_bytes:
+            self._start_segment(lsn)
+        start_s = time.perf_counter()
+        try:
+            fail_point("wal.append", key=record.get("table"))
+        except BaseException:
+            # Simulate a kill mid-write: a prefix of the record reaches
+            # the disk and the process dies.  The torn bytes are what
+            # the next open's tail truncation must repair.
+            self._file.write(data[: max(1, len(data) // 2)])
+            self._file.flush()
+            raise
+        self._file.write(data)
+        self._segment_size += len(data)
+        self._next_lsn = lsn + 1
+        self._dirty += 1
+        if sync:
+            self._maybe_fsync(force_always=True)
+        self.metrics.observe(
+            "wal.append_ms", (time.perf_counter() - start_s) * 1000.0
+        )
+        self.metrics.inc("wal.appends")
+        return lsn
+
+    def _maybe_fsync(self, force_always: bool = False) -> None:
+        if self.fsync_policy == "never":
+            self._file.flush()
+            self._dirty = 0
+            return
+        if self.fsync_policy == "always" and force_always:
+            self._fsync_current()
+            return
+        if self.fsync_policy == "interval" and self._dirty >= self.fsync_interval:
+            self._fsync_current()
+            return
+        self._file.flush()
+
+    def _fsync_current(self) -> None:
+        self._file.flush()
+        # Chaos hook *after* the user-space flush, *before* the OS-level
+        # fsync: a kill here leaves the record's durability undecided.
+        fail_point("wal.fsync")
+        os.fsync(self._file.fileno())
+        self._dirty = 0
+        self.metrics.inc("wal.fsyncs")
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy (checkpoint barrier)."""
+        with self._lock:
+            self._fsync_current()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                if self.fsync_policy != "never":
+                    self._fsync_current()
+                else:
+                    self._file.flush()
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay / pruning
+    # ------------------------------------------------------------------
+    def replay(self, after_lsn: int = 0) -> Iterator[WalRecord]:
+        """Yield records with ``lsn > after_lsn`` in order.
+
+        Stops cleanly at the first invalid record (short/corrupt/out of
+        sequence) — everything before the tear is yielded, nothing after
+        it.  The stop reason is recorded on :attr:`replay_stopped`.
+        """
+        self.replay_stopped: Optional[str] = None
+        expect: Optional[int] = None
+        for first_lsn, path in self._segments():
+            records, _, reason = _scan_segment(
+                path, expect_lsn=first_lsn if expect is None else expect
+            )
+            for rec in records:
+                if rec.lsn > after_lsn:
+                    yield rec
+            if reason is not None:
+                self.replay_stopped = reason
+                return
+            expect = (records[-1].lsn + 1) if records else first_lsn
+
+    def prune(self, through_lsn: int) -> int:
+        """Drop whole segments entirely covered by ``lsn <= through_lsn``.
+
+        Called after a snapshot commits at *through_lsn*; returns the
+        number of segments unlinked.  The active tail segment is never
+        removed.
+        """
+        with self._lock:
+            segments = self._segments()
+            removed = 0
+            for i, (first_lsn, path) in enumerate(segments):
+                next_first = (
+                    segments[i + 1][0] if i + 1 < len(segments) else None
+                )
+                if next_first is None:
+                    break  # tail segment stays
+                if next_first - 1 <= through_lsn:
+                    os.unlink(path)
+                    removed += 1
+                else:
+                    break
+            if removed:
+                self.metrics.inc("wal.segments_pruned", removed)
+            return removed
+
+    def stats(self) -> Dict[str, object]:
+        segments = self._segments()
+        return {
+            "segments": len(segments),
+            "last_lsn": self.last_lsn,
+            "bytes": sum(os.path.getsize(p) for _, p in segments),
+            "fsync_policy": self.fsync_policy,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.directory!r}, last_lsn={self.last_lsn}, "
+            f"fsync={self.fsync_policy!r})"
+        )

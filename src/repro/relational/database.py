@@ -8,7 +8,7 @@ tuples without holding row objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.relational.schema import Schema, SchemaError, TableSchema
 from repro.relational.table import Row, Table
@@ -42,26 +42,83 @@ class Database:
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
+    def _check_fks(
+        self,
+        table: str,
+        values: Mapping[str, object],
+        pending_self_pks: Optional[Set[object]] = None,
+    ) -> None:
+        """Raise :class:`SchemaError` if any FK of *values* dangles.
+
+        *pending_self_pks* holds primary keys earlier in the same batch
+        (same table), so self-referencing batches — e.g. ``cite`` rows
+        citing a paper inserted two records earlier — validate exactly
+        as they would under sequential :meth:`insert` calls.
+        """
+        tbl = self.table(table)
+        for fk in tbl.schema.foreign_keys:
+            value = values.get(fk.column)
+            if value is None:
+                continue
+            if (
+                fk.ref_table == table
+                and pending_self_pks is not None
+                and value in pending_self_pks
+            ):
+                continue
+            parent = self.table(fk.ref_table)
+            if parent.by_key(value) is None:
+                raise SchemaError(
+                    f"{table}.{fk.column}={value!r} references missing "
+                    f"{fk.ref_table}.{fk.ref_column}"
+                )
+
+    def check_insert(
+        self, table: str, values: Mapping[str, object], check_fk: bool = True
+    ) -> None:
+        """Validate an insert without applying it.
+
+        Runs the full column/PK validation plus (by default) the FK
+        check and raises :class:`SchemaError` on any problem, leaving
+        the database untouched.  The durability layer calls this before
+        logging a mutation so the write-ahead log only ever records
+        inserts guaranteed to apply (log-before-apply stays replayable).
+        """
+        self.table(table).prepare(values)
+        if check_fk:
+            self._check_fks(table, values)
+
     def insert(self, table: str, check_fk: bool = True, **values: object) -> TupleId:
         tbl = self.table(table)
         if check_fk:
-            for fk in tbl.schema.foreign_keys:
-                value = values.get(fk.column)
-                if value is None:
-                    continue
-                parent = self.table(fk.ref_table)
-                if parent.by_key(value) is None:
-                    raise SchemaError(
-                        f"{table}.{fk.column}={value!r} references missing "
-                        f"{fk.ref_table}.{fk.ref_column}"
-                    )
+            self._check_fks(table, values)
         rowid = tbl.insert(**values)
         return TupleId(table, rowid)
 
     def insert_many(
         self, table: str, records: Iterable[Dict[str, object]], check_fk: bool = True
     ) -> List[TupleId]:
-        return [self.insert(table, check_fk=check_fk, **record) for record in records]
+        """Atomic batch insert: either every record applies or none does.
+
+        All records are validated up front — column types, primary-key
+        uniqueness (including duplicates *within* the batch) and, when
+        *check_fk* is on, foreign keys (which may reference rows earlier
+        in the same batch) — before any row is stored.  A mid-batch
+        :class:`SchemaError` therefore leaves the table contents and
+        :attr:`data_version` exactly as they were, which is what makes
+        WAL batch replay all-or-nothing.
+        """
+        tbl = self.table(table)
+        batch = [dict(record) for record in records]
+        prepared: List[Tuple[object, ...]] = []
+        pending_pks: Set[object] = set()
+        for values in batch:
+            record = tbl.prepare(values, pending_pks=pending_pks)
+            if check_fk:
+                self._check_fks(table, values, pending_self_pks=pending_pks)
+            prepared.append(record)
+            pending_pks.add(record[tbl.pk_index])
+        return [TupleId(table, tbl.apply(record)) for record in prepared]
 
     # ------------------------------------------------------------------
     # Access

@@ -9,7 +9,7 @@ evaluation (equi-joins along FKs) efficient.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.relational.schema import SchemaError, TableSchema
 
@@ -112,8 +112,20 @@ class Table:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def insert(self, **values: object) -> int:
-        """Insert a row given by keyword arguments; returns its rowid."""
+    def prepare(
+        self,
+        values: Mapping[str, object],
+        pending_pks: Optional[Set[object]] = None,
+    ) -> Tuple[object, ...]:
+        """Validate an insert without applying it; return the row tuple.
+
+        Runs every check :meth:`insert` performs (unknown columns, column
+        types/nullability, primary-key presence and uniqueness) but never
+        mutates the table, so callers that need all-or-nothing semantics
+        — atomic batches, write-ahead logging — can validate first and
+        apply only records guaranteed to succeed.  *pending_pks* extends
+        the duplicate-key check with keys earlier in the same batch.
+        """
         unknown = set(values) - set(self.schema.column_names)
         if unknown:
             raise SchemaError(f"unknown columns {sorted(unknown)} for {self.name!r}")
@@ -123,18 +135,33 @@ class Table:
         pk_value = record[self.pk_index]
         if pk_value is None:
             raise SchemaError(f"primary key {self.schema.primary_key!r} must be set")
-        if pk_value in self._pk_map:
+        if pk_value in self._pk_map or (
+            pending_pks is not None and pk_value in pending_pks
+        ):
             raise SchemaError(
                 f"duplicate primary key {pk_value!r} in table {self.name!r}"
             )
+        return tuple(record)
+
+    def apply(self, record: Tuple[object, ...]) -> int:
+        """Store a :meth:`prepare`-validated row tuple; returns its rowid.
+
+        Infallible for prepared records: all validation happened in
+        :meth:`prepare`, so the version bump and index updates here
+        never leave the table half-mutated.
+        """
         rowid = len(self._rows)
-        self._rows.append(tuple(record))
-        self._pk_map[pk_value] = rowid
+        self._rows.append(record)
+        self._pk_map[record[self.pk_index]] = rowid
         for column, index in self._indexes.items():
             value = record[self._col_index[column]]
             index.setdefault(value, []).append(rowid)
         self.version += 1
         return rowid
+
+    def insert(self, **values: object) -> int:
+        """Insert a row given by keyword arguments; returns its rowid."""
+        return self.apply(self.prepare(values))
 
     # ------------------------------------------------------------------
     # Access

@@ -21,6 +21,12 @@ name                            fires when
 ``substrates.form_pipeline``    the form pipeline builds
 ``cache.result_put``            a result is stored in the result LRU
 ``shard.execute``               a shard worker starts (key = shard id)
+``wal.append``                  before a WAL record is written (key =
+                                table); an armed raise leaves a torn
+                                half-record on disk
+``wal.fsync``                   after a WAL flush, before ``os.fsync``
+``snapshot.commit``             after the manifest fsync, before the
+                                rename that commits it (key = lsn)
 =============================   ==========================================
 
 The registry is intentionally tiny and lock-guarded; the inactive fast
