@@ -1,7 +1,7 @@
 """Record the perf trajectory: run the registered benchmark suites, emit JSON.
 
     PYTHONPATH=src python benchmarks/run_bench.py
-        [--suite serving|sharding|durability|all] [--out PATH] [--smoke]
+        [--suite api|serving|sharding|durability|all] [--out PATH] [--smoke]
 
 Future PRs re-run this entry point and compare against the committed
 ``BENCH_serving.json`` / ``BENCH_sharding.json`` /
@@ -23,6 +23,7 @@ for path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+from benchmarks.bench_api import run_api_benchmark  # noqa: E402
 from benchmarks.bench_durability import run_durability_benchmark  # noqa: E402
 from benchmarks.bench_serving import run_serving_benchmark  # noqa: E402
 from benchmarks.bench_sharding import run_sharding_benchmark  # noqa: E402
@@ -83,7 +84,24 @@ def _run_durability(args: argparse.Namespace, out_path: str) -> bool:
     return bool(acceptance["pass"])
 
 
+def _run_api(args: argparse.Namespace, out_path: str) -> bool:
+    report = run_api_benchmark(smoke=args.smoke)
+    _write(report, out_path)
+    acceptance = report["acceptance"]
+    print(
+        f"api: uncontended {report['uncontended']['qps']} qps "
+        f"p99 {report['uncontended']['p99_ms']}ms; at 2x load p99 ratio "
+        f"{acceptance['p99_ratio']} (max {acceptance['p99_ratio_max']}), "
+        f"shed rate {report['overload_2x']['shed_rate']}, "
+        f"5xx-free {acceptance['no_5xx']}, "
+        f"swap under load {acceptance['swap_completed_under_load']}"
+    )
+    print(f"api acceptance pass: {acceptance['pass']}")
+    return bool(acceptance["pass"])
+
+
 SUITES = {
+    "api": ("BENCH_api.json", _run_api),
     "serving": ("BENCH_serving.json", _run_serving),
     "sharding": ("BENCH_sharding.json", _run_sharding),
     "durability": ("BENCH_durability.json", _run_durability),

@@ -16,12 +16,18 @@ datasets without writing code:
     python -m repro snapshot --dataset tiny --dir /tmp/durable
     python -m repro recover --dir /tmp/durable --query "john xml"
     python -m repro fsck --dir /tmp/durable
+    python -m repro search "john database" --json
+    python -m repro serve --dataset biblio --port 8080
+
+``serve``, ``batch`` and ``recover`` drain cleanly on SIGTERM or
+Ctrl-C and exit 130 (the conventional interrupted-by-signal code).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -125,6 +131,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
     except QueryParseError as exc:
         print(f"bad request: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        print(json.dumps(results.to_dict(include_rows=args.rows), indent=2))
+        return 0
     _print_degraded_banner(results)
     if not results:
         print("no results")
@@ -428,6 +437,75 @@ def _cmd_facets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the overload-safe HTTP serving front end."""
+    from repro.serving.server import ServingServer
+
+    durable_dir = args.dir
+    if durable_dir is not None:
+        import os
+
+        from repro.durability import DurableEngine, RecoveryError
+
+        if os.path.exists(os.path.join(durable_dir, "MANIFEST")) or (
+            os.path.isdir(durable_dir) and os.listdir(durable_dir)
+        ):
+            try:
+                engine, result = DurableEngine.recover(
+                    durable_dir, shards=args.shards, partitioner=args.partitioner
+                )
+            except RecoveryError as exc:
+                print(f"recovery failed: {exc}", file=sys.stderr)
+                return 1
+            print(f"recovered: {result.summary()}")
+            db = engine.db
+        else:
+            factory = DATASETS.get(args.dataset)
+            if factory is None:
+                print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+                return 2
+            engine = _make_engine(args, factory())
+            db = engine.db
+    else:
+        factory = DATASETS.get(args.dataset)
+        if factory is None:
+            print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+            return 2
+        engine = _make_engine(args, factory())
+        db = engine.db
+
+    def rebuild():
+        fresh = argparse.Namespace(
+            shards=args.shards, partitioner=args.partitioner
+        )
+        return _make_engine(fresh, db)
+
+    server = ServingServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.workers,
+        max_queue_depth=args.queue_depth,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        target_latency_ms=args.target_latency_ms,
+        default_timeout_ms=args.timeout_ms or 2000.0,
+        drain_timeout_s=args.drain_timeout_s,
+        durable_dir=durable_dir,
+        engine_builder=rebuild,
+    )
+    try:
+        return server.run()
+    except KeyboardInterrupt:
+        drained = server.stop(timeout_s=args.drain_timeout_s)
+        print(
+            "interrupted: "
+            + ("drained cleanly" if drained else "drain timed out"),
+            file=sys.stderr,
+        )
+        return 130
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -476,6 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the query's span tree (stage timings and work "
         "counters) after the results",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result set as JSON (same schema as the HTTP API)",
+    )
+    p.add_argument(
+        "--rows",
+        action="store_true",
+        help="with --json, inline each tuple's column values",
     )
     add_resilience_flags(p)
     _add_shard_flags(p)
@@ -563,6 +651,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shard_flags(p)
     p.set_defaults(func=_cmd_fsck)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP serving front end (admission control, load "
+        "shedding, zero-downtime swaps)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument("--dataset", default="biblio", help="dataset name")
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="durability root; recovered on boot if populated, and "
+        "mutations are WAL-logged",
+    )
+    p.add_argument(
+        "--workers", type=int, default=8, help="query worker threads"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="bounded admission queue size (past it: 429 + Retry-After)",
+    )
+    p.add_argument("--tenant-rate", type=float, default=500.0)
+    p.add_argument("--tenant-burst", type=float, default=1000.0)
+    p.add_argument(
+        "--target-latency-ms",
+        type=float,
+        default=250.0,
+        help="latency target feeding the shedding ladder",
+    )
+    p.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=2000.0,
+        help="default per-request deadline",
+    )
+    p.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=10.0,
+        help="graceful-shutdown drain deadline (SIGTERM / Ctrl-C)",
+    )
+    _add_shard_flags(p)
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("suggest", help="type-ahead completions")
     p.add_argument("prefix")
     p.add_argument("--dataset", default="biblio")
@@ -592,11 +726,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _raise_keyboard_interrupt(signum, frame):
+    raise KeyboardInterrupt
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     _register_datasets()
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # SIGTERM behaves like Ctrl-C: long-running commands (batch, recover,
+    # serve) unwind through their finally blocks instead of dying
+    # mid-write, and the process exits with the conventional 130.
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except (ValueError, OSError):  # non-main thread / unsupported platform
+        previous = None
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except (ValueError, OSError):
+                pass
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -276,6 +276,10 @@ class KeywordSearchEngine:
         )
         reg.register_gauge("circuit.state", lambda: self.circuit_breaker.state)
         reg.register_gauge("circuit.opens", lambda: self.circuit_breaker.opens)
+        reg.register_gauge(
+            "circuit.time_in_state_s",
+            lambda: round(self.circuit_breaker.time_in_state_s(), 3),
+        )
 
     def _on_breaker_transition(self, old_state: str, new_state: str) -> None:
         self.metrics.inc(f"circuit.transitions.{new_state}")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.relational.database import TupleId
 from repro.relational.executor import JoinedRow
@@ -96,6 +96,105 @@ class ResultSet(list):
             fallback_from=self.fallback_from,
             error=self.error,
             trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-tripping (shared by the HTTP routes and CLI --json)
+    # ------------------------------------------------------------------
+    def to_dict(self, include_rows: bool = False) -> Dict[str, Any]:
+        """JSON-safe representation preserving resilience metadata.
+
+        Scores survive exactly: ``json.dumps`` emits the shortest
+        round-tripping ``repr`` of each float, so
+        ``from_dict(json.loads(json.dumps(rs.to_dict())), db)`` yields
+        bit-identical scores.  ``include_rows=True`` additionally
+        inlines each tuple's column values for clients without access
+        to the database (the reverse direction then still only needs
+        the tuple ids).
+        """
+        results = []
+        for result in self:
+            entry: Dict[str, Any] = {
+                "score": result.score,
+                "network": result.network,
+                "tuples": [
+                    [tid.table, tid.rowid] for tid in result.tuple_ids()
+                ],
+            }
+            if include_rows:
+                entry["rows"] = [
+                    {"table": row.table.name, "rowid": row.rowid,
+                     "values": row.as_dict()}
+                    for row in result.joined.rows
+                ]
+            results.append(entry)
+        error = None
+        if self.error is not None:
+            error = {
+                "type": type(self.error).__name__,
+                "message": str(self.error),
+            }
+        return {
+            "status": self.status,
+            "method": self.method,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "fallback_from": self.fallback_from,
+            "error": error,
+            "count": len(results),
+            "results": results,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], db=None) -> "ResultSet":
+        """Rebuild a :class:`ResultSet` from :meth:`to_dict` output.
+
+        With *db* (the database the results came from), each answer is
+        re-materialised as a full :class:`SearchResult` whose
+        ``joined`` rows are looked up by tuple id — scores, methods and
+        degradation metadata round-trip exactly.  Without *db*, the
+        joined rows cannot be reconstructed and ``results`` entries
+        stay as plain dicts (score/network/tuples), which is enough for
+        client-side display and comparisons.
+        """
+        from repro.relational.executor import JoinedRow
+
+        items: List[Any] = []
+        for entry in data.get("results", ()):
+            if db is None:
+                items.append(dict(entry))
+                continue
+            tids = [TupleId(table, rowid) for table, rowid in entry["tuples"]]
+            rows = tuple(db.row(tid) for tid in tids)
+            aliases = tuple(f"n{i}" for i in range(len(rows)))
+            items.append(
+                SearchResult(
+                    score=entry["score"],
+                    network=entry["network"],
+                    joined=JoinedRow(aliases, rows),
+                )
+            )
+        error_data = data.get("error")
+        error = None
+        if error_data is not None:
+            from repro.resilience import errors as _errors
+
+            exc_cls = getattr(_errors, error_data.get("type", ""), None)
+            message = error_data.get("message", "")
+            if isinstance(exc_cls, type) and issubclass(exc_cls, _errors.ReproError):
+                try:
+                    error = exc_cls(message)
+                except TypeError:
+                    error = _errors.ReproError(message)
+            else:
+                error = _errors.ReproError(message)
+        return cls(
+            items,
+            method=data.get("method"),
+            degraded=bool(data.get("degraded", False)),
+            degraded_reason=data.get("degraded_reason"),
+            fallback_from=data.get("fallback_from"),
+            error=error,
         )
 
     def __repr__(self) -> str:

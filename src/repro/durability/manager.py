@@ -30,11 +30,19 @@ that predates the log.
 ``snapshot()`` checkpoints at the current last LSN and prunes WAL
 segments the snapshot fully covers; ``fsck()`` runs the
 :mod:`repro.durability.verify` audit over the wrapped engine.
+
+Mutations and snapshots are serialized by one re-entrant lock.
+Without it a snapshot racing an insert can capture the new *row* while
+stamping a covered LSN *below* the insert's WAL record — recovery then
+replays the record on top of the snapshotted row and dies on a
+duplicate primary key.  The lock makes every snapshot a consistent
+cut: rows and covered LSN always agree.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.durability.recovery import (
@@ -67,6 +75,10 @@ class DurableEngine:
         self.engine = engine
         self.db = engine.db
         self.root_dir = root_dir
+        #: Serializes mutations against snapshots (see module docstring).
+        #: Re-entrant so bootstrap (``__init__`` -> ``snapshot``) and
+        #: callers holding it for compound operations still work.
+        self.mutation_lock = threading.RLock()
         self.metrics = (
             metrics
             if metrics is not None
@@ -100,29 +112,33 @@ class DurableEngine:
     # ------------------------------------------------------------------
     def insert(self, table: str, **values: object) -> TupleId:
         """Durably insert one row; acknowledged means recoverable."""
-        self.db.check_insert(table, values)
-        self.wal.append({"op": "insert", "table": table, "values": values})
-        tid = self.db.insert(table, check_fk=False, **values)
-        self._refresh()
-        return tid
+        with self.mutation_lock:
+            self.db.check_insert(table, values)
+            self.wal.append({"op": "insert", "table": table, "values": values})
+            tid = self.db.insert(table, check_fk=False, **values)
+            self._refresh()
+            return tid
 
     def insert_many(
         self, table: str, records: Iterable[Dict[str, object]]
     ) -> List[TupleId]:
         """Durable atomic batch: one WAL record, one fsync, one refresh."""
         batch = [dict(record) for record in records]
-        # Atomic pre-validation mirrors Database.insert_many, including
-        # FK references to rows earlier in the same batch.
-        tbl = self.db.table(table)
-        pending: set = set()
-        for values in batch:
-            record = tbl.prepare(values, pending_pks=pending)
-            self.db._check_fks(table, values, pending_self_pks=pending)
-            pending.add(record[tbl.pk_index])
-        self.wal.append({"op": "insert_many", "table": table, "records": batch})
-        tids = self.db.insert_many(table, batch, check_fk=False)
-        self._refresh()
-        return tids
+        with self.mutation_lock:
+            # Atomic pre-validation mirrors Database.insert_many, including
+            # FK references to rows earlier in the same batch.
+            tbl = self.db.table(table)
+            pending: set = set()
+            for values in batch:
+                record = tbl.prepare(values, pending_pks=pending)
+                self.db._check_fks(table, values, pending_self_pks=pending)
+                pending.add(record[tbl.pk_index])
+            self.wal.append(
+                {"op": "insert_many", "table": table, "records": batch}
+            )
+            tids = self.db.insert_many(table, batch, check_fk=False)
+            self._refresh()
+            return tids
 
     def _refresh(self) -> None:
         """Run the engine's incremental maintenance for the new rows."""
@@ -151,11 +167,14 @@ class DurableEngine:
 
         The WAL is fsynced first so the snapshot's covered LSN is
         durable, then segments the snapshot fully covers are pruned.
+        Holds the mutation lock for the whole cut so the row iteration
+        and the covered LSN describe the same instant.
         """
-        self.wal.sync()
-        info = self.snapshots.write(self.db, self.wal.last_lsn)
-        self.wal.prune(info.lsn)
-        return info
+        with self.mutation_lock:
+            self.wal.sync()
+            info = self.snapshots.write(self.db, self.wal.last_lsn)
+            self.wal.prune(info.lsn)
+            return info
 
     def fsck(self) -> FsckReport:
         """Audit derived state (index, caches, FKs, shard ownership)."""

@@ -38,6 +38,7 @@ class QueryBudget:
         "candidates_scored",
         "exhausted",
         "reason",
+        "_poisoned",
         "_clock",
         "_t0",
         "_deadline",
@@ -70,6 +71,7 @@ class QueryBudget:
         self.candidates_scored = 0
         self.exhausted = False
         self.reason: Optional[str] = None
+        self._poisoned = False
         self._ops = 0
 
     # ------------------------------------------------------------------
@@ -121,17 +123,42 @@ class QueryBudget:
     # ------------------------------------------------------------------
     # Lifecycle & observability
     # ------------------------------------------------------------------
+    def poison(self, reason: str = "cancelled") -> None:
+        """Cancel the query from another thread: every next tick fails.
+
+        The serving front end calls this when the client abandons a
+        request (disconnect, shutdown drain): the worker thread running
+        the query hits its next cooperative tick, raises
+        :class:`BudgetExceededError`, and unwinds with whatever partial
+        answer it has — which the server then discards.  Unlike plain
+        exhaustion, poisoning survives :meth:`renew`, so a cancelled
+        query cannot resurrect itself by descending the degradation
+        ladder.  Safe to call from any thread (worst case the worker
+        sees the flags one tick late).
+        """
+        self._poisoned = True
+        self.exhausted = True
+        if self.reason is None:
+            self.reason = reason
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned
+
     def renew(self) -> "QueryBudget":
         """Reset counters and the exhausted flag; the deadline persists.
 
         Used between rungs of the degradation ladder: each cheaper
-        method gets fresh work counters but shares the wall clock.
+        method gets fresh work counters but shares the wall clock.  A
+        :meth:`poison`-cancelled budget stays exhausted: there is no
+        rung cheap enough for a client that already hung up.
         """
         self.nodes_expanded = 0
         self.cns_enumerated = 0
         self.candidates_scored = 0
-        self.exhausted = False
-        self.reason = None
+        if not self._poisoned:
+            self.exhausted = False
+            self.reason = None
         self._ops = 0
         return self
 
@@ -151,6 +178,7 @@ class QueryBudget:
             "cns_enumerated": self.cns_enumerated,
             "candidates_scored": self.candidates_scored,
             "exhausted": self.exhausted,
+            "poisoned": self._poisoned,
             "reason": self.reason,
         }
 

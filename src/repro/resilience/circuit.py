@@ -43,6 +43,7 @@ class CircuitBreaker:
         self._clock = clock
         self._lock = threading.Lock()
         self._state = CLOSED
+        self._state_since = clock()
         self._failures = 0
         self._opened_at = 0.0
         self._probing = False
@@ -57,6 +58,7 @@ class CircuitBreaker:
     def _note_transition(self, old: str, new: str) -> None:
         """Record a state change while holding the lock; emitted later."""
         if old != new:
+            self._state_since = self._clock()
             self._pending_transitions.append((old, new))
 
     def _emit_transitions(self) -> None:
@@ -135,6 +137,19 @@ class CircuitBreaker:
             self._probing = False
         self._emit_transitions()
 
+    def time_in_state_s(self) -> float:
+        """Seconds since the last state transition (live breaker health).
+
+        Surfaced as a callback gauge so ``/metrics`` can distinguish a
+        breaker that just opened from one stuck open for minutes —
+        transition counters alone cannot tell those apart.
+        """
+        with self._lock:
+            self._state_locked()
+            since = self._state_since
+        self._emit_transitions()
+        return max(0.0, self._clock() - since)
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             out = {
@@ -142,6 +157,7 @@ class CircuitBreaker:
                 "failures": self._failures,
                 "threshold": self.failure_threshold,
                 "opens": self.opens,
+                "time_in_state_s": max(0.0, self._clock() - self._state_since),
             }
         self._emit_transitions()
         return out

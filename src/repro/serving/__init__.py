@@ -1,0 +1,39 @@
+"""Overload-safe async serving front end.
+
+Admission control (:mod:`repro.serving.admission`), zero-downtime
+engine swaps (:mod:`repro.serving.swap`), transport-agnostic routing
+(:mod:`repro.serving.routes`) and the stdlib asyncio HTTP/1.1 server
+(:mod:`repro.serving.server`).
+"""
+
+from repro.serving.admission import (
+    MODE_FALLBACK,
+    MODE_FULL,
+    MODE_INDEX_ONLY,
+    AdmissionController,
+    AdmissionDecision,
+    LatencyEWMA,
+    TokenBucket,
+)
+from repro.serving.routes import BadRequest, Request, Response, Router
+from repro.serving.server import ServingServer, serve
+from repro.serving.swap import EngineHandle, Generation, SwapResult
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BadRequest",
+    "EngineHandle",
+    "Generation",
+    "LatencyEWMA",
+    "MODE_FALLBACK",
+    "MODE_FULL",
+    "MODE_INDEX_ONLY",
+    "Request",
+    "Response",
+    "Router",
+    "ServingServer",
+    "SwapResult",
+    "TokenBucket",
+    "serve",
+]

@@ -1,0 +1,327 @@
+"""Admission control: token buckets, latency EWMA, the shedding ladder.
+
+The serving front end admits a request only after three gates:
+
+1. **per-tenant token bucket** — each tenant refills at a configured
+   rate with a burst allowance; an empty bucket is a per-tenant 429
+   with a ``Retry-After`` telling the client exactly when a token will
+   exist (no thundering-herd retry storms);
+2. **bounded queue** — queued + in-flight requests may never exceed
+   ``max_concurrency + max_queue_depth``; past that the request is shed
+   with a 429 regardless of tenant (the queue cannot grow without
+   bound, so neither can memory or tail latency);
+3. **the shedding ladder** — between "healthy" and "full" the
+   controller degrades *answers* before it degrades *availability*, by
+   mapping load pressure onto the resilience layer's degradation
+   ladder (PR 2):
+
+   ======================  =======================================
+   pressure                admitted as
+   ======================  =======================================
+   ``< full_below``        requested method, full budget
+   ``< fallback_below``    requested method with ``fallback=True``
+                           (budget exhaustion descends the ladder)
+   ``< 1.0``               ``index_only`` — the terminal rung,
+                           guaranteed cheap
+   ``>= 1.0``              shed: 429 + Retry-After
+   ======================  =======================================
+
+   Pressure is the max of queue occupancy (``depth / capacity``) and
+   the latency signal (``ewma / (2 * target)``) — so a server whose
+   queue looks short but whose requests got slow still starts
+   degrading, and a server at 2x its target latency sheds even with
+   queue space left.
+
+Everything is lock-guarded and clock-injectable; the controller is
+shared between asyncio route handlers and worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.failpoints import fail_point
+
+#: Admission modes, healthiest first (mode of an admitted request).
+MODE_FULL = "full"
+MODE_FALLBACK = "fallback"
+MODE_INDEX_ONLY = "index_only"
+MODES = (MODE_FULL, MODE_FALLBACK, MODE_INDEX_ONLY)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._stamp = now
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take *cost* tokens; returns 0.0 on success, else seconds until
+        the bucket will hold *cost* tokens again (the Retry-After)."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return 0.0
+            return (cost - self._tokens) / self.rate
+
+    def available(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class LatencyEWMA:
+    """Exponentially weighted moving average of request latency (ms)."""
+
+    __slots__ = ("alpha", "_value", "_count", "_lock")
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, latency_ms: float) -> None:
+        with self._lock:
+            if self._count == 0:
+                self._value = latency_ms
+            else:
+                self._value += self.alpha * (latency_ms - self._value)
+            self._count += 1
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one request."""
+
+    admitted: bool
+    mode: str  # MODE_FULL / MODE_FALLBACK / MODE_INDEX_ONLY, or "shed"
+    pressure: float
+    retry_after_s: float = 0.0
+    reason: Optional[str] = None
+
+
+class AdmissionController:
+    """Bounded-queue admission with per-tenant rate limits and shedding.
+
+    The route handler calls :meth:`admit` before queueing, brackets
+    execution with :meth:`enqueued` / :meth:`started`, and reports
+    completion through :meth:`finished` (which feeds the latency EWMA).
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        max_queue_depth: int = 32,
+        tenant_rate: float = 200.0,
+        tenant_burst: float = 400.0,
+        target_latency_ms: float = 250.0,
+        full_below: float = 0.5,
+        fallback_below: float = 0.8,
+        ewma_alpha: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if max_queue_depth < 0:
+            raise ValueError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        if not 0.0 < full_below <= fallback_below <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < full_below <= fallback_below <= 1, "
+                f"got {full_below} / {fallback_below}"
+            )
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self.capacity = max_concurrency + max_queue_depth
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.target_latency_ms = target_latency_ms
+        self.full_below = full_below
+        self.fallback_below = fallback_below
+        self.latency = LatencyEWMA(alpha=ewma_alpha)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._queued = 0
+        self._inflight = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.register_gauge("serve.queue_depth", lambda: self.queued)
+        self.metrics.register_gauge("serve.inflight", lambda: self.inflight)
+        self.metrics.register_gauge(
+            "serve.pressure", lambda: round(self.pressure(), 4)
+        )
+        self.metrics.register_gauge(
+            "serve.latency_ewma_ms", lambda: round(self.latency.value, 3)
+        )
+
+    # ------------------------------------------------------------------
+    # Load signals
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._queued
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def depth(self) -> int:
+        """Requests currently held by the server (queued + in-flight)."""
+        with self._lock:
+            return self._queued + self._inflight
+
+    def pressure(self) -> float:
+        """Unified load signal in [0, inf): >= 1.0 means shed.
+
+        The queue component reaches 1.0 exactly when the bounded queue
+        is full; the latency component reaches 1.0 when the EWMA hits
+        twice the target (degradation starts well before, at
+        ``full_below * 2 * target``).
+        """
+        occupancy = self.depth() / self.capacity
+        latency_ratio = 0.0
+        if self.target_latency_ms > 0 and self.latency.count:
+            latency_ratio = self.latency.value / (2.0 * self.target_latency_ms)
+        return max(occupancy, latency_ratio)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.tenant_rate, self.tenant_burst, clock=self._clock
+                )
+            return bucket
+
+    def admit(self, tenant: str = "default", cost: float = 1.0) -> AdmissionDecision:
+        """Decide whether (and how degraded) to run one request.
+
+        Never raises except through the ``serve.admit`` failpoint; a
+        shed decision carries the ``Retry-After`` hint in seconds.
+        """
+        fail_point("serve.admit", key=tenant)
+        retry_after = self._bucket(tenant).try_acquire(cost)
+        if retry_after > 0.0:
+            self.metrics.inc("serve.shed.rate_limited")
+            return AdmissionDecision(
+                admitted=False,
+                mode="shed",
+                pressure=self.pressure(),
+                retry_after_s=retry_after,
+                reason=f"tenant {tenant!r} over rate limit",
+            )
+        if self.depth() >= self.capacity:
+            self.metrics.inc("serve.shed.queue_full")
+            return AdmissionDecision(
+                admitted=False,
+                mode="shed",
+                pressure=self.pressure(),
+                retry_after_s=self._overload_retry_after(),
+                reason="queue full",
+            )
+        pressure = self.pressure()
+        if pressure >= 1.0:
+            self.metrics.inc("serve.shed.overload")
+            return AdmissionDecision(
+                admitted=False,
+                mode="shed",
+                pressure=pressure,
+                retry_after_s=self._overload_retry_after(),
+                reason=f"overload (pressure {pressure:.2f})",
+            )
+        if pressure < self.full_below:
+            mode = MODE_FULL
+        elif pressure < self.fallback_below:
+            mode = MODE_FALLBACK
+        else:
+            mode = MODE_INDEX_ONLY
+        self.metrics.inc(f"serve.admitted.{mode}")
+        return AdmissionDecision(admitted=True, mode=mode, pressure=pressure)
+
+    def _overload_retry_after(self) -> float:
+        """Retry hint under overload: time to drain ~half the queue."""
+        ewma_s = max(self.latency.value, 1.0) / 1000.0
+        per_slot = ewma_s / self.max_concurrency
+        return max(0.05, round(per_slot * max(1, self.depth()) / 2.0, 3))
+
+    # ------------------------------------------------------------------
+    # Lifecycle bracketing (route handlers)
+    # ------------------------------------------------------------------
+    def enqueued(self) -> None:
+        with self._lock:
+            self._queued += 1
+
+    def started(self) -> None:
+        with self._lock:
+            self._queued -= 1
+            self._inflight += 1
+
+    def abandoned(self) -> None:
+        """An enqueued request left before starting (disconnect/drain)."""
+        with self._lock:
+            self._queued -= 1
+
+    def finished(self, latency_ms: float) -> None:
+        with self._lock:
+            self._inflight -= 1
+        self.latency.observe(latency_ms)
+        self.metrics.observe("serve.request_ms", latency_ms)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            queued, inflight = self._queued, self._inflight
+            tenants = len(self._buckets)
+        return {
+            "queued": queued,
+            "inflight": inflight,
+            "capacity": self.capacity,
+            "pressure": round(self.pressure(), 4),
+            "latency_ewma_ms": round(self.latency.value, 3),
+            "tenants": tenants,
+        }

@@ -151,6 +151,14 @@ class ShardedSearchEngine:
         self.metrics.register_gauge(
             "shard.cut_edges", lambda: self.shards.cut_edges
         )
+        for i, breaker in enumerate(self._breakers):
+            self.metrics.register_gauge(
+                f"shard.circuit.state.{i}", lambda b=breaker: b.state
+            )
+            self.metrics.register_gauge(
+                f"shard.circuit.time_in_state_s.{i}",
+                lambda b=breaker: round(b.time_in_state_s(), 3),
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle

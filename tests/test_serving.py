@@ -1,0 +1,683 @@
+"""Serving front end: admission control, swaps, HTTP, mutation races."""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.results import ResultSet
+from repro.datasets.bibliographic import tiny_bibliographic_db
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.budget import QueryBudget
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.errors import BudgetExceededError
+from repro.resilience.failpoints import FAILPOINTS
+from repro.serving.admission import (
+    AdmissionController,
+    LatencyEWMA,
+    MODE_FALLBACK,
+    MODE_FULL,
+    MODE_INDEX_ONLY,
+    TokenBucket,
+)
+from repro.serving.routes import Request, Router
+from repro.serving.server import ServingServer
+from repro.serving.swap import EngineHandle
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# ----------------------------------------------------------------------
+# Admission primitives
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.1)  # 1 token at 10/s
+        clock.advance(0.1)
+        assert bucket.try_acquire() == 0.0
+
+    def test_retry_after_accounts_for_partial_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        clock.advance(0.25)  # 0.5 tokens back
+        assert bucket.try_acquire() == pytest.approx(0.25)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available() == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestLatencyEWMA:
+    def test_first_observation_seeds(self):
+        ewma = LatencyEWMA(alpha=0.2)
+        ewma.observe(100.0)
+        assert ewma.value == 100.0
+
+    def test_moves_toward_observations(self):
+        ewma = LatencyEWMA(alpha=0.5)
+        ewma.observe(100.0)
+        ewma.observe(200.0)
+        assert ewma.value == pytest.approx(150.0)
+        assert ewma.count == 2
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            LatencyEWMA(alpha=0.0)
+
+
+class TestAdmissionLadder:
+    def make(self, **kw):
+        kw.setdefault("max_concurrency", 4)
+        kw.setdefault("max_queue_depth", 6)  # capacity 10
+        kw.setdefault("tenant_rate", 1000.0)
+        kw.setdefault("tenant_burst", 1000.0)
+        kw.setdefault("metrics", MetricsRegistry())
+        return AdmissionController(**kw)
+
+    def _set_depth(self, ctl: AdmissionController, depth: int) -> None:
+        for _ in range(depth):
+            ctl.enqueued()
+
+    def test_idle_is_full_mode(self):
+        decision = self.make().admit()
+        assert decision.admitted and decision.mode == MODE_FULL
+
+    def test_ladder_descends_with_queue_depth(self):
+        ctl = self.make()  # thresholds 0.5 / 0.8, capacity 10
+        self._set_depth(ctl, 5)  # pressure 0.5
+        assert ctl.admit().mode == MODE_FALLBACK
+        ctl.enqueued()
+        ctl.enqueued()
+        ctl.enqueued()  # pressure 0.8
+        assert ctl.admit().mode == MODE_INDEX_ONLY
+
+    def test_full_queue_sheds(self):
+        ctl = self.make()
+        self._set_depth(ctl, 10)
+        decision = ctl.admit()
+        assert not decision.admitted
+        assert decision.retry_after_s > 0.0
+        assert "queue full" in decision.reason
+
+    def test_latency_pressure_sheds_with_queue_space(self):
+        ctl = self.make(target_latency_ms=100.0)
+        ctl.enqueued()
+        ctl.started()
+        ctl.finished(500.0)  # EWMA 500ms -> ratio 2.5
+        decision = ctl.admit()
+        assert not decision.admitted
+        assert "overload" in decision.reason
+
+    def test_per_tenant_rate_limit(self):
+        clock = FakeClock()
+        ctl = self.make(tenant_rate=1.0, tenant_burst=1.0, clock=clock)
+        assert ctl.admit("a").admitted
+        shed = ctl.admit("a")
+        assert not shed.admitted and shed.retry_after_s == pytest.approx(1.0)
+        assert ctl.admit("b").admitted  # buckets are per tenant
+
+    def test_lifecycle_counters(self):
+        ctl = self.make()
+        ctl.enqueued()
+        ctl.started()
+        assert (ctl.queued, ctl.inflight) == (0, 1)
+        ctl.finished(12.0)
+        assert ctl.inflight == 0
+        assert ctl.latency.value == 12.0
+        stats = ctl.stats()
+        assert stats["capacity"] == 10 and stats["tenants"] == 0
+
+    def test_admit_failpoint(self):
+        ctl = self.make()
+        FAILPOINTS.activate("serve.admit", exc=RuntimeError("boom"), key="t1")
+        assert ctl.admit("other").admitted
+        with pytest.raises(RuntimeError):
+            ctl.admit("t1")
+
+
+# ----------------------------------------------------------------------
+# Generations
+# ----------------------------------------------------------------------
+class TestEngineHandle:
+    def test_swap_increments_generation_and_tears_down(self):
+        torn = []
+        handle = EngineHandle("old", teardown=torn.append)
+        result = handle.swap("new")
+        assert handle.generation == 2 and handle.engine == "new"
+        assert result.drained and result.previous_generation == 1
+        assert torn == ["old"]
+
+    def test_pinned_reader_keeps_old_generation(self):
+        handle = EngineHandle("old", teardown=lambda e: None)
+        release = threading.Event()
+        seen = {}
+
+        def reader():
+            with handle.acquire() as (engine, gen):
+                seen["engine"], seen["gen"] = engine, gen
+                release.wait(5.0)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        while "engine" not in seen:
+            time.sleep(0.001)
+        done = {}
+
+        def swapper():
+            done["result"] = handle.swap("new", drain_timeout_s=5.0)
+
+        s = threading.Thread(target=swapper)
+        s.start()
+        time.sleep(0.05)
+        # The flip is immediate; the drain is still waiting on the reader.
+        assert handle.generation == 2
+        assert s.is_alive()
+        release.set()
+        s.join(5.0)
+        t.join(5.0)
+        assert done["result"].drained
+        assert (seen["engine"], seen["gen"]) == ("old", 1)
+
+    def test_drain_timeout_leaks_instead_of_tearing(self):
+        torn = []
+        handle = EngineHandle("old", teardown=torn.append)
+        gen = handle._current
+        gen.pin()  # a reader that never finishes
+        result = handle.swap("new", drain_timeout_s=0.05)
+        assert not result.drained and result.old_readers_left == 1
+        assert torn == []  # never tear down under a live reader
+        gen.unpin()
+
+    def test_swap_failpoint_aborts_before_flip(self):
+        handle = EngineHandle("old")
+        FAILPOINTS.activate("serve.swap", exc=RuntimeError("chaos"), times=1)
+        with pytest.raises(RuntimeError):
+            handle.swap("new")
+        assert handle.generation == 1 and not handle.swapping
+
+
+# ----------------------------------------------------------------------
+# ResultSet JSON round trip
+# ----------------------------------------------------------------------
+class TestResultSetRoundTrip:
+    def test_exact_round_trip_with_db(self):
+        db = tiny_bibliographic_db()
+        engine = KeywordSearchEngine(db)
+        results = engine.search("keyword search", k=3)
+        assert results, "fixture query must match"
+        wire = json.loads(json.dumps(results.to_dict()))
+        back = ResultSet.from_dict(wire, db=db)
+        assert [r.score for r in back] == [r.score for r in results]
+        assert [r.network for r in back] == [r.network for r in results]
+        assert [r.tuple_ids() for r in back] == [r.tuple_ids() for r in results]
+        assert back.method == results.method
+        assert back.status == results.status
+
+    def test_degradation_metadata_survives(self):
+        rs = ResultSet(
+            [],
+            method="index_only",
+            degraded=True,
+            degraded_reason="budget exhausted",
+            fallback_from="steiner",
+        )
+        back = ResultSet.from_dict(json.loads(json.dumps(rs.to_dict())))
+        assert back.degraded is True
+        assert back.degraded_reason == "budget exhausted"
+        assert back.fallback_from == "steiner"
+        assert back.status == "degraded"
+
+    def test_error_round_trip(self):
+        rs = ResultSet([], method="banks", error=BudgetExceededError("out of gas"))
+        back = ResultSet.from_dict(rs.to_dict())
+        assert isinstance(back.error, BudgetExceededError)
+        assert "out of gas" in str(back.error)
+        assert back.status == "error"
+
+    def test_without_db_results_stay_dicts(self):
+        db = tiny_bibliographic_db()
+        results = KeywordSearchEngine(db).search("keyword search", k=2)
+        back = ResultSet.from_dict(results.to_dict())
+        assert back and isinstance(back[0], dict)
+        assert back[0]["score"] == results[0].score
+
+
+# ----------------------------------------------------------------------
+# Budget poisoning + breaker gauges
+# ----------------------------------------------------------------------
+class TestBudgetPoison:
+    def test_poison_exhausts_at_next_tick(self):
+        budget = QueryBudget(timeout_ms=60_000)
+        budget.tick_nodes()
+        budget.poison("client disconnected")
+        assert budget.poisoned and budget.exhausted
+        with pytest.raises(BudgetExceededError):
+            budget.tick_nodes(1000)
+
+    def test_renew_does_not_resurrect_poisoned(self):
+        budget = QueryBudget(timeout_ms=60_000)
+        budget.poison()
+        budget.renew()
+        assert budget.poisoned and budget.exhausted
+        assert budget.snapshot()["poisoned"] is True
+
+    def test_renew_still_clears_ordinary_exhaustion(self):
+        budget = QueryBudget(max_nodes=1)
+        with pytest.raises(BudgetExceededError):
+            budget.tick_nodes(5)
+        budget.renew()
+        assert not budget.exhausted and not budget.poisoned
+
+
+class TestBreakerTimeInState:
+    def test_time_in_state_tracks_transitions(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout_s=30.0, clock=clock
+        )
+        clock.advance(5.0)
+        assert breaker.time_in_state_s() == pytest.approx(5.0)
+        breaker.record_failure()
+        breaker.record_failure()  # -> open
+        assert breaker.state == "open"
+        assert breaker.time_in_state_s() == pytest.approx(0.0)
+        clock.advance(3.0)
+        assert breaker.time_in_state_s() == pytest.approx(3.0)
+        assert breaker.stats()["time_in_state_s"] == pytest.approx(3.0)
+
+    def test_engine_registers_breaker_gauges(self):
+        engine = KeywordSearchEngine(tiny_bibliographic_db())
+        snap = engine.metrics.snapshot()
+        assert snap["circuit.state"] == "closed"
+        assert snap["circuit.time_in_state_s"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Router unit tests (no HTTP)
+# ----------------------------------------------------------------------
+class SpyEngine:
+    """Records search kwargs; returns a canned ResultSet."""
+
+    def __init__(self):
+        self.calls = []
+        self.db = None
+
+    def search(self, text, k=10, method="schema", budget=None, fallback=False):
+        self.calls.append(
+            {"text": text, "k": k, "method": method, "budget": budget,
+             "fallback": fallback}
+        )
+        return ResultSet([], method=method)
+
+
+@pytest.fixture()
+def router_env():
+    engine = SpyEngine()
+    metrics = MetricsRegistry()
+    admission = AdmissionController(
+        max_concurrency=2, max_queue_depth=2, metrics=metrics
+    )
+    executor = ThreadPoolExecutor(max_workers=2)
+    router = Router(
+        handle=EngineHandle(engine, metrics=metrics),
+        admission=admission,
+        executor=executor,
+        metrics=metrics,
+        db=None,
+    )
+    yield engine, admission, router
+    executor.shutdown(wait=False)
+
+
+def _dispatch(router, request):
+    return asyncio.run(router.dispatch(request))
+
+
+class TestRouterUnit:
+    def test_unknown_route_404(self, router_env):
+        _, _, router = router_env
+        assert _dispatch(router, Request("GET", "/nope")).status == 404
+
+    def test_wrong_method_405(self, router_env):
+        _, _, router = router_env
+        assert _dispatch(router, Request("GET", "/batch")).status == 405
+        assert _dispatch(router, Request("PUT", "/search")).status == 405
+
+    def test_missing_query_400(self, router_env):
+        _, _, router = router_env
+        response = _dispatch(router, Request("GET", "/search"))
+        assert response.status == 400 and "q" in response.payload["error"]
+
+    def test_bad_k_and_method_400(self, router_env):
+        _, _, router = router_env
+        assert _dispatch(
+            router, Request("GET", "/search", {"q": "x", "k": "zero"})
+        ).status == 400
+        assert _dispatch(
+            router, Request("GET", "/search", {"q": "x", "method": "quantum"})
+        ).status == 400
+
+    def test_search_passes_budget(self, router_env):
+        engine, _, router = router_env
+        response = _dispatch(
+            router, Request("GET", "/search", {"q": "hello", "k": "3"})
+        )
+        assert response.status == 200
+        call = engine.calls[-1]
+        assert call["k"] == 3 and call["budget"] is not None
+        assert response.payload["admission"]["mode"] == MODE_FULL
+        assert response.payload["generation"] == 1
+
+    def test_fallback_mode_forces_fallback(self, router_env):
+        engine, admission, router = router_env
+        admission.enqueued()
+        admission.enqueued()  # capacity 4 -> pressure 0.5
+        response = _dispatch(router, Request("GET", "/search", {"q": "hi"}))
+        assert response.payload["admission"]["mode"] == MODE_FALLBACK
+        assert engine.calls[-1]["fallback"] is True
+
+    def test_index_only_mode_pins_method(self, router_env):
+        engine, admission, router = router_env
+        # Latency signal: EWMA at 1.8x target -> pressure 0.9.
+        admission.latency.observe(admission.target_latency_ms * 1.8)
+        response = _dispatch(
+            router, Request("GET", "/search", {"q": "hi", "method": "steiner"})
+        )
+        assert response.payload["admission"]["mode"] == MODE_INDEX_ONLY
+        assert engine.calls[-1]["method"] == "index_only"
+
+    def test_shed_returns_429_with_retry_after(self, router_env):
+        _, admission, router = router_env
+        for _ in range(4):
+            admission.enqueued()
+        response = _dispatch(router, Request("GET", "/search", {"q": "hi"}))
+        assert response.status == 429
+        assert response.headers["Retry-After"]
+        assert response.payload["retry_after_s"] > 0
+
+    def test_disconnected_request_is_499(self, router_env):
+        engine, _, router = router_env
+        request = Request("GET", "/search", {"q": "hi"})
+        request.cancel()
+        response = _dispatch(router, request)
+        assert response.status == 499
+        assert engine.calls == []  # never reached the engine
+
+
+# ----------------------------------------------------------------------
+# End-to-end over HTTP
+# ----------------------------------------------------------------------
+def _http(base, path, method="GET", body=None, timeout=10):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path,
+        method=method,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+@pytest.fixture(scope="module")
+def http_server():
+    db = tiny_bibliographic_db()
+    engine = KeywordSearchEngine(db)
+    server = ServingServer(
+        engine,
+        port=0,
+        max_concurrency=4,
+        max_queue_depth=8,
+        engine_builder=lambda: KeywordSearchEngine(db),
+    )
+    server.start_in_thread()
+    yield server
+    server.stop()
+
+
+class TestHttpEndToEnd:
+    def test_health_and_ready(self, http_server):
+        status, payload, _ = _http(http_server.address, "/health")
+        assert status == 200 and payload["status"] == "alive"
+        status, payload, _ = _http(http_server.address, "/ready")
+        assert status == 200 and payload["status"] == "ready"
+
+    def test_search_returns_scored_results(self, http_server):
+        status, payload, _ = _http(
+            http_server.address, "/search?q=keyword+search&k=3"
+        )
+        assert status == 200 and payload["ok"]
+        assert payload["count"] >= 1
+        assert payload["results"][0]["score"] > 0
+        assert payload["admission"]["mode"] == MODE_FULL
+
+    def test_post_search_and_batch(self, http_server):
+        status, payload, _ = _http(
+            http_server.address, "/search", "POST",
+            {"q": "databases", "k": 2, "method": "schema"},
+        )
+        assert status == 200 and payload["ok"]
+        status, payload, _ = _http(
+            http_server.address, "/batch", "POST",
+            {"queries": ["keyword search", "databases"], "k": 2},
+        )
+        assert status == 200 and payload["count"] == 2
+        assert all(r["status"] in ("ok", "degraded") for r in payload["results"])
+
+    def test_metrics_exposes_serving_counters(self, http_server):
+        _http(http_server.address, "/search?q=databases")
+        status, payload, _ = _http(http_server.address, "/metrics")
+        snap = payload["metrics"]
+        assert status == 200
+        assert snap["serve.requests"] >= 1
+        assert snap["swap.generation"] >= 1
+        assert "serve.pressure" in snap
+
+    def test_error_statuses(self, http_server):
+        assert _http(http_server.address, "/nope")[0] == 404
+        assert _http(http_server.address, "/batch")[0] == 405
+        assert _http(http_server.address, "/search")[0] == 400
+        status, payload, _ = _http(
+            http_server.address, "/search?q=x&method=quantum"
+        )
+        assert status == 400 and "quantum" in payload["error"]
+
+    def test_insert_then_search(self, http_server):
+        status, payload, _ = _http(
+            http_server.address, "/insert", "POST",
+            {"table": "author",
+             "values": {"aid": 901, "name": "zebediah serversmith"}},
+        )
+        assert status == 200 and payload["ok"]
+        status, payload, _ = _http(
+            http_server.address, "/search?q=zebediah"
+        )
+        assert status == 200 and payload["count"] >= 1
+
+    def test_insert_validation_400(self, http_server):
+        status, _, _ = _http(
+            http_server.address, "/insert", "POST",
+            {"table": "author", "values": {"aid": "not an int"}},
+        )
+        assert status == 400
+
+    def test_swap_bumps_generation(self, http_server):
+        before = _http(http_server.address, "/health")[1]["generation"]
+        status, payload, _ = _http(
+            http_server.address, "/admin/swap", "POST", {"source": "rebuild"}
+        )
+        assert status == 200 and payload["drained"]
+        assert payload["generation"] == before + 1
+        status, payload, _ = _http(http_server.address, "/search?q=databases")
+        assert status == 200 and payload["generation"] == before + 1
+
+    def test_swap_failpoint_fails_closed(self, http_server):
+        before = _http(http_server.address, "/health")[1]["generation"]
+        FAILPOINTS.activate("serve.swap", exc=RuntimeError("chaos"), times=1)
+        status, payload, _ = _http(
+            http_server.address, "/admin/swap", "POST", {"source": "rebuild"}
+        )
+        assert status == 500 and not payload["ok"]
+        after = _http(http_server.address, "/health")[1]
+        assert after["generation"] == before
+        assert _http(http_server.address, "/ready")[0] == 200
+
+    def test_admit_failpoint_is_scoped_by_tenant(self, http_server):
+        FAILPOINTS.activate(
+            "serve.admit", exc=RuntimeError("chaos"), key="victim"
+        )
+        try:
+            status, _, _ = _http(
+                http_server.address, "/search?q=databases&tenant=victim"
+            )
+            assert status == 500
+            status, _, _ = _http(http_server.address, "/search?q=databases")
+            assert status == 200
+        finally:
+            FAILPOINTS.deactivate("serve.admit")
+
+    def test_queries_in_flight_survive_swap(self, http_server):
+        """Mid-flight swap: zero failed, zero torn responses."""
+        FAILPOINTS.activate(
+            "engine.search", exc=None, delay=0.25, key="slow swap probe"
+        )
+        try:
+            outcomes = []
+
+            def query():
+                outcomes.append(
+                    _http(http_server.address,
+                          "/search?q=slow+swap+probe&timeout_ms=10000")
+                )
+
+            threads = [threading.Thread(target=query) for _ in range(3)]
+            for t in threads:
+                t.start()
+            time.sleep(0.05)  # let the queries pin the old generation
+            status, swap_payload, _ = _http(
+                http_server.address, "/admin/swap", "POST",
+                {"source": "rebuild"},
+            )
+            for t in threads:
+                t.join(15.0)
+            assert status == 200 and swap_payload["drained"]
+            assert len(outcomes) == 3
+            for code, payload, _ in outcomes:
+                assert code == 200 and payload["ok"]
+                # Pinned to the pre-swap generation, start to finish.
+                assert payload["generation"] == swap_payload["previous_generation"]
+        finally:
+            FAILPOINTS.deactivate("engine.search")
+
+    def test_client_disconnect_cancels_request(self, http_server):
+        FAILPOINTS.activate(
+            "engine.search", exc=None, delay=0.4, key="sleepy disconnect"
+        )
+        try:
+            before = _http(http_server.address, "/metrics")[1]["metrics"].get(
+                "serve.disconnects", 0
+            )
+            sock = socket.create_connection(
+                (http_server.host, http_server.port), timeout=5
+            )
+            sock.sendall(
+                b"GET /search?q=sleepy+disconnect&timeout_ms=10000 HTTP/1.1\r\n"
+                b"Host: x\r\n\r\n"
+            )
+            time.sleep(0.1)  # request reaches the worker
+            sock.close()
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                now = _http(http_server.address, "/metrics")[1]["metrics"].get(
+                    "serve.disconnects", 0
+                )
+                if now > before:
+                    break
+                time.sleep(0.05)
+            assert now > before
+        finally:
+            FAILPOINTS.deactivate("engine.search")
+
+
+class TestRateLimitOverHttp:
+    def test_429_carries_retry_after_header(self):
+        db = tiny_bibliographic_db()
+        server = ServingServer(
+            KeywordSearchEngine(db), port=0,
+            tenant_rate=1.0, tenant_burst=1.0,
+        )
+        server.start_in_thread()
+        try:
+            assert _http(server.address, "/search?q=databases")[0] == 200
+            status, payload, headers = _http(
+                server.address, "/search?q=databases"
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert payload["retry_after_s"] > 0
+            assert "rate limit" in payload["reason"]
+        finally:
+            server.stop()
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_requests(self):
+        db = tiny_bibliographic_db()
+        server = ServingServer(
+            KeywordSearchEngine(db), port=0, drain_timeout_s=5.0
+        )
+        server.start_in_thread()
+        FAILPOINTS.activate(
+            "engine.search", exc=None, delay=0.4, key="slow shutdown probe"
+        )
+        outcome = {}
+
+        def slow_query():
+            outcome["response"] = _http(
+                server.address, "/search?q=slow+shutdown+probe&timeout_ms=10000"
+            )
+
+        try:
+            t = threading.Thread(target=slow_query)
+            t.start()
+            time.sleep(0.1)  # the query is on a worker thread now
+            drained = server.stop()
+            t.join(10.0)
+            assert drained, "drain deadline must not be hit"
+            code, payload, _ = outcome["response"]
+            assert code == 200 and payload["ok"]
+        finally:
+            FAILPOINTS.deactivate("engine.search")
