@@ -458,27 +458,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"recovery failed: {exc}", file=sys.stderr)
                 return 1
             print(f"recovered: {result.summary()}")
-            db = engine.db
         else:
             factory = DATASETS.get(args.dataset)
             if factory is None:
                 print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
                 return 2
             engine = _make_engine(args, factory())
-            db = engine.db
     else:
         factory = DATASETS.get(args.dataset)
         if factory is None:
             print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
             return 2
         engine = _make_engine(args, factory())
-        db = engine.db
 
-    def rebuild():
+    def rebuild(live_db):
+        # The router passes the database that is live *at build time* —
+        # after a recover swap that is a new object rebuilt from
+        # snapshot + WAL, and building from the boot-time db would
+        # silently drop acknowledged post-recovery inserts.
         fresh = argparse.Namespace(
             shards=args.shards, partitioner=args.partitioner
         )
-        return _make_engine(fresh, db)
+        return _make_engine(fresh, live_db)
 
     server = ServingServer(
         engine,

@@ -2,14 +2,20 @@
 
 The serving front end admits a request only after three gates:
 
-1. **per-tenant token bucket** — each tenant refills at a configured
-   rate with a burst allowance; an empty bucket is a per-tenant 429
-   with a ``Retry-After`` telling the client exactly when a token will
-   exist (no thundering-herd retry storms);
-2. **bounded queue** — queued + in-flight requests may never exceed
+1. **bounded queue** — queued + in-flight requests may never exceed
    ``max_concurrency + max_queue_depth``; past that the request is shed
    with a 429 regardless of tenant (the queue cannot grow without
-   bound, so neither can memory or tail latency);
+   bound, so neither can memory or tail latency).  This gate runs
+   *before* the token bucket so a request shed for server-side load
+   never debits the tenant's tokens;
+2. **per-tenant token bucket** — each tenant refills at a configured
+   rate with a burst allowance; an empty bucket is a per-tenant 429
+   with a ``Retry-After`` telling the client exactly when a token will
+   exist (no thundering-herd retry storms).  The bucket map itself is
+   bounded (``max_tenants``, LRU eviction of idle buckets, shared
+   overflow bucket past the cap) — the ``tenant`` parameter is
+   client-controlled, so unbounded per-tenant state would be a memory
+   DoS vector;
 3. **the shedding ladder** — between "healthy" and "full" the
    controller degrades *answers* before it degrades *availability*, by
    mapping load pressure onto the resilience layer's degradation
@@ -38,8 +44,10 @@ shared between asyncio route handlers and worker threads.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -159,6 +167,7 @@ class AdmissionController:
         full_below: float = 0.5,
         fallback_below: float = 0.8,
         ewma_alpha: float = 0.2,
+        max_tenants: int = 1024,
         clock: Callable[[], float] = time.monotonic,
         metrics: Optional[MetricsRegistry] = None,
     ):
@@ -166,6 +175,8 @@ class AdmissionController:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
         if max_queue_depth < 0:
             raise ValueError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        if max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
         if not 0.0 < full_below <= fallback_below <= 1.0:
             raise ValueError(
                 "thresholds must satisfy 0 < full_below <= fallback_below <= 1, "
@@ -182,7 +193,14 @@ class AdmissionController:
         self.latency = LatencyEWMA(alpha=ewma_alpha)
         self._clock = clock
         self._lock = threading.Lock()
-        self._buckets: Dict[str, TokenBucket] = {}
+        # LRU-ordered, bounded at max_tenants: tenant names arrive from
+        # the network, so the map must not grow with attacker-chosen
+        # keys.  Tenants past the cap share the overflow bucket.
+        self.max_tenants = max_tenants
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._overflow_bucket = TokenBucket(
+            tenant_rate, tenant_burst, clock=clock
+        )
         self._queued = 0
         self._inflight = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -230,32 +248,59 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
+    #: How far into the LRU end :meth:`_bucket` looks for an evictable
+    #: (fully refilled, hence long-idle) bucket before giving up and
+    #: routing the new tenant to the shared overflow bucket.
+    _EVICT_SCAN = 16
+
     def _bucket(self, tenant: str) -> TokenBucket:
-        with self._lock:
-            bucket = self._buckets.get(tenant)
-            if bucket is None:
+        evicted = overflow = False
+        try:
+            with self._lock:
+                bucket = self._buckets.get(tenant)
+                if bucket is not None:
+                    self._buckets.move_to_end(tenant)
+                    return bucket
+                if len(self._buckets) >= self.max_tenants:
+                    # Evict an idle bucket: one refilled to burst grants
+                    # its tenant nothing a fresh bucket wouldn't, so
+                    # dropping it can't be used to bypass the limiter.
+                    for name in list(
+                        itertools.islice(iter(self._buckets), self._EVICT_SCAN)
+                    ):
+                        candidate = self._buckets[name]
+                        if candidate.available() >= candidate.burst:
+                            del self._buckets[name]
+                            evicted = True
+                            break
+                if len(self._buckets) >= self.max_tenants:
+                    # No idle bucket to reclaim: hold the memory bound
+                    # and let the new tenant share the overflow bucket.
+                    overflow = True
+                    return self._overflow_bucket
                 bucket = self._buckets[tenant] = TokenBucket(
                     self.tenant_rate, self.tenant_burst, clock=self._clock
                 )
-            return bucket
+                return bucket
+        finally:
+            # Counters take their own locks; touch them only after the
+            # admission lock is released (gauge callbacks registered on
+            # this controller re-acquire it from the metrics side).
+            if evicted:
+                self.metrics.inc("serve.tenant_evictions")
+            if overflow:
+                self.metrics.inc("serve.tenant_overflow")
 
     def admit(self, tenant: str = "default", cost: float = 1.0) -> AdmissionDecision:
         """Decide whether (and how degraded) to run one request.
 
         Never raises except through the ``serve.admit`` failpoint; a
         shed decision carries the ``Retry-After`` hint in seconds.
+        Server-side gates (queue capacity, overload pressure) run
+        before the tenant bucket is charged: a request the server was
+        going to shed anyway must not also burn the tenant's tokens.
         """
         fail_point("serve.admit", key=tenant)
-        retry_after = self._bucket(tenant).try_acquire(cost)
-        if retry_after > 0.0:
-            self.metrics.inc("serve.shed.rate_limited")
-            return AdmissionDecision(
-                admitted=False,
-                mode="shed",
-                pressure=self.pressure(),
-                retry_after_s=retry_after,
-                reason=f"tenant {tenant!r} over rate limit",
-            )
         if self.depth() >= self.capacity:
             self.metrics.inc("serve.shed.queue_full")
             return AdmissionDecision(
@@ -274,6 +319,16 @@ class AdmissionController:
                 pressure=pressure,
                 retry_after_s=self._overload_retry_after(),
                 reason=f"overload (pressure {pressure:.2f})",
+            )
+        retry_after = self._bucket(tenant).try_acquire(cost)
+        if retry_after > 0.0:
+            self.metrics.inc("serve.shed.rate_limited")
+            return AdmissionDecision(
+                admitted=False,
+                mode="shed",
+                pressure=pressure,
+                retry_after_s=retry_after,
+                reason=f"tenant {tenant!r} over rate limit",
             )
         if pressure < self.full_below:
             mode = MODE_FULL

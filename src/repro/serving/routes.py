@@ -214,7 +214,9 @@ class Router:
         self.durable = durable
         #: Builds the *next* generation's engine over the current
         #: database.  Runs under the mutation lock so concurrent
-        #: inserts can never produce a torn generation.
+        #: inserts can never produce a torn generation.  May accept a
+        #: single argument: the *live* database at build time (see
+        #: :meth:`_build_generation`).
         self.engine_builder = engine_builder or (
             lambda: _default_builder(self.db, self.metrics)
         )
@@ -474,10 +476,32 @@ class Router:
             {"method": method, "fallback": False}, decision.mode
         )
         start_s = time.perf_counter()
+        deadline_s = start_s + timeout_ms / 1000.0
         self.admission.enqueued()
-        await self.slots.acquire()
+        # Same bounded queue wait as /search: the per-query timeout
+        # caps time-in-queue, so a batch cannot sit queued longer than
+        # one of its queries would be allowed to run.
+        try:
+            await asyncio.wait_for(
+                self.slots.acquire(),
+                timeout=max(0.001, deadline_s - time.perf_counter()),
+            )
+        except asyncio.TimeoutError:
+            self.admission.abandoned()
+            self.metrics.inc("serve.shed.queue_timeout")
+            return _shed_response(decision)
         self.admission.started()
         try:
+            if request.disconnected:
+                self.metrics.inc("serve.disconnects")
+                return Response(499, {"ok": False, "error": "client disconnected"})
+            # Poison channel only (no deadline of its own — each query
+            # carries timeout_ms): a client disconnect mid-batch stops
+            # the remaining queries instead of computing unread answers.
+            budget = QueryBudget(timeout_ms=None)
+            request.budget = budget
+            if request.disconnected:
+                budget.poison("client disconnected")
             loop = asyncio.get_running_loop()
             with self.handle.acquire() as (engine, generation):
                 outcomes = await loop.run_in_executor(
@@ -489,8 +513,12 @@ class Router:
                         mode_args["method"],
                         timeout_ms,
                         mode_args["fallback"],
+                        budget=budget,
                     ),
                 )
+            if budget.poisoned:
+                self.metrics.inc("serve.cancelled")
+                return Response(499, {"ok": False, "error": "client disconnected"})
             payload = {
                 "ok": True,
                 "generation": generation,
@@ -515,6 +543,7 @@ class Router:
         method: str,
         timeout_ms: float,
         fallback: bool,
+        budget: Optional[QueryBudget] = None,
     ):
         search_many = getattr(engine, "search_many", None)
         if search_many is not None:
@@ -538,9 +567,12 @@ class Router:
                 out.append(entry)
             return out
         # Engines without a batch executor (sharded coordinator): run
-        # sequentially on this worker thread.
+        # sequentially on this worker thread, checking the poison
+        # channel between queries so a disconnect stops the batch.
         out = []
         for text in queries:
+            if budget is not None and budget.poisoned:
+                break
             results = engine.search(
                 text, k=k, method=method, timeout_ms=timeout_ms, fallback=fallback
             )
@@ -633,21 +665,22 @@ class Router:
     def _perform_swap(self, source: str, drain_timeout_s: float):
         """Build the next generation and flip to it.
 
-        Runs on a worker thread.  The build happens under the mutation
-        lock — inserts stall for the build's duration (tens of
-        milliseconds on the bundled datasets) while *queries keep
-        flowing on the old generation*; that trade is what guarantees
-        the new generation is never torn.  The flip itself is the
-        pointer exchange in :meth:`EngineHandle.swap`; the drain then
-        waits out queries pinned to the old generation.
+        Runs on a worker thread.  Only the build and the pointer flip
+        happen under the mutation lock — inserts stall for the build's
+        duration (tens of milliseconds on the bundled datasets) while
+        *queries keep flowing on the old generation*; that trade is
+        what guarantees the new generation is never torn.  The drain —
+        waiting out queries pinned to the old generation, potentially
+        ``drain_timeout_s`` — runs *after* the lock is released, so a
+        slow old-generation query never stalls inserts or other swaps.
         """
         with self.mutation_lock:
             if source == "recover":
                 new_engine = self._recover_generation()
             else:
-                new_engine = self.engine_builder()
+                new_engine = self._build_generation()
             _warm_engine(new_engine)
-            result = self.handle.swap(new_engine, drain_timeout_s=drain_timeout_s)
+            old = self.handle.flip(new_engine)
             # Future mutations must land in the live generation's
             # database and refresh the live engine, not the retired
             # ones — a recovered generation carries a *new* Database
@@ -656,7 +689,26 @@ class Router:
             if self.durable is not None:
                 self.durable.engine = new_engine
                 self.durable.db = new_engine.db
-            return result
+        return self.handle.drain(old, drain_timeout_s=drain_timeout_s)
+
+    def _build_generation(self):
+        """Invoke the configured builder over the *live* database.
+
+        A builder that accepts an argument is handed ``self.db`` at
+        build time — never a database captured at boot, which after a
+        ``recover`` swap would be the retired pre-recovery object and
+        would silently drop acknowledged inserts from the new
+        generation.  Zero-argument builders (tests, benchmarks that
+        never re-point the database) are called as-is.
+        """
+        builder = self.engine_builder
+        try:
+            params = inspect.signature(builder).parameters
+        except (TypeError, ValueError):
+            params = {}
+        if params:
+            return builder(self.db)
+        return builder()
 
     def _recover_generation(self):
         """Checkpoint, then rebuild the next generation from disk.

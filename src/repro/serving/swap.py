@@ -94,7 +94,7 @@ class EngineHandle:
     ):
         self._current = Generation(engine, 1)
         self._flip_lock = threading.Lock()
-        self._swapping = False
+        self._swapping = 0  # count of flip()s whose drain hasn't finished
         self.swaps_completed = 0
         #: Called with the old engine after its generation drains
         #: (default: drop caches so the memory is reclaimable even if
@@ -131,7 +131,7 @@ class EngineHandle:
 
     @property
     def swapping(self) -> bool:
-        return self._swapping
+        return self._swapping > 0
 
     def readers(self) -> int:
         return self._current.readers
@@ -139,25 +139,44 @@ class EngineHandle:
     # ------------------------------------------------------------------
     # Swapper side
     # ------------------------------------------------------------------
-    def swap(
-        self, new_engine: Any, drain_timeout_s: Optional[float] = 30.0
-    ) -> SwapResult:
-        """Flip to *new_engine*; drain and tear down the old generation.
+    def flip(self, new_engine: Any) -> Generation:
+        """Install *new_engine* as the current generation; return the old.
 
         The flip is atomic with respect to :meth:`acquire` (readers get
-        either the old or the new generation, never a mix).  The drain
-        then blocks the *swapper* — not readers, not new queries —
-        until every query pinned to the old generation finishes, or
-        ``drain_timeout_s`` elapses (``drained=False``; the old engine
-        is leaked rather than torn down under a live reader).
+        either the old or the new generation, never a mix) and takes
+        only the pointer-exchange lock — callers may hold a mutation
+        lock across it without stalling on slow readers.  The returned
+        (retired) generation MUST be handed to :meth:`drain`, which is
+        where the waiting, teardown, and bookkeeping happen; until then
+        :attr:`swapping` stays true.
         """
-        self._swapping = True
+        with self._flip_lock:
+            self._swapping += 1
         try:
             fail_point("serve.swap")
             with self._flip_lock:
                 old = self._current
                 self._current = Generation(new_engine, old.number + 1)
                 old.retire()
+            return old
+        except BaseException:
+            with self._flip_lock:
+                self._swapping -= 1
+            raise
+
+    def drain(
+        self, old: Generation, drain_timeout_s: Optional[float] = 30.0
+    ) -> SwapResult:
+        """Wait out *old*'s pinned readers, then tear the engine down.
+
+        Blocks the *swapper* — not readers, not new queries — until
+        every query pinned to the old generation finishes, or
+        ``drain_timeout_s`` elapses (``drained=False``; the old engine
+        is leaked rather than torn down under a live reader).  Call
+        this *outside* any mutation lock: a long-running query pinned
+        to the old generation must never stall inserts or other swaps.
+        """
+        try:
             start_s = time.perf_counter()
             drained = old.wait_drained(drain_timeout_s)
             drain_ms = (time.perf_counter() - start_s) * 1000.0
@@ -172,14 +191,21 @@ class EngineHandle:
             if not drained:
                 self.metrics.inc("swap.drain_timeouts")
             return SwapResult(
-                generation=self._current.number,
+                generation=old.number + 1,
                 previous_generation=old.number,
                 drained=drained,
                 drain_ms=drain_ms,
                 old_readers_left=old.readers,
             )
         finally:
-            self._swapping = False
+            with self._flip_lock:
+                self._swapping -= 1
+
+    def swap(
+        self, new_engine: Any, drain_timeout_s: Optional[float] = 30.0
+    ) -> SwapResult:
+        """:meth:`flip` + :meth:`drain` in one blocking call."""
+        return self.drain(self.flip(new_engine), drain_timeout_s=drain_timeout_s)
 
 
 def _default_teardown(engine: Any) -> None:

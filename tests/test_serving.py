@@ -164,6 +164,43 @@ class TestAdmissionLadder:
         with pytest.raises(RuntimeError):
             ctl.admit("t1")
 
+    def test_server_side_shed_does_not_charge_tenant(self):
+        clock = FakeClock()
+        ctl = self.make(tenant_rate=1.0, tenant_burst=1.0, clock=clock)
+        self._set_depth(ctl, 10)  # queue full
+        shed = ctl.admit("a")
+        assert not shed.admitted and "queue full" in shed.reason
+        for _ in range(10):
+            ctl.abandoned()  # queue drains
+        # The queue-full shed never debited the tenant's bucket: the
+        # single token is still there.
+        assert ctl.admit("a").admitted
+
+    def test_tenant_map_is_bounded(self):
+        clock = FakeClock()
+        ctl = self.make(
+            max_tenants=2, tenant_rate=1.0, tenant_burst=1.0, clock=clock
+        )
+        assert ctl.admit("a").admitted
+        assert ctl.admit("b").admitted
+        assert ctl.stats()["tenants"] == 2
+        # Both buckets are freshly drained (not evictable): tenant "c"
+        # shares the overflow bucket instead of growing the map.
+        assert ctl.admit("c").admitted
+        assert ctl.stats()["tenants"] == 2
+        shed = ctl.admit("d")  # overflow bucket is empty now too
+        assert not shed.admitted and "rate limit" in shed.reason
+        assert ctl.stats()["tenants"] == 2
+        # Once idle buckets refill to burst they are evictable: a new
+        # tenant gets a real bucket and the map stays at the cap.
+        clock.advance(60.0)
+        assert ctl.admit("e").admitted
+        assert ctl.stats()["tenants"] == 2
+
+    def test_max_tenants_validation(self):
+        with pytest.raises(ValueError):
+            self.make(max_tenants=0)
+
 
 # ----------------------------------------------------------------------
 # Generations
@@ -224,6 +261,37 @@ class TestEngineHandle:
         with pytest.raises(RuntimeError):
             handle.swap("new")
         assert handle.generation == 1 and not handle.swapping
+
+    def test_flip_returns_immediately_drain_blocks(self):
+        """flip() never waits on readers; only drain() does.
+
+        This split lets the router hold its mutation lock across the
+        (fast) flip and run the (possibly slow) drain after releasing
+        it, so a pinned long-running query can't stall inserts.
+        """
+        torn = []
+        handle = EngineHandle("old", teardown=torn.append)
+        gen = handle._current
+        gen.pin()  # a reader on the old generation
+        old = handle.flip("new")
+        assert handle.generation == 2 and handle.engine == "new"
+        assert handle.swapping  # stays true until the drain finishes
+        assert torn == []
+        done = {}
+
+        def drainer():
+            done["result"] = handle.drain(old, drain_timeout_s=5.0)
+
+        t = threading.Thread(target=drainer)
+        t.start()
+        time.sleep(0.05)
+        assert t.is_alive()  # blocked on the pinned reader
+        gen.unpin()
+        t.join(5.0)
+        assert done["result"].drained
+        assert done["result"].generation == 2
+        assert torn == ["old"]
+        assert not handle.swapping
 
 
 # ----------------------------------------------------------------------
@@ -433,6 +501,14 @@ class TestRouterUnit:
         assert response.status == 499
         assert engine.calls == []  # never reached the engine
 
+    def test_disconnected_batch_is_499(self, router_env):
+        engine, _, router = router_env
+        request = Request("POST", "/batch", body={"queries": ["hi", "ho"]})
+        request.cancel()
+        response = _dispatch(router, request)
+        assert response.status == 499
+        assert engine.calls == []  # never reached the engine
+
 
 # ----------------------------------------------------------------------
 # End-to-end over HTTP
@@ -630,6 +706,67 @@ class TestHttpEndToEnd:
             assert now > before
         finally:
             FAILPOINTS.deactivate("engine.search")
+
+
+class TestSwapDrainOutsideMutationLock:
+    def test_insert_not_stalled_by_swap_drain(self):
+        """The drain runs outside the mutation lock.
+
+        A slow query pinned to the old generation makes the swap's
+        drain wait, but inserts (and other mutations) must keep
+        flowing the moment the new generation is flipped in.  Own
+        server: the 2s pinned query would poison the shared fixture's
+        latency EWMA for every later test.
+        """
+        db = tiny_bibliographic_db()
+        server = ServingServer(
+            KeywordSearchEngine(db),
+            port=0,
+            max_concurrency=4,
+            engine_builder=lambda live_db: KeywordSearchEngine(live_db),
+        )
+        server.start_in_thread()
+        FAILPOINTS.activate(
+            "engine.search", exc=None, delay=2.0, key="drain pin probe"
+        )
+        try:
+            t_query = threading.Thread(
+                target=lambda: _http(
+                    server.address,
+                    "/search?q=drain+pin+probe&timeout_ms=15000",
+                )
+            )
+            t_query.start()
+            time.sleep(0.2)  # the query pins the current generation
+            swap_outcome = {}
+
+            def swapper():
+                swap_outcome["r"] = _http(
+                    server.address, "/admin/swap", "POST",
+                    {"source": "rebuild"},
+                )
+
+            t_swap = threading.Thread(target=swapper)
+            t_swap.start()
+            time.sleep(0.3)  # the swap has flipped and is now draining
+            t0 = time.perf_counter()
+            status, payload, _ = _http(
+                server.address, "/insert", "POST",
+                {"table": "author",
+                 "values": {"aid": 77_001, "name": "drainproof writer"}},
+            )
+            insert_s = time.perf_counter() - t0
+            swap_still_draining = t_swap.is_alive()
+            t_query.join(20.0)
+            t_swap.join(20.0)
+            assert status == 200 and payload["ok"]
+            assert swap_still_draining, "the swap should still be draining"
+            assert insert_s < 1.0, f"insert stalled {insert_s:.2f}s behind drain"
+            code, swap_payload, _ = swap_outcome["r"]
+            assert code == 200 and swap_payload["drained"]
+        finally:
+            FAILPOINTS.deactivate("engine.search")
+            server.stop()
 
 
 class TestRateLimitOverHttp:

@@ -145,7 +145,7 @@ class TestSwapMutationRace:
             KeywordSearchEngine(db),
             port=0,
             durable_dir=str(tmp_path / "d"),
-            engine_builder=lambda: KeywordSearchEngine(db),
+            engine_builder=lambda live_db: KeywordSearchEngine(live_db),
         )
         server.start_in_thread()
         inserted: list = []
@@ -188,6 +188,47 @@ class TestSwapMutationRace:
             assert payload["count"] >= len(inserted)
             status, payload = _http(server.address, "/health")
             assert payload["generation"] >= 5
+        finally:
+            drained = server.stop()
+        assert drained
+
+    def test_rebuild_after_recover_keeps_acknowledged_inserts(self, tmp_path):
+        """recover swap, insert, rebuild swap: the insert must survive.
+
+        A ``recover`` swap re-points the live database at a new object
+        rebuilt from snapshot + WAL.  A later ``rebuild`` swap must
+        build from *that* database — a builder capturing the boot-time
+        database would silently drop every acknowledged post-recovery
+        insert from the new generation (and a later snapshot would
+        prune their WAL records, losing them permanently).
+        """
+        db = tiny_bibliographic_db()
+        server = ServingServer(
+            KeywordSearchEngine(db),
+            port=0,
+            durable_dir=str(tmp_path / "d"),
+            engine_builder=lambda live_db: KeywordSearchEngine(live_db),
+        )
+        server.start_in_thread()
+        try:
+            status, payload = _http(
+                server.address, "/admin/swap", "POST", {"source": "recover"}
+            )
+            assert status == 200 and payload["drained"]
+            status, payload = _http(
+                server.address, "/insert", "POST",
+                {"table": "author",
+                 "values": {"aid": 31_337, "name": "postrecovery keeper"}},
+            )
+            assert status == 200 and payload["ok"]
+            status, payload = _http(
+                server.address, "/admin/swap", "POST", {"source": "rebuild"}
+            )
+            assert status == 200 and payload["drained"]
+            status, payload = _http(
+                server.address, "/search?q=postrecovery&k=5"
+            )
+            assert status == 200 and payload["count"] >= 1
         finally:
             drained = server.stop()
         assert drained
