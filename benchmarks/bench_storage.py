@@ -1,0 +1,270 @@
+"""E23 — storage substrates: memory compaction, QPS parity, lazy paging.
+
+Claims (ISSUE 9: pluggable storage backends — compact columnar
+substrates + disk-backed inverted index):
+
+1. **Resident memory.**  The columnar substrate (interned token ids,
+   delta+varint postings) and the mmap disk segment cut resident index
+   memory versus the dict backend; the acceptance gate requires at
+   least the minimum compaction ratio on the bibliographic dataset.
+2. **Cold-build time.**  Building each backend from scratch is timed;
+   compact encodings must not make indexing pathologically slower.
+3. **Throughput parity.**  Cold and warm QPS are measured per backend
+   over a mixed-method workload.  The gate is *correctness*, not speed:
+   every backend's top-k must be byte-identical to the dict backend's
+   on every (query, method) pair — zero divergences allowed.
+4. **Beyond-RAM behaviour.**  A dataset whose segment spans more pages
+   than the configured page cache proves lazy page-in: a cold open
+   touches zero pages, the query workload loads pages on demand, and
+   the cache never holds more than its capacity.
+
+Runnable under pytest or as a script emitting ``BENCH_storage.json``:
+
+    PYTHONPATH=src python benchmarks/bench_storage.py [--smoke] \
+        [--out BENCH_storage.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets.bibliographic import generate_bibliographic_db
+from repro.storage import BACKEND_NAMES
+from repro.storage.diskstore import DiskBackend
+
+#: (query, method) pairs: cheap methods dominate so the benchmark stays
+#: fast, but the parity gate still crosses three search families.
+WORKLOAD: List[Tuple[str, str]] = [
+    ("john xml", "schema"),
+    ("widom xml", "schema"),
+    ("database keyword", "schema"),
+    ("xml keyword", "index_only"),
+    ("john conference", "index_only"),
+    ("john sigmod", "banks"),
+]
+
+
+def _signature(results) -> bytes:
+    payload = [
+        [repr(r.score), r.network, [str(t) for t in r.tuple_ids()]]
+        for r in results
+    ]
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _options(name: str, workdir: str) -> Optional[Dict[str, object]]:
+    if name == "disk":
+        return {"path": os.path.join(workdir, f"bench-{name}.rkws")}
+    return None
+
+
+def measure_backend(
+    name: str, db, workdir: str
+) -> Tuple[Dict[str, object], Dict[Tuple[str, str], bytes]]:
+    """Build one backend, time it, run the workload cold and warm."""
+    start = time.perf_counter()
+    engine = KeywordSearchEngine(
+        db, backend=name, backend_options=_options(name, workdir)
+    )
+    _ = engine.index  # force the build
+    build_s = time.perf_counter() - start
+
+    resident = engine.index.resident_bytes()
+
+    signatures: Dict[Tuple[str, str], bytes] = {}
+    start = time.perf_counter()
+    for query, method in WORKLOAD:
+        signatures[(query, method)] = _signature(
+            engine.search(query, k=10, method=method)
+        )
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for query, method in WORKLOAD:
+        engine.search(query, k=10, method=method)
+    warm_s = time.perf_counter() - start
+
+    report = {
+        "backend": name,
+        "build_s": round(build_s, 4),
+        "resident_bytes": resident,
+        "cold_qps": round(len(WORKLOAD) / cold_s, 1) if cold_s else None,
+        "warm_qps": round(len(WORKLOAD) / warm_s, 1) if warm_s else None,
+        "storage_stats": _jsonable(engine.index.storage_stats()),
+    }
+    engine.index.close()
+    return report, signatures
+
+
+def _jsonable(obj):
+    """Stats dicts may contain tuples/sets; normalise for json.dumps."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def measure_lazy_paging(db) -> Dict[str, object]:
+    """Disk segment wider than the page cache: prove lazy page-in."""
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as workdir:
+        path = os.path.join(workdir, "paged.rkws")
+        # Tiny pages + tiny cache force the segment well past capacity.
+        build = DiskBackend(path=path, page_size=1024, cache_pages=4, hot_tokens=8)
+        build.build(db)
+        total_pages = build.stats()["segment_pages"]
+        build._unmap()
+
+        backend = DiskBackend(path=path, page_size=1024, cache_pages=4, hot_tokens=8)
+        start = time.perf_counter()
+        backend.build(db)  # cold open: reuses the segment on disk
+        open_s = time.perf_counter() - start
+        reused = backend.stats()["reused_segment"]
+        pages_after_open = backend.stats()["page_cache"]["pages_ever_loaded"]
+
+        probe = backend.vocabulary()[:40]
+        for token in probe:
+            backend.matching_view(token)
+        cache = backend.stats()["page_cache"]
+        out = {
+            "segment_pages": total_pages,
+            "cache_capacity": 4,
+            "cold_open_s": round(open_s, 4),
+            "reused_segment": bool(reused),
+            "pages_loaded_at_open": pages_after_open,
+            "pages_loaded_after_probes": cache["pages_ever_loaded"],
+            "resident_pages": cache["resident_pages"],
+            "probed_tokens": len(probe),
+        }
+        backend.close()
+        return out
+
+
+def run_storage_benchmark(smoke: bool = False) -> Dict[str, object]:
+    if smoke:
+        db = generate_bibliographic_db(
+            n_authors=30, n_conferences=5, n_papers=100, seed=7
+        )
+        paged_db = db
+        ratio_min = 2.0
+    else:
+        db = generate_bibliographic_db(
+            n_authors=150, n_conferences=12, n_papers=600, seed=7
+        )
+        paged_db = db
+        ratio_min = 3.0
+
+    backends: Dict[str, Dict[str, object]] = {}
+    signatures: Dict[str, Dict[Tuple[str, str], bytes]] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as workdir:
+        for name in BACKEND_NAMES:
+            backends[name], signatures[name] = measure_backend(
+                name, db, workdir
+            )
+
+    divergences = 0
+    for name in BACKEND_NAMES:
+        if name == "dict":
+            continue
+        for pair, sig in signatures["dict"].items():
+            if signatures[name][pair] != sig:
+                divergences += 1
+
+    dict_bytes = backends["dict"]["resident_bytes"]
+    ratios = {
+        name: round(dict_bytes / backends[name]["resident_bytes"], 2)
+        for name in BACKEND_NAMES
+        if name != "dict"
+    }
+
+    paging = measure_lazy_paging(paged_db)
+
+    acceptance = {
+        "memory_ratio_min": ratio_min,
+        "memory_ratio_columnar": ratios["columnar"],
+        "memory_ratio_disk": ratios["disk"],
+        "divergences": divergences,
+        "lazy_page_in": bool(
+            paging["pages_loaded_at_open"] == 0
+            and 0
+            < paging["pages_loaded_after_probes"]
+            <= paging["segment_pages"]
+            and paging["resident_pages"] <= paging["cache_capacity"]
+            and paging["segment_pages"] > paging["cache_capacity"]
+            and paging["reused_segment"]
+        ),
+    }
+    acceptance["pass"] = bool(
+        acceptance["memory_ratio_columnar"] >= ratio_min
+        and acceptance["memory_ratio_disk"] >= ratio_min
+        and divergences == 0
+        and acceptance["lazy_page_in"]
+    )
+
+    return {
+        "benchmark": "storage",
+        "smoke": smoke,
+        "dataset": {"rows": db.size()},
+        "workload": [list(pair) for pair in WORKLOAD],
+        "backends": backends,
+        "memory_ratios_vs_dict": ratios,
+        "paging": paging,
+        "acceptance": acceptance,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_storage_benchmark_smoke():
+    report = run_storage_benchmark(smoke=True)
+    assert report["acceptance"]["divergences"] == 0
+    assert report["acceptance"]["pass"]
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--out", default="BENCH_storage.json")
+    args = parser.parse_args(argv)
+    report = run_storage_benchmark(smoke=args.smoke)
+    from datetime import datetime, timezone
+
+    report["generated_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    report["python"] = sys.version.split()[0]
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    acceptance = report["acceptance"]
+    print(f"wrote {args.out}")
+    print(
+        f"memory ratios vs dict: columnar "
+        f"{acceptance['memory_ratio_columnar']}x, disk "
+        f"{acceptance['memory_ratio_disk']}x (min "
+        f"{acceptance['memory_ratio_min']}x)"
+    )
+    print(
+        f"divergences: {acceptance['divergences']}, lazy page-in: "
+        f"{acceptance['lazy_page_in']}"
+    )
+    print(f"storage acceptance pass: {acceptance['pass']}")
+    return 0 if acceptance["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

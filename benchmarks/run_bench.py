@@ -1,12 +1,13 @@
 """Record the perf trajectory: run the registered benchmark suites, emit JSON.
 
     PYTHONPATH=src python benchmarks/run_bench.py
-        [--suite api|serving|sharding|durability|all] [--out PATH] [--smoke]
+        [--suite api|serving|sharding|durability|storage|all]
+        [--out PATH] [--smoke]
 
 Future PRs re-run this entry point and compare against the committed
 ``BENCH_serving.json`` / ``BENCH_sharding.json`` /
-``BENCH_durability.json`` to keep the serving, scale-out and durability
-paths from regressing.  ``--out`` applies when a single suite
+``BENCH_durability.json`` / ``BENCH_storage.json`` to keep the
+serving, scale-out, durability and storage paths from regressing.  ``--out`` applies when a single suite
 is selected; with ``--suite all`` each suite writes its default file.
 """
 
@@ -27,6 +28,7 @@ from benchmarks.bench_api import run_api_benchmark  # noqa: E402
 from benchmarks.bench_durability import run_durability_benchmark  # noqa: E402
 from benchmarks.bench_serving import run_serving_benchmark  # noqa: E402
 from benchmarks.bench_sharding import run_sharding_benchmark  # noqa: E402
+from benchmarks.bench_storage import run_storage_benchmark  # noqa: E402
 
 
 def _write(report: dict, out_path: str) -> None:
@@ -100,11 +102,28 @@ def _run_api(args: argparse.Namespace, out_path: str) -> bool:
     return bool(acceptance["pass"])
 
 
+def _run_storage(args: argparse.Namespace, out_path: str) -> bool:
+    report = run_storage_benchmark(smoke=args.smoke)
+    _write(report, out_path)
+    acceptance = report["acceptance"]
+    print(
+        f"storage: memory ratios vs dict columnar "
+        f"{acceptance['memory_ratio_columnar']}x / disk "
+        f"{acceptance['memory_ratio_disk']}x (min "
+        f"{acceptance['memory_ratio_min']}x), divergences "
+        f"{acceptance['divergences']}, lazy page-in "
+        f"{acceptance['lazy_page_in']}"
+    )
+    print(f"storage acceptance pass: {acceptance['pass']}")
+    return bool(acceptance["pass"])
+
+
 SUITES = {
     "api": ("BENCH_api.json", _run_api),
     "serving": ("BENCH_serving.json", _run_serving),
     "sharding": ("BENCH_sharding.json", _run_sharding),
     "durability": ("BENCH_durability.json", _run_durability),
+    "storage": ("BENCH_storage.json", _run_storage),
 }
 
 

@@ -22,6 +22,7 @@ than raw token rarity.
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -94,7 +95,7 @@ class QueryCleaner:
         candidate_lists = [self._variant_candidates(t) for t in raw]
         best: Optional[Segment] = None
         for combo in itertools.product(*candidate_lists):
-            cleaned = tuple(variant for variant, _ in combo)
+            cleaned = tuple(sys.intern(variant) for variant, _ in combo)
             channel = 1.0
             for _, score in combo:
                 channel *= score
@@ -112,7 +113,10 @@ class QueryCleaner:
     # Segmentation DP (slide 68, bottom-up)
     # ------------------------------------------------------------------
     def clean(self, raw_tokens: Sequence[str]) -> CleaningResult:
-        tokens = [t.lower() for t in raw_tokens if t]
+        # Interned once here: cleaned tokens become cache keys, tuple-set
+        # keywords and scoring probes downstream, all sharing one object
+        # with the index-side vocabulary.
+        tokens = [sys.intern(t.lower()) for t in raw_tokens if t]
         n = len(tokens)
         if n == 0:
             return CleaningResult((), 1.0)

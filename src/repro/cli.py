@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
@@ -82,16 +83,34 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_options(args: argparse.Namespace):
+    backend = getattr(args, "backend", "dict")
+    options = {}
+    storage_dir = getattr(args, "storage_dir", None)
+    if backend == "disk" and storage_dir:
+        os.makedirs(storage_dir, exist_ok=True)
+        options["path"] = os.path.join(storage_dir, "index.rkws")
+    cache_pages = getattr(args, "page_cache", None)
+    if backend == "disk" and cache_pages:
+        options["cache_pages"] = cache_pages
+    return backend, (options or None)
+
+
 def _make_engine(args: argparse.Namespace, db):
     """Single or sharded engine per ``--shards``."""
+    backend, options = _backend_options(args)
     shards = getattr(args, "shards", 1)
     if shards > 1:
         from repro.sharding import ShardedSearchEngine
 
         return ShardedSearchEngine(
-            db, n_shards=shards, partitioner=args.partitioner
+            db,
+            n_shards=shards,
+            partitioner=args.partitioner,
+            backend=backend,
+            backend_options=options,
         )
-    return KeywordSearchEngine(db)
+    return KeywordSearchEngine(db, backend=backend, backend_options=options)
 
 
 def _add_shard_flags(p) -> None:
@@ -106,6 +125,31 @@ def _add_shard_flags(p) -> None:
         default="affinity",
         choices=["hash", "affinity"],
         help="shard assignment strategy (with --shards > 1)",
+    )
+    _add_backend_flags(p)
+
+
+def _add_backend_flags(p) -> None:
+    p.add_argument(
+        "--backend",
+        default="dict",
+        choices=["dict", "columnar", "disk"],
+        help="inverted-index storage backend (see repro.storage)",
+    )
+    p.add_argument(
+        "--storage-dir",
+        default=None,
+        help=(
+            "with --backend disk: directory for the persistent index "
+            "segment (reused on restart when the data still matches); "
+            "omitted = ephemeral temp segment"
+        ),
+    )
+    p.add_argument(
+        "--page-cache",
+        type=int,
+        default=None,
+        help="with --backend disk: LRU page-cache capacity in pages",
     )
 
 
@@ -310,12 +354,15 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     """Recover an engine from a durability directory."""
     from repro.durability import DurableEngine, RecoveryError
 
+    backend, options = _backend_options(args)
     try:
         engine, result = DurableEngine.recover(
             args.dir,
             shards=args.shards,
             partitioner=args.partitioner,
             trace=True,
+            backend=backend,
+            backend_options=options,
         )
     except RecoveryError as exc:
         print(f"recovery failed: {exc}", file=sys.stderr)
@@ -450,9 +497,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if os.path.exists(os.path.join(durable_dir, "MANIFEST")) or (
             os.path.isdir(durable_dir) and os.listdir(durable_dir)
         ):
+            backend, options = _backend_options(args)
             try:
                 engine, result = DurableEngine.recover(
-                    durable_dir, shards=args.shards, partitioner=args.partitioner
+                    durable_dir,
+                    shards=args.shards,
+                    partitioner=args.partitioner,
+                    backend=backend,
+                    backend_options=options,
                 )
             except RecoveryError as exc:
                 print(f"recovery failed: {exc}", file=sys.stderr)
@@ -477,7 +529,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # snapshot + WAL, and building from the boot-time db would
         # silently drop acknowledged post-recovery inserts.
         fresh = argparse.Namespace(
-            shards=args.shards, partitioner=args.partitioner
+            shards=args.shards,
+            partitioner=args.partitioner,
+            backend=getattr(args, "backend", "dict"),
+            storage_dir=getattr(args, "storage_dir", None),
+            page_cache=getattr(args, "page_cache", None),
         )
         return _make_engine(fresh, live_db)
 

@@ -62,6 +62,7 @@ from repro.resilience.errors import (
 from repro.resilience.failpoints import fail_point
 from repro.schema_search.candidate_networks import generate_candidate_networks
 from repro.schema_search.topk import topk_global_pipeline, topk_shared
+from repro.storage import BACKEND_NAMES
 
 #: cached_property-backed structures derived from database *contents*
 #: (the schema graph only depends on the schema, which is immutable).
@@ -83,13 +84,25 @@ class KeywordSearchEngine:
         incremental_updates: bool = True,
         trace: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        backend: str = "dict",
+        backend_options: Optional[Dict[str, object]] = None,
     ):
         if cn_execution not in ("shared", "pipeline"):
             raise QueryParseError(
                 f"unknown cn_execution {cn_execution!r} "
                 "(choices: shared, pipeline)"
             )
+        if backend not in BACKEND_NAMES:
+            raise QueryParseError(
+                f"unknown storage backend {backend!r} "
+                f"(choices: {', '.join(BACKEND_NAMES)})"
+            )
         self.db = db
+        #: Storage backend name for the inverted index ("dict",
+        #: "columnar", "disk") plus backend-specific options (e.g.
+        #: ``{"path": ..., "cache_pages": ...}`` for "disk").
+        self.backend_name = backend
+        self.backend_options = dict(backend_options) if backend_options else None
         self.max_cn_size = max_cn_size
         self.clean_queries = clean_queries
         self.enable_caches = enable_caches
@@ -147,7 +160,11 @@ class KeywordSearchEngine:
     def index(self) -> InvertedIndex:
         try:
             fail_point("engine.index_build")
-            return InvertedIndex(self.db)
+            return InvertedIndex(
+                self.db,
+                backend=self.backend_name,
+                backend_options=self.backend_options,
+            )
         except ReproError:
             raise
         except Exception as exc:
@@ -210,8 +227,12 @@ class KeywordSearchEngine:
 
     def invalidate_caches(self) -> None:
         """Explicitly drop all derived structures and query caches."""
+        stale_index = self.__dict__.get("index")
         for attr in _DATA_DERIVED:
             self.__dict__.pop(attr, None)
+        if stale_index is not None:
+            # Release backend resources (ephemeral disk segments, mmaps).
+            stale_index.close()
         self.substrates.clear()
         self._result_cache.clear()
         self._refine_cache.clear()
@@ -273,6 +294,17 @@ class KeywordSearchEngine:
         reg.register_gauge(
             "substrates.patches_applied",
             lambda: self.substrates.patches["applied"],
+        )
+        reg.register_gauge("substrates.bytes", lambda: self.substrates.memo_bytes())
+        # Built-index residency; reads 0 until the lazy index exists so
+        # polling metrics never forces a substrate build.
+        reg.register_gauge(
+            "storage.resident_bytes",
+            lambda: (
+                self.__dict__["index"].resident_bytes()
+                if "index" in self.__dict__
+                else 0
+            ),
         )
         reg.register_gauge("circuit.state", lambda: self.circuit_breaker.state)
         reg.register_gauge("circuit.opens", lambda: self.circuit_breaker.opens)

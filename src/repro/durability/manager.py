@@ -92,10 +92,15 @@ class DurableEngine:
             segment_max_bytes=segment_max_bytes,
             metrics=self.metrics,
         )
+        # Compact-substrate engines get the packed row codec so snapshot
+        # size tracks the columnar footprint instead of re-JSONifying
+        # every row; load() auto-detects, so mixed histories restore.
+        backend_name = getattr(engine, "backend_name", "dict")
         self.snapshots = SnapshotStore(
             os.path.join(root_dir, SNAPSHOT_SUBDIR),
             retain=retain_snapshots,
             metrics=self.metrics,
+            row_codec="packed" if backend_name in ("columnar", "disk") else "json",
         )
         if fresh and self.wal.last_lsn == 0:
             # First open: anchor the log with the schema so recovery
@@ -224,6 +229,8 @@ class DurableEngine:
                 n_shards=shards,
                 partitioner=partitioner,
                 metrics=metrics,
+                backend=engine_kwargs.get("backend", "dict"),
+                backend_options=engine_kwargs.get("backend_options"),
             )
         durable = cls(
             engine,

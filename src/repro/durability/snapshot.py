@@ -38,8 +38,18 @@ from repro.obs.metrics import MetricsRegistry
 from repro.relational.database import Database
 from repro.relational.schema import Column, ForeignKey, Schema, TableSchema
 from repro.resilience.failpoints import fail_point
+from repro.storage.rowcodec import decode_table, encode_table
 
 SNAPSHOT_FORMAT = 1
+
+#: Row payload codecs: "json" spells rows out as JSON lists (the
+#: original layout); "packed" stores each table column-major through
+#: :mod:`repro.storage.rowcodec` (typed varints + zlib + base64), which
+#: tracks the columnar backends' compact footprint instead of
+#: re-JSONifying every value.  ``load`` auto-detects per table, so
+#: snapshots of either codec (or mixed history in one directory)
+#: always restore.
+ROW_CODECS = ("json", "packed")
 
 
 # ----------------------------------------------------------------------
@@ -130,11 +140,17 @@ class SnapshotStore:
         directory: str,
         retain: int = 3,
         metrics: Optional[MetricsRegistry] = None,
+        row_codec: str = "json",
     ):
         if retain < 1:
             raise ValueError(f"retain must be >= 1, got {retain}")
+        if row_codec not in ROW_CODECS:
+            raise ValueError(
+                f"unknown row_codec {row_codec!r} (choices: {ROW_CODECS})"
+            )
         self.directory = directory
         self.retain = retain
+        self.row_codec = row_codec
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         os.makedirs(directory, exist_ok=True)
 
@@ -144,14 +160,25 @@ class SnapshotStore:
     def write(self, db: Database, lsn: int) -> SnapshotInfo:
         """Atomically snapshot *db* as covering WAL position *lsn*."""
         start_s = time.perf_counter()
+        if self.row_codec == "packed":
+            tables: Dict[str, object] = {
+                name: {
+                    "codec": "packed",
+                    "rows": len(table),
+                    "data": encode_table([row.values for row in table.rows()]),
+                }
+                for name, table in db.tables.items()
+            }
+        else:
+            tables = {
+                name: [list(row.values) for row in table.rows()]
+                for name, table in db.tables.items()
+            }
         payload = {
             "format": SNAPSHOT_FORMAT,
             "lsn": lsn,
             "schema": schema_to_dict(db.schema),
-            "tables": {
-                name: [list(row.values) for row in table.rows()]
-                for name, table in db.tables.items()
-            },
+            "tables": tables,
         }
         data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
             "utf-8"
@@ -278,7 +305,16 @@ class SnapshotStore:
             tbl.name: tbl.column_names for tbl in schema
         }
         for name in db.tables:
-            for values in payload["tables"].get(name, ()):
+            stored = payload["tables"].get(name, ())
+            if isinstance(stored, dict):  # packed codec (auto-detected)
+                rows = decode_table(stored["data"])
+                if len(rows) != int(stored.get("rows", len(rows))):
+                    raise ValueError(
+                        f"packed table {name!r} row count mismatch"
+                    )
+            else:
+                rows = stored
+            for values in rows:
                 db.insert(
                     name,
                     check_fk=False,

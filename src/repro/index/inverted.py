@@ -6,174 +6,83 @@ This is the index behind tuple-set construction in DISCOVER-style search
 (slide 28: the "query tuple sets" :math:`R^Q`) and behind TF·IDF scoring
 (slides 144, 158).
 
-All statistics the scorers consult in their inner loops — document
-frequency, smoothed IDF, per-(tuple, token) term frequency and the
-deduplicated tuple posting list — are precomputed once at build time
-(slide 120's materialised-index discussion), so the online lookups are
-O(1) dict probes / O(result) copies instead of O(postings) scans.
+Since PR 9 the index is a thin facade over a pluggable
+:class:`~repro.storage.base.StorageBackend` (see :mod:`repro.storage`):
+the classic precomputed-dict layout (``"dict"``, the default), a
+compact columnar substrate (``"columnar"``) and a disk-backed mmap
+segment with an LRU page cache (``"disk"``).  All backends expose the
+same statistics the scorers consult — document frequency, smoothed
+IDF, per-(tuple, token) term frequency, deduplicated tuple posting
+lists — and are held to byte-identical search results by the
+cross-backend parity suite.  The facade normalises tokens (lowercase)
+and owns the generic multi-token intersection; everything else is one
+delegation hop.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.index.text import tokenize
 from repro.relational.database import Database, TupleId
+from repro.storage import create_backend
+from repro.storage.base import Posting, StorageBackend  # re-export: Posting
 
-_EMPTY_POSTINGS: Tuple["Posting", ...] = ()
-_EMPTY_TUPLES: Tuple[TupleId, ...] = ()
-_EMPTY_TF: Dict[TupleId, int] = {}
-
-
-@dataclass(frozen=True)
-class Posting:
-    """One occurrence record: tuple, column it occurred in, and frequency."""
-
-    tid: TupleId
-    column: str
-    frequency: int
+__all__ = ["InvertedIndex", "Posting"]
 
 
 class InvertedIndex:
     """Token -> postings over the text columns of a :class:`Database`."""
 
-    def __init__(self, db: Database):
-        self.db = db
-        self._postings: Dict[str, Tuple[Posting, ...]] = {}
-        self._doc_count = 0
-        self._tuple_tokens: Dict[TupleId, Set[str]] = {}
-        # Precomputed fast paths (see module docstring).
-        self._matching: Dict[str, Tuple[TupleId, ...]] = {}
-        self._df: Dict[str, int] = {}
-        self._idf: Dict[str, float] = {}
-        self._tf: Dict[str, Dict[TupleId, int]] = {}
-        # Rows indexed so far per text table; tables are append-only, so
-        # everything past this watermark is the delta refresh() patches.
-        self._row_counts: Dict[str, int] = {}
-        self.refreshes = 0
-        self.rows_patched = 0
-        self._build()
-
-    def _index_row(
+    def __init__(
         self,
-        tid: TupleId,
-        row,
-        text_cols: Sequence[str],
-        postings: Dict[str, List[Posting]],
-        matching: Dict[str, Dict[TupleId, None]],
-        tf: Dict[str, Dict[TupleId, int]],
-    ) -> None:
-        """Accumulate one row into the build/delta staging dicts."""
-        self._doc_count += 1
-        seen: Set[str] = set()
-        for column in text_cols:
-            value = row[column]
-            if value is None:
-                continue
-            counts: Dict[str, int] = {}
-            for token in tokenize(str(value)):
-                counts[token] = counts.get(token, 0) + 1
-            for token, freq in counts.items():
-                postings.setdefault(token, []).append(Posting(tid, column, freq))
-                matching.setdefault(token, {}).setdefault(tid)
-                token_tf = tf.setdefault(token, {})
-                token_tf[tid] = token_tf.get(tid, 0) + freq
-                seen.add(token)
-        if seen:
-            self._tuple_tokens[tid] = seen
+        db: Database,
+        backend: str = "dict",
+        backend_options: Optional[Dict[str, object]] = None,
+    ):
+        self.db = db
+        self.backend: StorageBackend = create_backend(backend, backend_options)
+        self.backend.build(db)
 
-    def _build(self) -> None:
-        postings: Dict[str, List[Posting]] = {}
-        matching: Dict[str, Dict[TupleId, None]] = {}
-        tf: Dict[str, Dict[TupleId, int]] = {}
-        for table in self.db.tables.values():
-            text_cols = table.schema.text_columns
-            if not text_cols:
-                continue
-            for row in table.rows():
-                self._index_row(
-                    TupleId(table.name, row.rowid), row, text_cols,
-                    postings, matching, tf,
-                )
-            self._row_counts[table.name] = len(table)
-        n_plus_1 = self._doc_count + 1
-        for token, plist in postings.items():
-            self._postings[token] = tuple(plist)
-            tids = tuple(matching[token])
-            self._matching[token] = tids
-            df = len(tids)
-            self._df[token] = df
-            self._idf[token] = math.log(n_plus_1 / (df + 1)) + 1.0
-        self._tf = tf
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def refreshes(self) -> int:
+        return self.backend.refreshes
+
+    @property
+    def rows_patched(self) -> int:
+        return self.backend.rows_patched
 
     def refresh(self) -> int:
         """Delta-index rows inserted since the last build/refresh.
 
         Tables are append-only (no update/delete — see
         :class:`~repro.relational.table.Row`), so the delta is exactly
-        the suffix of each text table past the stored watermark.  New
-        postings / matching entries / term frequencies are patched in;
-        IDF is recomputed for the whole vocabulary because the document
-        count moved (O(vocabulary) floats, no text re-scanned).  The
-        patched index is content-identical to a fresh build — posting
-        order may differ for tokens the new rows contain, which no
-        consumer observes (tuple-set construction sorts, scoring reads
-        per-tuple dicts).  Returns the number of rows indexed.
+        the suffix of each text table past the backend's stored
+        watermark.  The patched index is content-identical to a fresh
+        build — posting order may differ for tokens the new rows
+        contain, which no consumer observes (tuple-set construction
+        sorts, scoring reads per-tuple maps).  Returns the number of
+        rows indexed.
         """
-        postings: Dict[str, List[Posting]] = {}
-        matching: Dict[str, Dict[TupleId, None]] = {}
-        tf: Dict[str, Dict[TupleId, int]] = {}
-        new_rows = 0
-        for table in self.db.tables.values():
-            text_cols = table.schema.text_columns
-            if not text_cols:
-                continue
-            start = self._row_counts.get(table.name, 0)
-            if len(table) <= start:
-                continue
-            for rowid in range(start, len(table)):
-                self._index_row(
-                    TupleId(table.name, rowid), table.row(rowid), text_cols,
-                    postings, matching, tf,
-                )
-                new_rows += 1
-            self._row_counts[table.name] = len(table)
-        if new_rows:
-            for token, plist in postings.items():
-                self._postings[token] = (
-                    self._postings.get(token, _EMPTY_POSTINGS) + tuple(plist)
-                )
-                tids = tuple(matching[token])
-                self._matching[token] = (
-                    self._matching.get(token, _EMPTY_TUPLES) + tids
-                )
-                self._df[token] = len(self._matching[token])
-                token_tf = self._tf.setdefault(token, {})
-                for tid, freq in tf[token].items():
-                    token_tf[tid] = token_tf.get(tid, 0) + freq
-            n_plus_1 = self._doc_count + 1
-            for token, df in self._df.items():
-                self._idf[token] = math.log(n_plus_1 / (df + 1)) + 1.0
-            self.rows_patched += new_rows
-        self.refreshes += 1
-        return new_rows
+        return self.backend.refresh(self.db)
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def postings(self, token: str) -> Sequence[Posting]:
-        """Immutable view of the posting list for *token* (zero-copy)."""
-        return self._postings.get(token.lower(), _EMPTY_POSTINGS)
+        """Immutable view of the posting list for *token*."""
+        return self.backend.postings(token.lower())
 
     def matching_tuples(self, token: str) -> List[TupleId]:
         """Distinct tuples containing *token*, in posting order."""
-        return list(self._matching.get(token.lower(), _EMPTY_TUPLES))
+        return list(self.backend.matching_view(token.lower()))
 
     def matching_tuples_view(self, token: str) -> Tuple[TupleId, ...]:
         """Zero-copy variant of :meth:`matching_tuples` for hot paths."""
-        return self._matching.get(token.lower(), _EMPTY_TUPLES)
+        return self.backend.matching_view(token.lower())
 
     def matching_tuples_in(self, token: str, table: str) -> List[TupleId]:
         return [t for t in self.matching_tuples_view(token) if t.table == table]
@@ -189,41 +98,52 @@ class InvertedIndex:
         return sorted(common)
 
     def tokens_of(self, tid: TupleId) -> Set[str]:
-        return set(self._tuple_tokens.get(tid, ()))
+        return self.backend.tokens_of(tid)
 
     def contains_token(self, tid: TupleId, token: str) -> bool:
-        return token.lower() in self._tuple_tokens.get(tid, ())
+        return self.backend.contains_token(tid, token.lower())
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     @property
     def vocabulary(self) -> List[str]:
-        return sorted(self._postings)
+        return self.backend.vocabulary()
 
     @property
     def document_count(self) -> int:
         """Number of tuples with at least one text column (N for IDF)."""
-        return self._doc_count
+        return self.backend.doc_count
 
     def document_frequency(self, token: str) -> int:
-        return self._df.get(token.lower(), 0)
+        return self.backend.document_frequency(token.lower())
 
     def idf(self, token: str) -> float:
         """Smoothed inverse document frequency (ln((N+1)/(df+1)) + 1)."""
-        cached = self._idf.get(token.lower())
-        if cached is not None:
-            return cached
-        return math.log(float(self._doc_count + 1)) + 1.0
+        return self.backend.idf(token.lower())
 
     def term_frequency(self, tid: TupleId, token: str) -> int:
-        return self._tf.get(token.lower(), _EMPTY_TF).get(tid, 0)
+        return self.backend.term_frequency(tid, token.lower())
 
     def __contains__(self, token: str) -> bool:
-        return token.lower() in self._postings
+        return self.backend.has_token(token.lower())
+
+    # ------------------------------------------------------------------
+    # Accounting / lifecycle
+    # ------------------------------------------------------------------
+    def resident_bytes(self) -> int:
+        """Deep resident footprint of the backing substrate."""
+        return self.backend.resident_bytes()
+
+    def storage_stats(self) -> Dict[str, object]:
+        return self.backend.stats()
+
+    def close(self) -> None:
+        self.backend.close()
 
     def __repr__(self) -> str:
         return (
-            f"InvertedIndex({len(self._postings)} terms, "
-            f"{self._doc_count} documents)"
+            f"InvertedIndex[{self.backend.name}]"
+            f"({self.backend.token_count()} terms, "
+            f"{self.backend.doc_count} documents)"
         )

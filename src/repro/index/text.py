@@ -4,27 +4,35 @@ A deliberately simple analyzer: lowercase, split on non-alphanumerics,
 keep pure numbers (years matter in bibliographic search).  Keeping one
 analyzer everywhere guarantees that query-side and index-side token
 streams agree — the classic source of silent recall loss.
+
+Every emitted token is passed through :func:`sys.intern`, so the many
+structures that key on token strings — dict-backend postings, the
+substrate cache, per-shard replica indexes, query keyword sets — all
+share one string object per distinct token instead of duplicating it
+at every occurrence.
 """
 
 from __future__ import annotations
 
 import re
+import sys
 from collections import Counter
 from typing import Dict, Iterable, List
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
+_intern = sys.intern
 
 
 def normalize_token(token: str) -> str:
     """Lowercase and strip a single token; may return an empty string."""
-    return "".join(_TOKEN_RE.findall(token.lower()))
+    return _intern("".join(_TOKEN_RE.findall(token.lower())))
 
 
 def tokenize(text: str) -> List[str]:
     """Split *text* into normalized tokens, preserving order and duplicates."""
     if not text:
         return []
-    return _TOKEN_RE.findall(text.lower())
+    return [_intern(t) for t in _TOKEN_RE.findall(text.lower())]
 
 
 def term_frequencies(text: str) -> Dict[str, int]:

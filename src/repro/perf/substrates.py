@@ -298,7 +298,26 @@ class SubstrateCache:
                     "keyword_groups": len(self._keyword_matches),
                     "form_pipeline": len(self._form_pipeline),
                 },
+                "bytes": self.memo_bytes(),
             }
+
+    def memo_bytes(self) -> int:
+        """Deep size of the memoised substrates this cache uniquely pins.
+
+        Stops at the database/table/index layer — a memoised tuple set
+        references rows and the inverted index but does not own them —
+        so this is the marginal cost of keeping the cache warm.
+        """
+        from repro.obs.memory import sizeof_each
+        from repro.relational.table import Table
+
+        roots = (
+            list(self._tuple_sets.values())
+            + list(self._networks.values())
+            + list(self._keyword_matches.values())
+            + list(self._form_pipeline.values())
+        )
+        return sizeof_each(roots, stop=(Database, Table, InvertedIndex))
 
     def __repr__(self) -> str:
         return (

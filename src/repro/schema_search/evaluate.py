@@ -90,6 +90,25 @@ def _semijoin_reduce(
         step.node: tuple_sets.rows(cn.nodes[step.node].key) for step in steps
     }
     pruned = 0
+
+    # Every row of one node's list comes from the same table, so the
+    # column-name -> position lookup is resolved once per list and the
+    # hot loops index straight into ``row.values`` (the per-row
+    # ``Row.__getitem__`` dict probes used to dominate this reducer).
+    def _values(node_rows: List[Row], column: str) -> Set[object]:
+        if not node_rows:
+            return set()
+        idx = node_rows[0].table.column_index(column)
+        out = {row.values[idx] for row in node_rows}
+        out.discard(None)
+        return out
+
+    def _filter(node_rows: List[Row], column: str, allowed: Set[object]) -> List[Row]:
+        if not node_rows:
+            return node_rows
+        idx = node_rows[0].table.column_index(column)
+        return [row for row in node_rows if row.values[idx] in allowed]
+
     # Children before parents: each step's children steps come later in
     # the plan, so reversed order reduces a node only after all of its
     # subtrees have reduced it from below.
@@ -97,9 +116,8 @@ def _semijoin_reduce(
         parent_col, child_col = step.edge.join_columns(
             cn.nodes[step.parent].table
         )
-        child_values = {row[child_col] for row in rows[step.node]}
-        child_values.discard(None)
-        kept = [r for r in rows[step.parent] if r[parent_col] in child_values]
+        child_values = _values(rows[step.node], child_col)
+        kept = _filter(rows[step.parent], parent_col, child_values)
         pruned += len(rows[step.parent]) - len(kept)
         rows[step.parent] = kept
     # Parents before children: push the fully reduced root back down.
@@ -107,9 +125,8 @@ def _semijoin_reduce(
         parent_col, child_col = step.edge.join_columns(
             cn.nodes[step.parent].table
         )
-        parent_values = {row[parent_col] for row in rows[step.parent]}
-        parent_values.discard(None)
-        kept = [r for r in rows[step.node] if r[child_col] in parent_values]
+        parent_values = _values(rows[step.parent], parent_col)
+        kept = _filter(rows[step.node], child_col, parent_values)
         pruned += len(rows[step.node]) - len(kept)
         rows[step.node] = kept
     if stats is not None:

@@ -44,7 +44,11 @@ class TupleSets:
         self.index = index
         self.keywords: Tuple[str, ...] = tuple(k.lower() for k in keywords)
         self._sets: Dict[TupleSetKey, List[TupleId]] = {}
-        self._matched_by_table: Dict[str, Set[int]] = {}
+        # Rowids matching >= 1 keyword, as an int bitset per table (bit
+        # ``rowid`` set).  Rowids are dense 0-based insertion indexes, so
+        # one arbitrary-precision int per table replaces a Set[int] at a
+        # fraction of the memory, and free-set sizing is a popcount.
+        self._matched_by_table: Dict[str, int] = {}
         # Rows classified so far per table (append-only data model);
         # refresh() patches membership for everything past this mark.
         self._row_counts: Dict[str, int] = {
@@ -61,10 +65,11 @@ class TupleSets:
         for keyword in query:
             for tid in self.index.matching_tuples_view(keyword):
                 by_tuple.setdefault(tid, set()).add(keyword)
+        matched = self._matched_by_table
         for tid, subset in by_tuple.items():
             key = TupleSetKey(tid.table, frozenset(subset))
             self._sets.setdefault(key, []).append(tid)
-            self._matched_by_table.setdefault(tid.table, set()).add(tid.rowid)
+            matched[tid.table] = matched.get(tid.table, 0) | (1 << tid.rowid)
         for tids in self._sets.values():
             tids.sort()
 
@@ -103,7 +108,9 @@ class TupleSets:
                     members = self._sets[key] = []
                     created.append(key)
                 bisect.insort(members, tid)
-                self._matched_by_table.setdefault(name, set()).add(rowid)
+                self._matched_by_table[name] = (
+                    self._matched_by_table.get(name, 0) | (1 << rowid)
+                )
             self._row_counts[name] = len(table)
         return created
 
@@ -126,11 +133,11 @@ class TupleSets:
         exact-partition guarantee).
         """
         if key.is_free:
-            matched = self._matched_by_table.get(key.table, set())
+            matched = self._matched_by_table.get(key.table, 0)
             return [
                 TupleId(key.table, rowid)
                 for rowid in range(len(self.db.table(key.table)))
-                if rowid not in matched
+                if not (matched >> rowid) & 1
             ]
         return list(self._sets.get(key, ()))
 
@@ -139,8 +146,9 @@ class TupleSets:
 
     def size(self, key: TupleSetKey) -> int:
         if key.is_free:
-            matched = self._matched_by_table.get(key.table, set())
-            return len(self.db.table(key.table)) - len(matched)
+            matched = self._matched_by_table.get(key.table, 0)
+            # bin().count is the 3.9-safe popcount (int.bit_count is 3.10+).
+            return len(self.db.table(key.table)) - bin(matched).count("1")
         return len(self._sets.get(key, ()))
 
     def keyword_subsets(self, table: str) -> List[FrozenSet[str]]:

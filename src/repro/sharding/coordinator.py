@@ -109,6 +109,8 @@ class ShardedSearchEngine:
         max_workers: Optional[int] = None,
         shard_failure_threshold: int = 3,
         shard_reset_timeout_s: float = 30.0,
+        backend: str = "dict",
+        backend_options: Optional[Dict[str, object]] = None,
     ):
         self.db = db
         self.max_cn_size = max_cn_size
@@ -116,6 +118,8 @@ class ShardedSearchEngine:
         self.selection_routing = selection_routing
         self.trace_enabled = trace
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.backend_name = backend
+        self.backend_options = dict(backend_options) if backend_options else None
         #: The coordinator-side engine: owns the shared substrates
         #: (index, tuple sets, CN memos) that scatter plans read, and
         #: executes routed graph methods.  Incremental refresh stays on
@@ -126,8 +130,13 @@ class ShardedSearchEngine:
             clean_queries=clean_queries,
             enable_caches=enable_caches,
             metrics=self.metrics,
+            backend=backend,
+            backend_options=self.backend_options,
         )
         self.shards = build_shards(db, make_partitioner(partitioner, n_shards))
+        for shard in self.shards.shards:
+            shard.backend = backend
+            shard.backend_options = self._shard_backend_options(shard.shard_id)
         self._breakers: List[CircuitBreaker] = [
             CircuitBreaker(
                 failure_threshold=shard_failure_threshold,
@@ -159,6 +168,18 @@ class ShardedSearchEngine:
                 f"shard.circuit.time_in_state_s.{i}",
                 lambda b=breaker: round(b.time_in_state_s(), 3),
             )
+
+    def _shard_backend_options(
+        self, shard_id: int
+    ) -> Optional[Dict[str, object]]:
+        """Per-shard backend options: disk segments must not collide."""
+        if not self.backend_options:
+            return None
+        options = dict(self.backend_options)
+        path = options.get("path")
+        if isinstance(path, str):
+            options["path"] = f"{path}.shard{shard_id}"
+        return options
 
     # ------------------------------------------------------------------
     # Lifecycle

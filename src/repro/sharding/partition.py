@@ -232,6 +232,10 @@ class Shard:
         self.local_to_global: Dict[TupleId, TupleId] = {}
         self.global_to_local: Dict[TupleId, TupleId] = {}
         self._engine = None
+        #: Storage backend the lazily built shard-local engine uses;
+        #: configured by ShardedSearchEngine before first use.
+        self.backend = "dict"
+        self.backend_options: Optional[Dict[str, object]] = None
 
     # -- membership ----------------------------------------------------
     def owns(self, tid: TupleId) -> bool:
@@ -260,7 +264,12 @@ class Shard:
         if self._engine is None:
             from repro.core.engine import KeywordSearchEngine
 
-            self._engine = KeywordSearchEngine(self.db, clean_queries=False)
+            self._engine = KeywordSearchEngine(
+                self.db,
+                clean_queries=False,
+                backend=self.backend,
+                backend_options=self.backend_options,
+            )
         return self._engine
 
     def __repr__(self) -> str:

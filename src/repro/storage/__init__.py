@@ -1,0 +1,73 @@
+"""Pluggable storage/index backends for the inverted keyword index.
+
+Three implementations of one :class:`~repro.storage.base.StorageBackend`
+protocol:
+
+``dict``
+    the original dict-of-objects layout — fastest per lookup, largest
+    footprint, the parity baseline;
+``columnar``
+    interned token ids, delta+varint posting blobs, packed forward
+    runs — several times smaller, same results;
+``disk``
+    an immutable mmap segment with zlib pages, an LRU page cache and an
+    in-memory columnar delta for ``refresh()`` — beyond-RAM datasets.
+
+Select one with ``KeywordSearchEngine(db, backend="columnar")`` or the
+CLI/server ``--backend`` flag; :func:`create_backend` is the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.storage.base import Posting, StorageBackend, TokenView, TokenViewCache
+from repro.storage.columnar import ColumnarBackend
+from repro.storage.dictstore import DictBackend
+from repro.storage.diskstore import DiskBackend, PageCache, SegmentFormatError
+
+BACKENDS: Dict[str, Callable[..., StorageBackend]] = {
+    "dict": DictBackend,
+    "columnar": ColumnarBackend,
+    "disk": DiskBackend,
+}
+
+BACKEND_NAMES = tuple(sorted(BACKENDS))
+
+
+def create_backend(
+    name: str, options: Optional[Dict[str, object]] = None
+) -> StorageBackend:
+    """Instantiate a registered backend by name.
+
+    *options* are backend-specific constructor kwargs (e.g. ``path``,
+    ``cache_pages`` for ``disk``; ``hot_tokens`` for ``columnar``) and
+    are rejected here with a ``ValueError`` when unknown so engine
+    construction fails fast on typos.
+    """
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown storage backend {name!r}; expected one of {BACKEND_NAMES}"
+        ) from None
+    try:
+        return factory(**(options or {}))
+    except TypeError as exc:
+        raise ValueError(f"bad options for backend {name!r}: {exc}") from None
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "ColumnarBackend",
+    "DictBackend",
+    "DiskBackend",
+    "PageCache",
+    "Posting",
+    "SegmentFormatError",
+    "StorageBackend",
+    "TokenView",
+    "TokenViewCache",
+    "create_backend",
+]

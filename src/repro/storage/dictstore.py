@@ -1,0 +1,112 @@
+"""Reference dict-of-objects backend (the original index layout).
+
+This is the historical :class:`~repro.index.inverted.InvertedIndex`
+internals lifted behind :class:`StorageBackend` with **no behavior
+change**: every statistic the scorers consult is a precomputed O(1)
+dict probe, posting lists are tuples of :class:`Posting` objects, and
+refresh() appends delta postings in arrival order exactly as before.
+It is the fastest backend per lookup and the memory baseline the
+compact substrates are benchmarked against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.relational.database import Database, TupleId
+from repro.storage.base import (
+    EMPTY_POSTINGS,
+    EMPTY_TF,
+    EMPTY_TUPLES,
+    Posting,
+    StorageBackend,
+)
+
+
+class DictBackend(StorageBackend):
+    """Token -> tuple-of-:class:`Posting` with precomputed DF/TF maps."""
+
+    name = "dict"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._postings: Dict[str, Tuple[Posting, ...]] = {}
+        self._matching: Dict[str, Tuple[TupleId, ...]] = {}
+        self._df: Dict[str, int] = {}
+        self._tf: Dict[str, Dict[TupleId, int]] = {}
+        self._tuple_tokens: Dict[TupleId, Set[str]] = {}
+        # Scan staging (valid between _begin and _commit).
+        self._stage_postings: Dict[str, List[Posting]] = {}
+        self._stage_matching: Dict[str, Dict[TupleId, None]] = {}
+        self._stage_tf: Dict[str, Dict[TupleId, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Scan hooks
+    # ------------------------------------------------------------------
+    def _begin(self, db: Database, initial: bool) -> None:
+        self._stage_postings = {}
+        self._stage_matching = {}
+        self._stage_tf = {}
+
+    def _add_row(self, tid: TupleId, row, text_cols: Sequence[str]) -> None:
+        postings = self._stage_postings
+        matching = self._stage_matching
+        tf = self._stage_tf
+        seen: Set[str] = set()
+        for column, counts in self._column_token_counts(row, text_cols):
+            for token, freq in counts.items():
+                postings.setdefault(token, []).append(Posting(tid, column, freq))
+                matching.setdefault(token, {}).setdefault(tid)
+                token_tf = tf.setdefault(token, {})
+                token_tf[tid] = token_tf.get(tid, 0) + freq
+                seen.add(token)
+        if seen:
+            self._tuple_tokens[tid] = seen
+
+    def _commit(self, db: Database, initial: bool, staged: int) -> None:
+        if not initial and not staged:
+            return
+        for token, plist in self._stage_postings.items():
+            self._postings[token] = (
+                self._postings.get(token, EMPTY_POSTINGS) + tuple(plist)
+            )
+            tids = tuple(self._stage_matching[token])
+            merged = self._matching.get(token, EMPTY_TUPLES) + tids
+            self._matching[token] = merged
+            self._df[token] = len(merged)
+            token_tf = self._tf.setdefault(token, {})
+            for tid, freq in self._stage_tf[token].items():
+                token_tf[tid] = token_tf.get(tid, 0) + freq
+        self._stage_postings = {}
+        self._stage_matching = {}
+        self._stage_tf = {}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def matching_view(self, token: str) -> Tuple[TupleId, ...]:
+        return self._matching.get(token, EMPTY_TUPLES)
+
+    def postings(self, token: str) -> Tuple[Posting, ...]:
+        return self._postings.get(token, EMPTY_POSTINGS)
+
+    def term_frequency(self, tid: TupleId, token: str) -> int:
+        return self._tf.get(token, EMPTY_TF).get(tid, 0)
+
+    def document_frequency(self, token: str) -> int:
+        return self._df.get(token, 0)
+
+    def tokens_of(self, tid: TupleId) -> Set[str]:
+        return set(self._tuple_tokens.get(tid, ()))
+
+    def contains_token(self, tid: TupleId, token: str) -> bool:
+        return token in self._tuple_tokens.get(tid, ())
+
+    def has_token(self, token: str) -> bool:
+        return token in self._postings
+
+    def vocabulary(self) -> List[str]:
+        return sorted(self._postings)
+
+    def token_count(self) -> int:
+        return len(self._postings)

@@ -1,0 +1,64 @@
+"""LEB128-style varint coding for postings and forward-index runs.
+
+Every compact substrate in :mod:`repro.storage` stores integer runs —
+rowids, column indexes, term frequencies, token ids — as unsigned
+varints (7 payload bits per byte, high bit = continuation).  Ascending
+runs are delta-coded first, so dense posting lists collapse to ~1 byte
+per entry regardless of the absolute rowid magnitude.
+
+All functions are pure and dependency-free; the decoders take an
+explicit position and return the new position so callers can walk
+mixed-field records without slicing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def encode_uint(value: int, out: bytearray) -> None:
+    """Append one unsigned varint to *out*."""
+    if value < 0:
+        raise ValueError(f"varint values must be >= 0, got {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decode_uint(buf, pos: int) -> Tuple[int, int]:
+    """Read one unsigned varint from *buf* at *pos*; (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_run(values: Sequence[int]) -> bytes:
+    """Delta+varint encode an ascending integer run (count-prefixed)."""
+    out = bytearray()
+    encode_uint(len(values), out)
+    prev = 0
+    for value in values:
+        if value < prev:
+            raise ValueError("runs must be non-decreasing for delta coding")
+        encode_uint(value - prev, out)
+        prev = value
+    return bytes(out)
+
+
+def decode_run(buf, pos: int = 0) -> Tuple[List[int], int]:
+    """Inverse of :func:`encode_run`; returns (values, new_pos)."""
+    count, pos = decode_uint(buf, pos)
+    values: List[int] = []
+    prev = 0
+    for _ in range(count):
+        delta, pos = decode_uint(buf, pos)
+        prev += delta
+        values.append(prev)
+    return values, pos
