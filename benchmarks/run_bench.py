@@ -1,14 +1,16 @@
 """Record the perf trajectory: run the registered benchmark suites, emit JSON.
 
     PYTHONPATH=src python benchmarks/run_bench.py
-        [--suite api|serving|sharding|durability|storage|all]
+        [--suite api|serving|sharding|durability|storage|query|all]
         [--out PATH] [--smoke]
 
 Future PRs re-run this entry point and compare against the committed
 ``BENCH_serving.json`` / ``BENCH_sharding.json`` /
-``BENCH_durability.json`` / ``BENCH_storage.json`` to keep the
-serving, scale-out, durability and storage paths from regressing.  ``--out`` applies when a single suite
-is selected; with ``--suite all`` each suite writes its default file.
+``BENCH_durability.json`` / ``BENCH_storage.json`` /
+``BENCH_query.json`` to keep the serving, scale-out, durability,
+storage and query-front-end paths from regressing.  ``--out`` applies
+when a single suite is selected; with ``--suite all`` each suite
+writes its default file.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ for path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
 
 from benchmarks.bench_api import run_api_benchmark  # noqa: E402
 from benchmarks.bench_durability import run_durability_benchmark  # noqa: E402
+from benchmarks.bench_query import run_query_benchmark  # noqa: E402
 from benchmarks.bench_serving import run_serving_benchmark  # noqa: E402
 from benchmarks.bench_sharding import run_sharding_benchmark  # noqa: E402
 from benchmarks.bench_storage import run_storage_benchmark  # noqa: E402
@@ -118,12 +121,28 @@ def _run_storage(args: argparse.Namespace, out_path: str) -> bool:
     return bool(acceptance["pass"])
 
 
+def _run_query_suite(args: argparse.Namespace, out_path: str) -> bool:
+    report = run_query_benchmark(smoke=args.smoke)
+    _write(report, out_path)
+    acceptance = report["acceptance"]
+    print(
+        f"query: parse overhead {acceptance['overhead_pct']}% "
+        f"(max {acceptance['overhead_pct_max']}%), pushdown speedup "
+        f"{report['predicate_pushdown']['speedup_vs_posthoc']}x, "
+        f"only-in-range {acceptance['pushdown_only_in_range']}, "
+        f"divergences {acceptance['divergences']}"
+    )
+    print(f"query acceptance pass: {acceptance['pass']}")
+    return bool(acceptance["pass"])
+
+
 SUITES = {
     "api": ("BENCH_api.json", _run_api),
     "serving": ("BENCH_serving.json", _run_serving),
     "sharding": ("BENCH_sharding.json", _run_sharding),
     "durability": ("BENCH_durability.json", _run_durability),
     "storage": ("BENCH_storage.json", _run_storage),
+    "query": ("BENCH_query.json", _run_query_suite),
 }
 
 

@@ -19,15 +19,25 @@ from repro.index.forward import DeltaForwardIndex
 from repro.index.inverted import InvertedIndex
 from repro.index.trie import Trie
 from repro.relational.database import TupleId
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceededError
+from repro.resilience.failpoints import fail_point
 
 
 @dataclass
 class TastierResult:
-    """Answers plus the work counters the E8 benchmark reports."""
+    """Answers plus the work counters the E8 benchmark reports.
+
+    ``degraded`` marks a budget-exhausted search: ``answers`` then holds
+    the best partial ranking from the work done so far and ``reason``
+    says which limit tripped.
+    """
 
     answers: List[Tuple[TupleId, float]]
     candidates_initial: int
     candidates_after_pruning: int
+    degraded: bool = False
+    reason: Optional[str] = None
 
 
 class Tastier:
@@ -50,11 +60,18 @@ class Tastier:
     def _range(self, prefix: str) -> Optional[Tuple[int, int]]:
         return self.trie.prefix_range(prefix.lower())
 
-    def _candidates_for(self, prefix_range: Tuple[int, int]) -> List[TupleId]:
+    def _candidates_for(
+        self,
+        prefix_range: Tuple[int, int],
+        budget: Optional[QueryBudget] = None,
+    ) -> List[TupleId]:
         lo, hi = prefix_range
         seen: Dict[TupleId, None] = {}
+        fail_point("tastier.scan")
         for token_id in range(lo, hi + 1):
             for tid in self.index.matching_tuples(self.trie.token(token_id)):
+                if budget is not None:
+                    budget.tick_candidates()
                 seen.setdefault(tid)
         return list(seen)
 
@@ -65,11 +82,22 @@ class Tastier:
             for t in range(lo, hi + 1)
         )
 
-    def search(self, prefixes: Sequence[str], k: int = 10) -> TastierResult:
+    def search(
+        self,
+        prefixes: Sequence[str],
+        k: int = 10,
+        budget: Optional[QueryBudget] = None,
+    ) -> TastierResult:
         """Top-k answers for partially typed keywords.
 
         An answer is a node within δ hops of tuples matching every
         prefix, scored by its summed hop distance to the matches.
+
+        When a :class:`QueryBudget` is given, every inverted-list
+        posting scanned and every candidate grown ticks it; on
+        exhaustion the best partial result accumulated so far is
+        returned with ``degraded=True`` instead of raising, so an
+        interactive caller always gets *something* to show.
         """
         ranges = []
         for prefix in prefixes:
@@ -81,16 +109,35 @@ class Tastier:
         order = sorted(range(len(ranges)), key=lambda i: self._range_list_size(ranges[i]))
         anchor_range = ranges[order[0]]
         other_ranges = [ranges[i] for i in order[1:]]
-        candidates = self._candidates_for(anchor_range)
+        try:
+            candidates = self._candidates_for(anchor_range, budget)
+        except BudgetExceededError as exc:
+            return TastierResult([], 0, 0, degraded=True, reason=str(exc))
         initial = len(candidates)
-        pruned = self.forward.filter_candidates(candidates, other_ranges)
-        answers = []
+        try:
+            if budget is not None:
+                budget.checkpoint()
+            pruned = self.forward.filter_candidates(candidates, other_ranges)
+        except BudgetExceededError as exc:
+            return TastierResult([], initial, 0, degraded=True, reason=str(exc))
+        answers: List[Tuple[TupleId, float]] = []
+        degraded = False
+        reason: Optional[str] = None
         for candidate in pruned:
+            if budget is not None:
+                try:
+                    budget.tick_nodes()
+                except BudgetExceededError as exc:
+                    degraded = True
+                    reason = str(exc)
+                    break
             cost = self._grow_cost(candidate, ranges)
             if cost is not None:
                 answers.append((candidate, cost))
         answers.sort(key=lambda pair: (pair[1], pair[0]))
-        return TastierResult(answers[:k], initial, len(pruned))
+        return TastierResult(
+            answers[:k], initial, len(pruned), degraded=degraded, reason=reason
+        )
 
     def _grow_cost(
         self, candidate: TupleId, ranges: Sequence[Tuple[int, int]]

@@ -44,7 +44,14 @@ class NoisyChannelCorrector:
     # Model components
     # ------------------------------------------------------------------
     def prior(self, token: str) -> float:
-        """Smoothed P(C): (freq + 1) / (total + V)."""
+        """Smoothed P(C): (freq + 1) / (total + V + 1).
+
+        The extra +1 in the denominator reserves probability mass for a
+        single pseudo-token covering all unseen corrections, keeping the
+        distribution proper when ``token`` is out of vocabulary.  Pinned
+        by ``test_query.py::test_noisy_channel_prior_formula`` — do not
+        change the arithmetic without re-ranking the corrector fixtures.
+        """
         return (self.frequencies.get(token, 0) + 1) / (
             self.total + len(self.frequencies) + 1
         )

@@ -159,31 +159,83 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
         return 2
     engine = _make_engine(args, factory())
-    parsed = engine.parse(args.query)
-    if parsed.was_cleaned:
-        print(f"(query cleaned to: {' '.join(parsed.keywords)})")
+    from repro.query.pipeline import core_engine, execute_pipeline
+
     try:
-        results = engine.search(
-            args.query,
-            k=args.k,
-            method=args.method,
-            timeout_ms=args.timeout_ms,
-            max_expansions=args.max_expansions,
-            fallback=args.fallback,
-            trace=args.trace or None,
-        )
+        query = core_engine(engine)._parse_canonical(args.query)
+    except QueryParseError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    if not args.json:
+        # Human-readable echo only: --json must emit nothing but JSON.
+        if query.cleaned_from is not None:
+            print(f"(query cleaned to: {' '.join(query.bare_keywords())})")
+        if not query.is_bare:
+            print(f"(parsed as: {query.canonical()})")
+    response = None
+    try:
+        if args.expand or args.facets or args.highlight:
+            response = execute_pipeline(
+                engine,
+                args.query,
+                k=args.k,
+                method=args.method,
+                expand=args.expand,
+                facets=args.facets,
+                highlight=args.highlight,
+                timeout_ms=args.timeout_ms,
+                max_expansions=args.max_expansions,
+                fallback=args.fallback,
+                trace=args.trace or None,
+            )
+            results = response.results
+        else:
+            results = engine.search(
+                args.query,
+                k=args.k,
+                method=args.method,
+                timeout_ms=args.timeout_ms,
+                max_expansions=args.max_expansions,
+                fallback=args.fallback,
+                trace=args.trace or None,
+            )
     except QueryParseError as exc:
         print(f"bad request: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(results.to_dict(include_rows=args.rows), indent=2))
+        payload = (
+            response.to_dict(include_rows=args.rows)
+            if response is not None
+            else results.to_dict(include_rows=args.rows)
+        )
+        print(json.dumps(payload, indent=2))
         return 0
     _print_degraded_banner(results)
+    if response is not None:
+        for rewrite in response.rewrites:
+            detail = ", ".join(
+                f"{key}={value}"
+                for key, value in rewrite.items()
+                if key != "kind"
+            )
+            print(f"(rewrite {rewrite['kind']}: {detail})")
     if not results:
         print("no results")
+    highlights = response.highlights if response is not None else None
     for rank, result in enumerate(results, start=1):
         print(f"{rank:2d}. [{result.score:.3f}] {result.network}")
         print(f"      {result.describe()}")
+        if highlights is not None and rank - 1 < len(highlights):
+            snippet = highlights[rank - 1].get("snippet")
+            if snippet:
+                print(f"      » {snippet}")
+    if response is not None and response.facets:
+        print("-- facets:")
+        for attribute, entries in response.facets.items():
+            rendered = ", ".join(
+                f"{entry['value']} ({entry['count']})" for entry in entries
+            )
+            print(f"   {attribute}: {rendered}")
     if args.explain:
         if hasattr(engine, "shard_stats"):
             stats = engine.shard_stats()
@@ -621,6 +673,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows",
         action="store_true",
         help="with --json, inline each tuple's column values",
+    )
+    p.add_argument(
+        "--expand",
+        default=None,
+        metavar="KNOBS",
+        help="query expansion knobs, comma-separated: spelling, "
+        "synonyms, kpp (reported as rewrites)",
+    )
+    p.add_argument(
+        "--facets",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="ATTRS",
+        help="facet the results: bare flag = auto over result tables, "
+        "or an explicit table.column,... list",
+    )
+    p.add_argument(
+        "--highlight",
+        action="store_true",
+        help="print a query-biased snippet under each result",
     )
     add_resilience_flags(p)
     _add_shard_flags(p)

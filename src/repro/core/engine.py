@@ -48,6 +48,7 @@ from repro.obs.trace import Tracer, span as trace_span
 from repro.perf.batch import BatchSearchExecutor
 from repro.perf.lru import LRUCache
 from repro.perf.substrates import SubstrateCache
+from repro.query.parser import StructuredQuery, parse_query
 from repro.relational.database import Database, TupleId
 from repro.relational.schema_graph import SchemaGraph
 from repro.resilience.budget import QueryBudget, make_budget
@@ -125,6 +126,12 @@ class KeywordSearchEngine:
         self._result_cache = LRUCache(result_cache_size)
         self._refine_cache = LRUCache(max(64, result_cache_size // 4))
         self._forms_cache = LRUCache(64)
+        # text -> canonical StructuredQuery; cleaning depends on the
+        # index vocabulary, so this drops whenever data_version moves.
+        self._parse_cache = LRUCache(1024)
+        #: Optional Keyword++ model consulted by the ``expand=kpp``
+        #: response-pipeline knob (see :mod:`repro.query.pipeline`).
+        self.keyword_model = None
         self._served_version = db.data_version
         self._sharing_lock = threading.Lock()
         self._sharing: Dict[str, int] = {
@@ -222,6 +229,7 @@ class KeywordSearchEngine:
                 self._result_cache.clear()
                 self._refine_cache.clear()
                 self._forms_cache.clear()
+                self._parse_cache.clear()
                 return
         self.invalidate_caches()
 
@@ -237,6 +245,7 @@ class KeywordSearchEngine:
         self._result_cache.clear()
         self._refine_cache.clear()
         self._forms_cache.clear()
+        self._parse_cache.clear()
 
     def cache_stats(self) -> Dict[str, object]:
         """Hit/miss/eviction counters for dashboards and benchmarks.
@@ -352,15 +361,20 @@ class KeywordSearchEngine:
             totals["subexpressions_materialized"] += stats.subexpressions_materialized
             totals["semijoin_pruned"] += stats.semijoin_pruned
 
-    @staticmethod
-    def _query_key(text: str, method: str, k: int) -> Tuple:
-        """Cache key: normalized token stream + method + k.
+    def _query_key(self, query, method: str, k: int) -> Tuple:
+        """Cache key: canonical StructuredQuery identity + method + k.
 
-        Tokenisation (not full cleaning) keys the cache: it is cheap,
-        and any two texts that tokenize identically are handled
-        identically by :meth:`parse` downstream.
+        *query* may be raw text or an already-parsed
+        :class:`StructuredQuery`.  Keying on the post-parse,
+        post-clean canonical form (not the raw token stream) means two
+        texts that clean to the same query share one LRU entry, while
+        structurally different queries that happen to tokenize
+        identically (``author:smith`` vs ``author smith``) get
+        distinct keys.
         """
-        return (tuple(tokenize(text)), method, k)
+        if isinstance(query, str):
+            query = self._parse_canonical(query)
+        return (query.cache_key(), method, k)
 
     # ------------------------------------------------------------------
     # Query handling
@@ -381,9 +395,53 @@ class KeywordSearchEngine:
                 return query.with_keywords(cleaned)
             return query
 
+    def _parse_canonical(self, text: str) -> StructuredQuery:
+        """Parse DSL text into the canonical :class:`StructuredQuery`.
+
+        Bare keyword queries go through the same cleaning the legacy
+        :meth:`parse` applies, so the canonical form (and therefore the
+        result-cache key) is clean-invariant.  Memoised per text; the
+        memo drops with the other caches whenever the database version
+        moves, because cleaning reads the index vocabulary.
+        """
+        cached = self._parse_cache.get(text) if self.enable_caches else None
+        if cached is not None:
+            return cached
+        query = parse_query(text)
+        if self.clean_queries and query.groups and query.is_bare:
+            tokens = query.bare_keywords()
+            cleaning: CleaningResult = self.cleaner.clean(list(tokens))
+            cleaned = cleaning.cleaned_tokens()
+            if cleaned and cleaned != tokens:
+                query = query.with_bare_keywords(cleaned)
+        if self.enable_caches:
+            self._parse_cache.put(text, query)
+        return query
+
     def suggest(self, prefix: str, limit: int = 8) -> List[str]:
         """Type-ahead keyword completions."""
         return self.tastier.complete_keyword(prefix, limit=limit)
+
+    def suggest_answers(
+        self,
+        prefixes: Sequence[str],
+        k: int = 10,
+        budget: Optional[QueryBudget] = None,
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+    ):
+        """Budgeted TASTIER type-ahead answers (prefix keyword search).
+
+        Threads an optional :class:`QueryBudget` through
+        :meth:`Tastier.search`; on exhaustion the best partial
+        :class:`~repro.ambiguity.autocomplete.TastierResult` comes back
+        with ``degraded`` set instead of scanning the rest of the
+        vocabulary range.
+        """
+        self._sync_version()
+        if budget is None:
+            budget = make_budget(timeout_ms, max_expansions)
+        return self.tastier.search(list(prefixes), k=k, budget=budget)
 
     # ------------------------------------------------------------------
     # Search
@@ -425,14 +483,71 @@ class KeywordSearchEngine:
         a span tree covering the pipeline stages as ``result.trace``;
         tracing never changes the evaluation order, so results are
         byte-identical with it on or off.
+
+        *text* may use the fielded query DSL (``author:smith``,
+        ``year:2008..2012``, ``AND``/``OR``/``NOT``, quoted phrases,
+        ``term^2`` — see :mod:`repro.query.parser`); bare keyword
+        queries take the legacy execution path byte-identically.
         """
         self._sync_version()
         if method not in KNOWN_METHODS:
             raise QueryParseError(
                 f"unknown method {method!r} (choices: {', '.join(KNOWN_METHODS)})"
             )
-        if budget is None:
-            budget = make_budget(timeout_ms, max_expansions)
+        return self._search_impl(
+            self._parse_canonical(text),
+            k=k,
+            method=method,
+            use_cache=use_cache,
+            budget=budget if budget is not None else make_budget(timeout_ms, max_expansions),
+            fallback=fallback,
+            trace=trace,
+        )
+
+    def search_structured(
+        self,
+        query: StructuredQuery,
+        k: int = 10,
+        method: str = "schema",
+        use_cache: bool = True,
+        budget: Optional[QueryBudget] = None,
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        fallback: bool = False,
+        trace: Optional[bool] = None,
+    ) -> ResultSet:
+        """Top-k search from an already-parsed :class:`StructuredQuery`.
+
+        Same contract as :meth:`search`; used by the response pipeline
+        after expansion rewrites, where no DSL text exists for the
+        rewritten query.  A bare *query* is byte-identical to
+        ``search(query.raw, ...)``.
+        """
+        self._sync_version()
+        if method not in KNOWN_METHODS:
+            raise QueryParseError(
+                f"unknown method {method!r} (choices: {', '.join(KNOWN_METHODS)})"
+            )
+        return self._search_impl(
+            query,
+            k=k,
+            method=method,
+            use_cache=use_cache,
+            budget=budget if budget is not None else make_budget(timeout_ms, max_expansions),
+            fallback=fallback,
+            trace=trace,
+        )
+
+    def _search_impl(
+        self,
+        query: StructuredQuery,
+        k: int,
+        method: str,
+        use_cache: bool,
+        budget: Optional[QueryBudget],
+        fallback: bool,
+        trace: Optional[bool],
+    ) -> ResultSet:
         tracing = self.trace_enabled if trace is None else trace
         tracer = Tracer() if tracing else None
         metrics = self.metrics
@@ -440,16 +555,17 @@ class KeywordSearchEngine:
         start_s = time.perf_counter()
         with trace_span(tracer, "search") as root:
             root.tag("method", method).tag("k", k)
+            root.tag("query", query.canonical())
             if budget is not None or fallback:
                 with trace_span(tracer, "cache_lookup") as csp:
                     csp.tag("outcome", "bypass")
-                results = self._run_search(text, k, method, budget, fallback, tracer)
+                results = self._run_query(query, k, method, budget, fallback, tracer)
             elif not (use_cache and self.enable_caches):
                 with trace_span(tracer, "cache_lookup") as csp:
                     csp.tag("outcome", "bypass")
-                results = self._run_search(text, k, method, None, False, tracer)
+                results = self._run_query(query, k, method, None, False, tracer)
             else:
-                results = self._serve_cached(text, k, method, tracer)
+                results = self._serve_cached(query, k, method, tracer)
         metrics.observe(
             "query.latency_ms", (time.perf_counter() - start_s) * 1000.0
         )
@@ -466,7 +582,7 @@ class KeywordSearchEngine:
         return results
 
     def _serve_cached(
-        self, text: str, k: int, method: str, tracer: Optional[Tracer]
+        self, query: StructuredQuery, k: int, method: str, tracer: Optional[Tracer]
     ) -> ResultSet:
         """Result-LRU path with per-key single-flight misses.
 
@@ -481,7 +597,7 @@ class KeywordSearchEngine:
         lookup, tagged ``cache_hit=True``, never the original compute)
         while degradation metadata is preserved from the cached entry.
         """
-        key = self._query_key(text, method, k)
+        key = self._query_key(query, method, k)
         cache = self._result_cache
         lookup_span = trace_span(tracer, "cache_lookup")
         with lookup_span as csp:
@@ -502,10 +618,10 @@ class KeywordSearchEngine:
                 return cached.clone()
             lookup_span.tag("outcome", "miss")
             computed_at = self.db.data_version
-            results = self._run_search(text, k, method, None, False, tracer)
+            results = self._run_query(query, k, method, None, False, tracer)
             # Chaos hook: delay between computing and publishing to the
             # LRU, to widen the race window against concurrent mutation.
-            fail_point("cache.result_put", key=text)
+            fail_point("cache.result_put", key=query.raw)
             if self.db.data_version == computed_at:
                 # Version-guarded publish: results computed against a
                 # since-mutated database are served but never cached, so
@@ -513,6 +629,66 @@ class KeywordSearchEngine:
                 # invalidation.
                 cache.put(key, results)
         return results.clone()
+
+    def _run_query(
+        self,
+        query: StructuredQuery,
+        k: int,
+        method: str,
+        budget: Optional[QueryBudget],
+        fallback: bool,
+        tracer: Optional[Tracer] = None,
+    ) -> ResultSet:
+        """Execute a canonical query: legacy path for bare, else compiled.
+
+        Bare queries re-enter the untouched pre-DSL machinery through
+        the same :class:`Query` object the legacy parse would have
+        produced, so their results stay byte-identical.
+        """
+        fail_point("engine.search", key=query.raw)
+        # The canonical parse is memoised outside the trace; re-emit the
+        # parse/clean stages so span coverage matches the legacy flow.
+        with trace_span(tracer, "parse") as psp:
+            psp.add("keywords", sum(len(g) for g in query.groups))
+            psp.tag("bare", query.is_bare)
+            if self.clean_queries and query.groups:
+                with trace_span(tracer, "clean") as csp:
+                    csp.tag("changed", query.cleaned_from is not None)
+        if query.is_empty:
+            return ResultSet(method=method)
+        if query.is_bare:
+            legacy = Query(
+                raw=query.raw,
+                keywords=tuple(query.bare_keywords()),
+                cleaned_from=query.cleaned_from,
+            )
+            return self._run_ladder(legacy, k, method, budget, fallback, tracer)
+        return self._run_structured(query, k, method, budget, fallback, tracer)
+
+    def _run_structured(
+        self,
+        query: StructuredQuery,
+        k: int,
+        method: str,
+        budget: Optional[QueryBudget],
+        fallback: bool,
+        tracer: Optional[Tracer] = None,
+    ) -> ResultSet:
+        """Compile the DSL constructs onto *method* and run the ladder."""
+        from repro.query.compiler import compile_query, predicate_only_results
+
+        with trace_span(tracer, "compile") as csp:
+            compiled = compile_query(self, query)
+            csp.add("branches", len(compiled.branches))
+            csp.tag("filtered", compiled.row_filter is not None)
+        if not compiled.branches:
+            # Pure-structural query (predicates only): return the
+            # satisfying rows directly, no keywords to join on.
+            with trace_span(tracer, "evaluate"):
+                return ResultSet(
+                    predicate_only_results(self, compiled, k), method=method
+                )
+        return self._run_ladder(compiled, k, method, budget, fallback, tracer)
 
     def _run_search(
         self,
@@ -523,7 +699,7 @@ class KeywordSearchEngine:
         fallback: bool,
         tracer: Optional[Tracer] = None,
     ) -> ResultSet:
-        """One search, walking the degradation ladder when asked to.
+        """One search from raw text (legacy entry, kept for callers).
 
         On the default path this never raises for budget exhaustion:
         the algorithms return partials and the budget's ``exhausted``
@@ -535,6 +711,24 @@ class KeywordSearchEngine:
         query = self.parse(text, tracer=tracer)
         if not query.keywords:
             return ResultSet(method=method)
+        return self._run_ladder(query, k, method, budget, fallback, tracer)
+
+    def _run_ladder(
+        self,
+        query,
+        k: int,
+        method: str,
+        budget: Optional[QueryBudget],
+        fallback: bool,
+        tracer: Optional[Tracer] = None,
+    ) -> ResultSet:
+        """Walk the degradation ladder for a parsed (or compiled) query.
+
+        *query* is either a legacy :class:`Query` (bare keywords,
+        dispatched through the untouched per-method paths) or a
+        :class:`~repro.query.compiler.CompiledQuery` (structured,
+        dispatched through the branch executor).
+        """
         chain = fallback_chain(method) if fallback else (method,)
         last_reason: Optional[str] = None
         for i, rung in enumerate(chain):
@@ -542,7 +736,14 @@ class KeywordSearchEngine:
                 budget.renew()
             is_last = i == len(chain) - 1
             try:
-                results = self._dispatch(query, k, rung, budget, tracer)
+                if isinstance(query, Query):
+                    results = self._dispatch(query, k, rung, budget, tracer)
+                else:
+                    from repro.query.compiler import execute_structured
+
+                    results = execute_structured(
+                        self, query, k, rung, budget, tracer
+                    )
             except BudgetExceededError as exc:
                 # Exhaustion escaped an algorithm with no partial answer.
                 last_reason = str(exc)

@@ -161,6 +161,9 @@ class DurableEngine:
     def search(self, *args, **kwargs):
         return self.engine.search(*args, **kwargs)
 
+    def search_structured(self, *args, **kwargs):
+        return self.engine.search_structured(*args, **kwargs)
+
     def search_many(self, *args, **kwargs):
         return self.engine.search_many(*args, **kwargs)
 

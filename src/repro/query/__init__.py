@@ -1,0 +1,46 @@
+"""Unified structured query front end.
+
+* :mod:`repro.query.parser` — fielded DSL (``author:smith``,
+  ``year:2008..2012``, ``AND``/``OR``/``NOT``, quoted phrases,
+  ``term^2``) to a canonical, hashable :class:`StructuredQuery`;
+* :mod:`repro.query.compiler` — lowers the structure onto the seven
+  search methods (predicate pushdown before CN enumeration, weighted
+  TF·IDF, OR-branch expansion, graceful degradation);
+* :mod:`repro.query.pipeline` — response pipeline wiring expansion
+  (spelling / synonyms / Keyword++), facets and highlighting around
+  core search into one :class:`QueryResponse`.
+
+The :class:`StructuredQuery` is the one object result-cache keys, span
+tags, ``search --json`` and the HTTP ``/search`` route all speak.
+"""
+
+from repro.query.compiler import (
+    CompiledQuery,
+    FilteredTupleSets,
+    RowFilter,
+    WeightedIndexView,
+    compile_query,
+)
+from repro.query.parser import (
+    FieldPredicate,
+    PhraseConstraint,
+    StructuredQuery,
+    Term,
+    parse_query,
+)
+from repro.query.pipeline import QueryResponse, execute_pipeline
+
+__all__ = [
+    "CompiledQuery",
+    "FieldPredicate",
+    "FilteredTupleSets",
+    "PhraseConstraint",
+    "QueryResponse",
+    "RowFilter",
+    "StructuredQuery",
+    "Term",
+    "WeightedIndexView",
+    "compile_query",
+    "execute_pipeline",
+    "parse_query",
+]

@@ -1,0 +1,635 @@
+"""Lower a :class:`StructuredQuery` onto the existing search methods.
+
+The compiler maps each DSL construct onto the machinery the engine
+already has, without touching the bare-keyword code paths:
+
+========================  ==================================================
+construct                 lowering
+========================  ==================================================
+field/range predicates    per-table allowed-row bitsets applied to every
+                          tuple set (free and non-free) *before* CN
+                          enumeration (:class:`FilteredTupleSets`), to the
+                          keyword-group seeds of the graph methods, and as
+                          a result-row post-filter
+``term^w`` weights        :class:`WeightedIndexView` scales ``idf(term)``
+                          so every TF·IDF scoring path (CN top-k,
+                          index_only) becomes weighted; graph methods rank
+                          by tree weight and ignore weights (graceful)
+``OR`` groups             CNF groups expand into a capped cross-product of
+                          conjunctive *branches*; each branch runs through
+                          the untouched conjunctive machinery and branch
+                          results merge by max-score per tuple signature
+``NOT term``              rows containing the term are banned from tuple
+                          sets / seeds, plus the result post-filter
+phrases                   phrase tokens join the conjunctive keywords;
+                          results must contain a row with the tokens
+                          adjacent (witness check on row text)
+========================  ==================================================
+
+Methods that cannot express a construct natively (the graph family:
+banks/banks2/steiner/distinct_root/ease) still honour predicates,
+NOT and phrases through seed filtering + the result post-filter; only
+term weights are ignored there because their scores are tree weights,
+not TF·IDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.relational.database import TupleId
+from repro.resilience.errors import QueryParseError
+from repro.schema_search.candidate_networks import generate_candidate_networks
+from repro.schema_search.scoring import tuple_score
+from repro.schema_search.topk import topk_global_pipeline, topk_shared
+from repro.schema_search.tuple_sets import TupleSetKey
+
+from .parser import FieldPredicate, PhraseConstraint, StructuredQuery
+
+#: Hard cap on the OR cross-product: one conjunctive execution per
+#: branch, so this bounds work at ``MAX_BRANCHES`` × a normal query.
+MAX_BRANCHES = 24
+
+
+def _as_float(value: object) -> Optional[float]:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Row filtering (predicates + NOT)
+# ----------------------------------------------------------------------
+class RowFilter:
+    """Per-table allowed-rowid bitsets plus a banned tuple set."""
+
+    __slots__ = ("allowed", "banned")
+
+    def __init__(self, allowed: Dict[str, int], banned: Set[TupleId]):
+        self.allowed = allowed
+        self.banned = banned
+
+    def allows(self, tid: TupleId) -> bool:
+        if self.banned and tid in self.banned:
+            return False
+        bits = self.allowed.get(tid.table)
+        if bits is None:
+            return True
+        return bool((bits >> tid.rowid) & 1)
+
+    def allows_rows(self, rows) -> bool:
+        """True when every (already materialised) row passes."""
+        return all(
+            self.allows(TupleId(row.table.name, row.rowid)) for row in rows
+        )
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return frozenset(self.allowed)
+
+
+def _predicate_matches(row, predicate: FieldPredicate, column: Optional[str]) -> bool:
+    """Does *row* satisfy *predicate* (ignoring negation)?
+
+    ``column is None`` means the predicate resolved to the row's table:
+    the value must appear (token containment) anywhere in the row text.
+    """
+    if predicate.op == "range":
+        cell = row.get(column) if column is not None else None
+        num = _as_float(cell)
+        if num is None:
+            return False
+        if predicate.lo is not None and num < predicate.lo:
+            return False
+        if predicate.hi is not None and num > predicate.hi:
+            return False
+        return True
+    candidates = (predicate.value,) + predicate.alternatives
+    if column is None:
+        row_tokens = set(tokenize(row.text()))
+        for value in candidates:
+            value_tokens = tokenize(value)
+            if value_tokens and all(tok in row_tokens for tok in value_tokens):
+                return True
+        return False
+    cell = row.get(column)
+    if cell is None:
+        return False
+    cell_num = _as_float(cell)
+    cell_tokens = None
+    for value in candidates:
+        value_num = _as_float(value)
+        if value_num is not None and cell_num is not None:
+            if value_num == cell_num:
+                return True
+            continue
+        value_tokens = tokenize(value)
+        if not value_tokens:
+            continue
+        if cell_tokens is None:
+            cell_tokens = set(tokenize(str(cell)))
+        if all(tok in cell_tokens for tok in value_tokens):
+            return True
+    return False
+
+
+def resolve_field(db, field_name: str) -> List[Tuple[str, Optional[str]]]:
+    """Resolve a DSL field to ``[(table, column-or-None), ...]``.
+
+    A column name (in any table) wins over a table name; a table name
+    means "value appears in the row text of that table".  Unknown
+    fields raise :class:`QueryParseError` listing what is addressable.
+    """
+    hits: List[Tuple[str, Optional[str]]] = []
+    for name, table in db.tables.items():
+        if table.schema.has_column(field_name):
+            hits.append((name, field_name))
+    if hits:
+        return hits
+    if field_name in db.tables:
+        return [(field_name, None)]
+    known = sorted(
+        set(db.tables)
+        | {c for t in db.tables.values() for c in t.schema.column_names}
+    )
+    raise QueryParseError(
+        f"unknown field {field_name!r} (addressable: {', '.join(known)})"
+    )
+
+
+def build_row_filter(engine, query: StructuredQuery) -> Optional[RowFilter]:
+    """Materialise predicates + NOT terms into a :class:`RowFilter`."""
+    banned: Set[TupleId] = set()
+    for token in query.excluded:
+        banned.update(engine.index.matching_tuples_view(token.lower()))
+    allowed: Dict[str, int] = {}
+    if query.predicates:
+        by_table: Dict[str, List[Tuple[FieldPredicate, Optional[str]]]] = {}
+        for predicate in query.predicates:
+            for table, column in resolve_field(engine.db, predicate.field):
+                by_table.setdefault(table, []).append((predicate, column))
+        for table_name, preds in by_table.items():
+            table = engine.db.table(table_name)
+            bits = 0
+            for rowid in range(len(table)):
+                row = engine.db.row(TupleId(table_name, rowid))
+                ok = True
+                for predicate, column in preds:
+                    hit = _predicate_matches(row, predicate, column)
+                    if hit == predicate.negated:
+                        ok = False
+                        break
+                if ok:
+                    bits |= 1 << rowid
+            allowed[table_name] = bits
+    if not banned and not allowed:
+        return None
+    return RowFilter(allowed, banned)
+
+
+# ----------------------------------------------------------------------
+# Substrate views
+# ----------------------------------------------------------------------
+class FilteredTupleSets:
+    """Read-only predicate view over a (possibly memoised) TupleSets.
+
+    Delegates identity lookups to the base object and filters
+    membership through the :class:`RowFilter`, so the shared memo is
+    never mutated and CN enumeration / execution see only allowed
+    rows — the predicate pushdown that happens *before* CN
+    enumeration.  Keys whose membership filters to empty disappear
+    from :meth:`non_free_keys`, shrinking the CN space accordingly.
+    """
+
+    def __init__(self, base, row_filter: RowFilter):
+        self.base = base
+        self.row_filter = row_filter
+        self.db = base.db
+        self.keywords = base.keywords
+        self._members: Dict[TupleSetKey, List[TupleId]] = {}
+
+    def tuple_ids(self, key: TupleSetKey) -> List[TupleId]:
+        cached = self._members.get(key)
+        if cached is None:
+            allows = self.row_filter.allows
+            cached = [t for t in self.base.tuple_ids(key) if allows(t)]
+            self._members[key] = cached
+        return list(cached)
+
+    def rows(self, key: TupleSetKey):
+        return [self.db.row(tid) for tid in self.tuple_ids(key)]
+
+    def size(self, key: TupleSetKey) -> int:
+        return len(self.tuple_ids(key))
+
+    def non_free_keys(self) -> List[TupleSetKey]:
+        return [k for k in self.base.non_free_keys() if self.size(k) > 0]
+
+    def keys_for_table(self, table: str) -> List[TupleSetKey]:
+        return [k for k in self.non_free_keys() if k.table == table]
+
+    def keyword_subsets(self, table: str) -> List[FrozenSet[str]]:
+        return [k.keywords for k in self.keys_for_table(table)]
+
+    def covered_keywords(self) -> Set[str]:
+        out: Set[str] = set()
+        for key in self.non_free_keys():
+            out |= key.keywords
+        return out
+
+    def __repr__(self) -> str:
+        return f"Filtered({self.base!r})"
+
+
+class WeightedIndexView:
+    """Index proxy scaling ``idf(term)`` by per-term DSL weights.
+
+    Every TF·IDF scoring path takes the index as a parameter, so
+    substituting this view makes CN top-k and index_only scoring
+    weighted without touching :mod:`repro.schema_search`.
+    """
+
+    __slots__ = ("_index", "_weights")
+
+    def __init__(self, index, weights: Dict[str, float]):
+        self._index = index
+        self._weights = weights
+
+    def idf(self, token: str) -> float:
+        return self._index.idf(token) * self._weights.get(token.lower(), 1.0)
+
+    def __getattr__(self, name):
+        return getattr(self._index, name)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledQuery:
+    """Execution plan: conjunctive branches + filters + weights."""
+
+    query: StructuredQuery
+    branches: Tuple[Tuple[str, ...], ...]
+    weights: Dict[str, float] = field(default_factory=dict)
+    row_filter: Optional[RowFilter] = None
+
+    def index_view(self, index):
+        if not self.weights:
+            return index
+        return WeightedIndexView(index, self.weights)
+
+    # -- result post-filters ------------------------------------------
+    def result_ok(self, result) -> bool:
+        rows = result.joined.distinct_rows()
+        if self.row_filter is not None and not self.row_filter.allows_rows(rows):
+            return False
+        for phrase in self.query.phrases:
+            if not any(_phrase_in_row(row, phrase) for row in rows):
+                return False
+        return True
+
+
+def _phrase_in_row(row, phrase: PhraseConstraint) -> bool:
+    tokens = tokenize(row.text())
+    want = phrase.tokens
+    span = len(want)
+    if span > len(tokens):
+        return False
+    for start in range(len(tokens) - span + 1):
+        if tuple(tokens[start : start + span]) == want:
+            return True
+    return False
+
+
+def compile_query(
+    engine, query: StructuredQuery, max_branches: int = MAX_BRANCHES
+) -> CompiledQuery:
+    """Compile against a concrete engine (schema + index).
+
+    Raises :class:`QueryParseError` for unknown fields or an OR
+    cross-product beyond *max_branches*.
+    """
+    if query.branch_count() > max_branches:
+        raise QueryParseError(
+            f"query expands to {query.branch_count()} conjunctive branches "
+            f"(cap {max_branches}); simplify the OR structure"
+        )
+    weights: Dict[str, float] = {}
+    for group in query.groups:
+        for term in group:
+            if term.weight != 1.0:
+                weights[term.token] = max(
+                    weights.get(term.token, 0.0), term.weight
+                )
+    branches: List[Tuple[str, ...]] = []
+    if query.groups:
+        for choice in product(*query.groups):
+            seen: Dict[str, None] = {}
+            for term in choice:
+                seen.setdefault(term.token)
+            branches.append(tuple(seen))
+    return CompiledQuery(
+        query=query,
+        branches=tuple(branches),
+        weights=weights,
+        row_filter=build_row_filter(engine, query),
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_structured(engine, compiled, k, method, budget=None, tracer=None):
+    """Run every branch through *method* and merge the branch top-ks.
+
+    Returns a plain list of SearchResults (the engine wraps them in a
+    ResultSet with degradation metadata, mirroring ``_dispatch``).
+    Deduplication across branches keeps the best score per tuple
+    signature; ordering is (score desc, tuple ids) — deterministic and
+    identical for cached/uncached and sharded/unsharded execution.
+    """
+    from repro.obs.trace import span as trace_span
+
+    gathered = []
+    for branch in compiled.branches:
+        with trace_span(tracer, "branch") as bsp:
+            bsp.tag("keywords", " ".join(branch))
+            gathered.extend(
+                _run_branch(engine, compiled, branch, k, method, budget, tracer)
+            )
+    return merge_branch_results(gathered, compiled, k)
+
+
+def merge_branch_results(results, compiled, k):
+    """Post-filter, dedup and order results — one rule for every path.
+
+    Shared by :func:`execute_structured` and the sharding
+    coordinator's structured gather, so sharded and single-engine
+    answers to the same structured query sort identically.
+    """
+    merged: Dict[Tuple, object] = {}
+    for result in results:
+        if not compiled.result_ok(result):
+            continue
+        signature = tuple(sorted(result.tuple_ids()))
+        prior = merged.get(signature)
+        if prior is None or result.score > prior.score:
+            merged[signature] = result
+    ordered = sorted(merged.items(), key=lambda kv: (-kv[1].score, kv[0]))
+    return [result for _, result in ordered[:k]]
+
+
+def predicate_only_results(engine, compiled, k):
+    """Answers for a query with predicates but no keywords.
+
+    The CN/graph machinery needs keywords to join on; a pure
+    ``field:value`` query degrades gracefully to the satisfying rows
+    themselves, one single-tuple answer per row, in tuple-id order.
+    """
+    from repro.core.results import SearchResult
+
+    row_filter = compiled.row_filter
+    if row_filter is None or not row_filter.allowed:
+        return []
+    out = []
+    for table_name in sorted(row_filter.allowed):
+        bits = row_filter.allowed[table_name]
+        rowid = 0
+        while bits:
+            if bits & 1:
+                tid = TupleId(table_name, rowid)
+                if not row_filter.banned or tid not in row_filter.banned:
+                    out.append(
+                        SearchResult(
+                            score=1.0,
+                            network=f"filter({table_name})",
+                            joined=engine._tree_to_joined({tid}),
+                        )
+                    )
+                    if len(out) >= k:
+                        return out
+            bits >>= 1
+            rowid += 1
+    return out
+
+
+def _run_branch(engine, compiled, keywords, k, method, budget, tracer):
+    if method == "schema":
+        return _branch_schema(engine, compiled, keywords, k, budget, tracer)
+    if method == "index_only":
+        return _branch_index_only(engine, compiled, keywords, k, budget, tracer)
+    return _branch_graph(engine, compiled, keywords, k, method, budget, tracer)
+
+
+def structured_substrates(engine, compiled, keywords, budget=None, tracer=None):
+    """(tuple_sets, cns, index_view) for one conjunctive branch.
+
+    Shared by the in-process engine and the sharding coordinator so
+    scattered CN plans carry the *filtered* tuple sets — predicates
+    ride to the shards instead of being re-checked at the gather.
+    """
+    from repro.obs.trace import span as trace_span
+
+    keywords = list(keywords)
+    with trace_span(tracer, "substrate_build") as ssp:
+        base = engine.substrates.tuple_sets(keywords)
+        if compiled.row_filter is not None:
+            tuple_sets = FilteredTupleSets(base, compiled.row_filter)
+        else:
+            tuple_sets = base
+        ssp.add("tuple_set_keys", len(tuple_sets.non_free_keys()))
+    with trace_span(tracer, "cn_enumerate") as nsp:
+        if compiled.row_filter is None and budget is None:
+            cns = engine.substrates.candidate_networks(keywords, engine.max_cn_size)
+        else:
+            # Filtered or budgeted enumeration happens outside the memo:
+            # the CN space depends on which tuple sets survive the
+            # predicates, and a truncated list must never be cached.
+            cns = generate_candidate_networks(
+                engine.schema_graph,
+                tuple_sets,
+                max_size=engine.max_cn_size,
+                budget=budget,
+            )
+        nsp.add("cns", len(cns))
+    return tuple_sets, cns, compiled.index_view(engine.index)
+
+
+def _branch_schema(engine, compiled, keywords, k, budget, tracer):
+    from repro.core.results import SearchResult
+
+    keywords = list(keywords)
+    tuple_sets, cns, index = structured_substrates(
+        engine, compiled, keywords, budget=budget, tracer=tracer
+    )
+    if not cns:
+        return []
+    if engine.cn_execution == "shared":
+        result = topk_shared(
+            cns,
+            tuple_sets,
+            index,
+            keywords,
+            k=k,
+            budget=budget,
+            max_workers=engine.cn_workers,
+            tracer=tracer,
+        )
+    else:
+        result = topk_global_pipeline(
+            cns, tuple_sets, index, keywords, k=k, budget=budget, tracer=tracer
+        )
+    engine._record_sharing(result.stats)
+    return [
+        SearchResult(score=score, network=label, joined=joined)
+        for score, label, joined in result.results
+    ]
+
+
+def _branch_index_only(engine, compiled, keywords, k, budget, tracer):
+    from repro.core.results import SearchResult
+    from repro.obs.trace import span as trace_span
+    from repro.resilience.errors import BudgetExceededError
+
+    index = compiled.index_view(engine.index)
+    row_filter = compiled.row_filter
+    keywords = list(keywords)
+    scored: Dict[TupleId, float] = {}
+    with trace_span(tracer, "evaluate") as esp:
+        try:
+            for keyword in keywords:
+                for tid in engine.index.matching_tuples_view(keyword.lower()):
+                    if tid in scored:
+                        continue
+                    if row_filter is not None and not row_filter.allows(tid):
+                        continue
+                    if budget is not None:
+                        budget.tick_candidates()
+                    scored[tid] = tuple_score(index, tid, keywords)
+        except BudgetExceededError:
+            pass  # partial scoring; caller sees budget.exhausted
+        esp.add("tuples_scored", len(scored))
+    top = sorted(scored.items(), key=lambda item: (-item[1], item[0]))[:k]
+    return [
+        SearchResult(
+            score=score,
+            network=f"index-only({tid.table})",
+            joined=engine._tree_to_joined({tid}),
+        )
+        for tid, score in top
+    ]
+
+
+def filtered_keyword_groups(engine, compiled, keywords):
+    """Keyword-match seed groups with banned/filtered rows removed.
+
+    Returns ``None`` when a keyword has no (surviving) matches — AND
+    semantics then yields no answers, same as the legacy groups path.
+    """
+    groups = engine.substrates.keyword_groups(list(keywords))
+    if groups is None:
+        return None
+    if compiled.row_filter is None:
+        return groups
+    allows = compiled.row_filter.allows
+    filtered = [[tid for tid in group if allows(tid)] for group in groups]
+    if any(not group for group in filtered):
+        return None
+    return filtered
+
+
+def _branch_graph(engine, compiled, keywords, k, method, budget, tracer):
+    """Graph-family lowering: filtered seeds + result post-filter.
+
+    Term weights do not lower here (scores are tree weights); phrase
+    and predicate semantics are enforced by seed filtering plus the
+    shared result post-filter in :func:`execute_structured`.
+    """
+    from repro.core.results import SearchResult
+    from repro.graph_search.banks import banks_backward, banks_bidirectional
+    from repro.graph_search.steiner import group_steiner_dp
+    from repro.obs.trace import span as trace_span
+
+    with trace_span(tracer, "substrate_build") as ssp:
+        groups = filtered_keyword_groups(engine, compiled, keywords)
+        ssp.add("keyword_groups", len(groups) if groups else 0)
+    if groups is None:
+        return []
+    if method in ("banks", "banks2"):
+        algo = banks_bidirectional if method == "banks2" else banks_backward
+        with trace_span(tracer, "evaluate") as esp:
+            result = algo(
+                engine.data_graph,
+                groups,
+                k=k,
+                budget=budget,
+                span=esp if tracer is not None else None,
+            )
+            esp.add("trees", len(result.trees))
+        return [
+            SearchResult(
+                score=1.0 / (1.0 + tree.weight),
+                network=f"banks-tree(root={tree.root})",
+                joined=engine._tree_to_joined(tree.nodes),
+            )
+            for tree in result.trees
+        ]
+    if method == "steiner":
+        with trace_span(tracer, "evaluate") as esp:
+            tree = group_steiner_dp(
+                engine.data_graph,
+                groups,
+                budget=budget,
+                span=esp if tracer is not None else None,
+            )
+            esp.add("trees", 0 if tree is None else 1)
+        if tree is None:
+            return []
+        return [
+            SearchResult(
+                score=1.0 / (1.0 + tree.weight),
+                network=f"steiner(weight={tree.weight:.1f})",
+                joined=engine._tree_to_joined(tree.nodes),
+            )
+        ]
+    if method == "distinct_root":
+        from repro.graph_search.semantics import distinct_root_results
+
+        dmax = engine.distance_index.max_distance
+        with trace_span(tracer, "evaluate") as esp:
+            answers = distinct_root_results(
+                engine.data_graph, groups, dmax=dmax, k=k
+            )
+            esp.add("answers", len(answers))
+        return [
+            SearchResult(
+                score=1.0 / (1.0 + answer.cost),
+                network=f"distinct-root(root={answer.root})",
+                joined=engine._tree_to_joined(
+                    {answer.root, *(m for m in answer.matches if m is not None)}
+                ),
+            )
+            for answer in answers
+        ]
+    if method == "ease":
+        from repro.graph_search.ease import r_radius_steiner_graphs
+
+        with trace_span(tracer, "evaluate") as esp:
+            answers = r_radius_steiner_graphs(
+                engine.data_graph, groups, r=2, k=k, budget=budget
+            )
+            esp.add("answers", len(answers))
+        return [
+            SearchResult(
+                score=1.0 / answer.size(),
+                network=f"ease(center={answer.center})",
+                joined=engine._tree_to_joined(answer.nodes),
+            )
+            for answer in answers
+        ]
+    raise QueryParseError(f"unknown method {method!r}")

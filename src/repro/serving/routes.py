@@ -345,6 +345,28 @@ class Router:
             max_expansions = _parse_int(
                 max_expansions, "max_expansions", lo=1, hi=100_000_000
             )
+        expand = request.param("expand")
+        if expand is not None:
+            expand = str(expand).strip() or None
+        if expand is not None:
+            # "expand=spelling,synonyms" csv (or "all"); validated here
+            # so a typo is a 400 before any engine work.
+            from repro.query.pipeline import KNOWN_EXPANSIONS, parse_expand
+
+            if expand.lower() in ("1", "true", "all"):
+                expand = ",".join(KNOWN_EXPANSIONS)
+            try:
+                parse_expand(expand)
+            except QueryParseError as exc:
+                raise BadRequest(str(exc))
+        facets = request.param("facets")
+        if facets is not None:
+            text_value = str(facets).strip().lower()
+            if text_value in ("", "0", "false", "no", "off"):
+                facets = None
+            elif text_value in ("1", "true", "yes", "on", "auto"):
+                facets = True
+            # otherwise an explicit "table.column,..." list, passed through
         return {
             "text": str(text),
             "k": k,
@@ -352,6 +374,9 @@ class Router:
             "timeout_ms": timeout_ms,
             "max_expansions": max_expansions,
             "fallback": _truthy(request.param("fallback", False)),
+            "expand": expand,
+            "facets": facets,
+            "highlight": _truthy(request.param("highlight", False)),
         }
 
     @staticmethod
@@ -372,20 +397,31 @@ class Router:
         budget: Optional[QueryBudget],
     ):
         if budget is not None and _accepts_budget(engine):
-            return engine.search(
+            search_kwargs: Dict[str, Any] = {
+                "budget": budget,
+                "fallback": args["fallback"],
+            }
+        else:
+            search_kwargs = {
+                "timeout_ms": args["timeout_ms"],
+                "max_expansions": args["max_expansions"],
+                "fallback": args["fallback"],
+            }
+        if args.get("expand") or args.get("facets") or args.get("highlight"):
+            from repro.query.pipeline import execute_pipeline
+
+            return execute_pipeline(
+                engine,
                 args["text"],
                 k=args["k"],
                 method=args["method"],
-                budget=budget,
-                fallback=args["fallback"],
+                expand=args.get("expand"),
+                facets=args.get("facets"),
+                highlight=bool(args.get("highlight")),
+                **search_kwargs,
             )
         return engine.search(
-            args["text"],
-            k=args["k"],
-            method=args["method"],
-            timeout_ms=args["timeout_ms"],
-            max_expansions=args["max_expansions"],
-            fallback=args["fallback"],
+            args["text"], k=args["k"], method=args["method"], **search_kwargs
         )
 
     async def _search(self, request: Request) -> Response:

@@ -39,7 +39,6 @@ from repro.core.engine import KeywordSearchEngine
 from repro.core.query import Query
 from repro.core.results import ResultSet, SearchResult
 from repro.distributed.selection import DatabaseSummary, rank_databases
-from repro.index.text import tokenize
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, span as trace_span
 from repro.perf.lru import LRUCache
@@ -277,12 +276,61 @@ class ShardedSearchEngine:
         merged result set ``degraded`` instead of failing the query.
         ``fallback=True`` descends the single-node degradation ladder
         (scale-out does not help a query that exhausts its budget).
+
+        The fielded DSL works here too: bare keyword queries take the
+        legacy byte-identical paths, structured ones are compiled once
+        at the coordinator and either scattered with filtered plans
+        (single-branch ``schema`` / ``index_only``) or routed whole to
+        a shard worker slot.
         """
         self.refresh()
         if method not in KNOWN_METHODS:
             raise QueryParseError(
                 f"unknown method {method!r} (choices: {', '.join(KNOWN_METHODS)})"
             )
+        return self._search_impl(
+            self.engine._parse_canonical(text),
+            k,
+            method,
+            use_cache,
+            timeout_ms,
+            max_expansions,
+            fallback,
+            trace,
+        )
+
+    def search_structured(
+        self,
+        query,
+        k: int = 10,
+        method: str = "schema",
+        use_cache: bool = True,
+        timeout_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        fallback: bool = False,
+        trace: Optional[bool] = None,
+    ) -> ResultSet:
+        """Search from an already-parsed :class:`StructuredQuery`."""
+        self.refresh()
+        if method not in KNOWN_METHODS:
+            raise QueryParseError(
+                f"unknown method {method!r} (choices: {', '.join(KNOWN_METHODS)})"
+            )
+        return self._search_impl(
+            query, k, method, use_cache, timeout_ms, max_expansions, fallback, trace
+        )
+
+    def _search_impl(
+        self,
+        query,
+        k: int,
+        method: str,
+        use_cache: bool,
+        timeout_ms: Optional[float],
+        max_expansions: Optional[int],
+        fallback: bool,
+        trace: Optional[bool],
+    ) -> ResultSet:
         budgeted = timeout_ms is not None or max_expansions is not None
         tracing = self.trace_enabled if trace is None else trace
         tracer = Tracer() if tracing else None
@@ -295,8 +343,8 @@ class ShardedSearchEngine:
             if fallback:
                 with trace_span(tracer, "cache_lookup") as csp:
                     csp.tag("outcome", "bypass")
-                results = self.engine.search(
-                    text,
+                results = self.engine.search_structured(
+                    query,
                     k=k,
                     method=method,
                     use_cache=False,
@@ -309,10 +357,10 @@ class ShardedSearchEngine:
                 with trace_span(tracer, "cache_lookup") as csp:
                     csp.tag("outcome", "bypass")
                 results = self._run(
-                    text, k, method, timeout_ms, max_expansions, tracer
+                    query, k, method, timeout_ms, max_expansions, tracer
                 )
             else:
-                results = self._serve_cached(text, k, method, tracer)
+                results = self._serve_cached(query, k, method, tracer)
         self.metrics.observe(
             "shard_query.latency_ms", (time.perf_counter() - start_s) * 1000.0
         )
@@ -322,14 +370,21 @@ class ShardedSearchEngine:
             results.trace = tracer.finish()
         return results
 
-    def _query_key(self, text: str, method: str, k: int) -> Tuple:
-        """Single-engine key + the shard-configuration token."""
-        return (tuple(tokenize(text)), method, k, self.shards.token)
+    def _query_key(self, query_or_text, method: str, k: int) -> Tuple:
+        """Single-engine canonical key + the shard-configuration token.
+
+        Keys on the post-parse, post-clean :class:`StructuredQuery`
+        (same invariant as the single engine), so texts that clean to
+        the same canonical query share one cache entry.
+        """
+        if isinstance(query_or_text, str):
+            query_or_text = self.engine._parse_canonical(query_or_text)
+        return (query_or_text.cache_key(), method, k, self.shards.token)
 
     def _serve_cached(
-        self, text: str, k: int, method: str, tracer: Optional[Tracer]
+        self, query, k: int, method: str, tracer: Optional[Tracer]
     ) -> ResultSet:
-        key = self._query_key(text, method, k)
+        key = self._query_key(query, method, k)
         cache = self._result_cache
         with trace_span(tracer, "cache_lookup") as csp:
             cached = cache.get(key)
@@ -337,7 +392,7 @@ class ShardedSearchEngine:
         if cached is not None:
             self.metrics.inc("shard_query.cache_hits")
             return cached.clone()
-        results = self._run(text, k, method, None, None, tracer)
+        results = self._run(query, k, method, None, None, tracer)
         if not results.degraded:
             # A degraded merge (dead shard, open breaker) must not be
             # pinned: the next query should retry the full scatter.
@@ -346,26 +401,85 @@ class ShardedSearchEngine:
 
     def _run(
         self,
-        text: str,
+        query,
         k: int,
         method: str,
         timeout_ms: Optional[float],
         max_expansions: Optional[int],
         tracer: Optional[Tracer],
     ) -> ResultSet:
-        query = self.engine.parse(text, tracer=tracer)
-        if not query.keywords:
+        if query.is_empty:
+            return ResultSet(method=method)
+        if not query.is_bare:
+            return self._run_structured(
+                query, k, method, timeout_ms, max_expansions, tracer
+            )
+        # Bare keywords: re-enter the legacy flow (parse + clean spans,
+        # byte-identical scatter/route paths).
+        legacy = self.engine.parse(query.raw, tracer=tracer)
+        if not legacy.keywords:
             return ResultSet(method=method)
         if method == "schema":
             return self._scatter_schema(
-                query, k, timeout_ms, max_expansions, tracer
+                list(legacy.keywords), k, timeout_ms, max_expansions, tracer
             )
         if method == "index_only":
             return self._scatter_index_only(
-                query, k, timeout_ms, max_expansions, tracer
+                list(legacy.keywords), k, timeout_ms, max_expansions, tracer
             )
         return self._routed(
-            text, query, k, method, timeout_ms, max_expansions, tracer
+            query.raw, legacy, k, method, timeout_ms, max_expansions, tracer
+        )
+
+    def _run_structured(
+        self,
+        query,
+        k: int,
+        method: str,
+        timeout_ms: Optional[float],
+        max_expansions: Optional[int],
+        tracer: Optional[Tracer],
+    ) -> ResultSet:
+        """Structured execution: scatter filtered plans or route whole.
+
+        Single-branch, phrase-free ``schema`` / ``index_only`` queries
+        scatter — the compiled row filter rides to the shards inside
+        the plans (filtered tuple sets) or the ownership callable, and
+        the gather applies the same merge rule as the single engine.
+        OR-branches and phrase constraints post-filter top-k streams,
+        which would under-fill a scattered global k, so those queries
+        run whole on a shard worker slot instead.
+        """
+        from repro.query.compiler import compile_query, predicate_only_results
+
+        with trace_span(tracer, "compile") as csp:
+            compiled = compile_query(self.engine, query)
+            csp.add("branches", len(compiled.branches))
+            csp.tag("filtered", compiled.row_filter is not None)
+        if not compiled.branches:
+            with trace_span(tracer, "gather"):
+                return ResultSet(
+                    predicate_only_results(self.engine, compiled, k),
+                    method=method,
+                )
+        scatterable = (
+            method in SCATTER_METHODS
+            and len(compiled.branches) == 1
+            and not query.phrases
+        )
+        if scatterable:
+            keywords = list(compiled.branches[0])
+            if method == "schema":
+                return self._scatter_schema(
+                    keywords, k, timeout_ms, max_expansions, tracer,
+                    compiled=compiled,
+                )
+            return self._scatter_index_only(
+                keywords, k, timeout_ms, max_expansions, tracer,
+                compiled=compiled,
+            )
+        return self._routed_structured(
+            query, compiled, k, method, timeout_ms, max_expansions, tracer
         )
 
     # ------------------------------------------------------------------
@@ -373,28 +487,35 @@ class ShardedSearchEngine:
     # ------------------------------------------------------------------
     def _scatter_schema(
         self,
-        query: Query,
+        keywords: List[str],
         k: int,
         timeout_ms: Optional[float],
         max_expansions: Optional[int],
         tracer: Optional[Tracer],
+        compiled=None,
     ) -> ResultSet:
-        keywords = list(query.keywords)
         coord_budget = make_budget(timeout_ms, max_expansions)
         with trace_span(tracer, "plan") as psp:
-            tuple_sets = self.engine.substrates.tuple_sets(keywords)
-            if coord_budget is None:
-                cns = self.engine.substrates.candidate_networks(
-                    keywords, self.max_cn_size
+            if compiled is not None:
+                from repro.query.compiler import structured_substrates
+
+                tuple_sets, cns, index = structured_substrates(
+                    self.engine, compiled, keywords, budget=coord_budget
                 )
             else:
-                cns = generate_candidate_networks(
-                    self.engine.schema_graph,
-                    tuple_sets,
-                    max_size=self.max_cn_size,
-                    budget=coord_budget,
-                )
-            index = self.engine.index
+                tuple_sets = self.engine.substrates.tuple_sets(keywords)
+                if coord_budget is None:
+                    cns = self.engine.substrates.candidate_networks(
+                        keywords, self.max_cn_size
+                    )
+                else:
+                    cns = generate_candidate_networks(
+                        self.engine.schema_graph,
+                        tuple_sets,
+                        max_size=self.max_cn_size,
+                        budget=coord_budget,
+                    )
+                index = self.engine.index
             plans = [
                 CNExecutorPlan(cn, tuple_sets, index, keywords) for cn in cns
             ]
@@ -441,6 +562,10 @@ class ShardedSearchEngine:
                     SearchResult(score=score, network=label, joined=joined)
                     for score, label, joined in gtopk.sorted_results()
                 ]
+                if compiled is not None:
+                    from repro.query.compiler import merge_branch_results
+
+                    results = merge_branch_results(results, compiled, k)
                 gsp.add("results", len(results)).add("offers", gtopk.offers)
         return ResultSet(
             results,
@@ -451,20 +576,30 @@ class ShardedSearchEngine:
 
     def _scatter_index_only(
         self,
-        query: Query,
+        keywords: List[str],
         k: int,
         timeout_ms: Optional[float],
         max_expansions: Optional[int],
         tracer: Optional[Tracer],
+        compiled=None,
     ) -> ResultSet:
-        keywords = list(query.keywords)
         with trace_span(tracer, "plan"):
-            index = self.engine.index
+            if compiled is not None:
+                index = compiled.index_view(self.engine.index)
+                row_filter = compiled.row_filter
+            else:
+                index = self.engine.index
+                row_filter = None
         scored: Dict[TupleId, float] = {}
 
         def fn(shard: Shard, budget, sp):
+            owns = shard.owns
+            if row_filter is not None:
+                allows = row_filter.allows
+                base_owns = shard.owns
+                owns = lambda tid: base_owns(tid) and allows(tid)
             run, shard_scored = scatter_index_only(
-                shard.shard_id, shard.owns, index, keywords, budget
+                shard.shard_id, owns, index, keywords, budget
             )
             sp.add("evaluated", run.evaluated)
             return run, shard_scored
@@ -488,6 +623,10 @@ class ShardedSearchEngine:
                 )
                 for tid, score in top
             ]
+            if compiled is not None:
+                from repro.query.compiler import merge_branch_results
+
+                results = merge_branch_results(results, compiled, k)
             gsp.add("results", len(results))
         return ResultSet(
             results,
@@ -627,7 +766,57 @@ class ShardedSearchEngine:
         engine exactly; the shard layer contributes slot scheduling,
         fault isolation and selection-based routing.
         """
-        order = self.route_order(list(query.keywords))
+        return self._route_and_run(
+            list(query.keywords),
+            lambda budget: self.engine._run_search(
+                text, k, method, budget, False, None
+            ),
+            k,
+            method,
+            timeout_ms,
+            max_expansions,
+            tracer,
+        )
+
+    def _routed_structured(
+        self,
+        query,
+        compiled,
+        k: int,
+        method: str,
+        timeout_ms: Optional[float],
+        max_expansions: Optional[int],
+        tracer: Optional[Tracer],
+    ) -> ResultSet:
+        """Run a structured query whole on one shard worker slot.
+
+        Same failover/selection machinery as :meth:`_routed`; the
+        selection scorer ranks shards by the first branch's keywords.
+        """
+        keywords = list(compiled.branches[0]) if compiled.branches else []
+        return self._route_and_run(
+            keywords,
+            lambda budget: self.engine._run_query(
+                query, k, method, budget, False, None
+            ),
+            k,
+            method,
+            timeout_ms,
+            max_expansions,
+            tracer,
+        )
+
+    def _route_and_run(
+        self,
+        keywords: List[str],
+        run_inner,
+        k: int,
+        method: str,
+        timeout_ms: Optional[float],
+        max_expansions: Optional[int],
+        tracer: Optional[Tracer],
+    ) -> ResultSet:
+        order = self.route_order(keywords)
         reasons: List[str] = []
         with trace_span(tracer, "route") as rsp:
             rsp.tag("order", ",".join(str(i) for i in order))
@@ -635,9 +824,7 @@ class ShardedSearchEngine:
                 shard = self.shards.shards[shard_id]
 
                 def fn(shard, budget, sp):
-                    inner = self.engine._run_search(
-                        text, k, method, budget, False, None
-                    )
+                    inner = run_inner(budget)
                     sp.add("results", len(inner))
                     return inner
 
